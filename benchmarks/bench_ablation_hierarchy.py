@@ -1,0 +1,135 @@
+"""Ablation: multi-level caching (§8.1) and refresh piggybacking (§8.3).
+
+Two extension experiments:
+
+* **Hierarchy** — how far queries at an edge cache must cascade as the
+  precision constraint tightens, across slack configurations.  Loose
+  constraints are absorbed locally; only tight ones reach the source.
+* **Piggybacking** — a source that attaches refreshes for near-edge
+  objects to each response avoids later value-initiated refreshes; we
+  measure both refresh kinds with the policy on and off under identical
+  update streams.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.tables import banner, print_table
+from repro.core.executor import QueryExecutor
+from repro.extensions.hierarchy import build_chain
+from repro.extensions.prerefresh import PiggybackPolicy
+from repro.bounds.width import FixedWidthPolicy
+from repro.replication.cache import DataCache
+from repro.replication.messages import ObjectKey
+from repro.replication.source import DataSource
+from repro.simulation.clock import Clock
+from repro.simulation.random_walk import GaussianWalk
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+SEED = 404
+
+
+def _hierarchy_master(n=40):
+    rng = random.Random(SEED)
+    master = Table("metrics", Schema.of(value="bounded"))
+    for _ in range(n):
+        master.insert({"value": rng.uniform(0, 100)})
+    return master
+
+
+def test_hierarchy_cascade_depth():
+    rows = []
+    for budget in (400.0, 150.0, 50.0, 10.0, 0.0):
+        master = _hierarchy_master()
+        root, levels = build_chain(master, slacks=[1.0, 3.0])
+        edge = levels[-1]
+        executor = QueryExecutor(refresher=edge)
+        answer = executor.execute(edge.table, "SUM", "value", budget)
+        assert answer.width <= budget + 1e-9
+        truth = sum(r.number("value") for r in master.rows())
+        assert answer.bound.contains(truth)
+        rows.append(
+            (budget, levels[1].forwarded_refreshes, levels[0].forwarded_refreshes,
+             root.exact_reads)
+        )
+
+    banner("Ablation — hierarchy cascade depth vs precision (40 objects)")
+    print_table(
+        ["R", "edge->regional", "regional->source", "source exact reads"], rows
+    )
+
+    # Tighter budgets reach further down (weakly more source reads).
+    source_reads = [r[3] for r in rows]
+    assert all(b >= a for a, b in zip(source_reads, source_reads[1:]))
+    # The loosest budget never touches the source.
+    assert source_reads[0] == 0
+
+
+def _piggyback_run(policy):
+    clock = Clock()
+    rng = random.Random(SEED)
+    master = Table("t", Schema.of(x="bounded"))
+    walks = {}
+    for i in range(1, 21):
+        value = rng.uniform(0, 100)
+        master.insert({"x": value}, tid=i)
+        walks[i] = GaussianWalk(
+            value=value, volatility=0.6, rng=random.Random(rng.getrandbits(64))
+        )
+    source = DataSource(
+        "s",
+        clock=clock.now,
+        default_policy_factory=lambda: FixedWidthPolicy(2.0),
+        piggyback=policy,
+    )
+    source.add_table(master)
+    cache = DataCache("c", clock=clock.now)
+    cache.subscribe_table(source, "t")
+
+    query_rng = random.Random(SEED + 1)
+    for step in range(1, 301):
+        clock.advance(1.0)
+        for tid, walk in walks.items():
+            source.apply_update(ObjectKey("t", tid, "x"), walk.advance())
+        if step % 10 == 0:
+            # A query refreshes one arbitrary tuple exactly.
+            cache.refresh(cache.table("t"), [query_rng.randint(1, 20)])
+    return source
+
+
+def test_piggyback_reduces_value_initiated_refreshes():
+    plain = _piggyback_run(policy=None)
+    piggy = _piggyback_run(policy=PiggybackPolicy(risk_threshold=0.7, max_extra=3))
+
+    rows = [
+        ("off", plain.value_initiated_refreshes, plain.query_initiated_refreshes, 0),
+        (
+            "on (thr 0.7, max 3)",
+            piggy.value_initiated_refreshes,
+            piggy.query_initiated_refreshes,
+            piggy.piggybacked_refreshes,
+        ),
+    ]
+    banner("Ablation — piggybacking vs value-initiated refreshes (20 walks, 300s)")
+    print_table(
+        ["piggyback", "value-initiated", "query-initiated", "piggybacked"], rows
+    )
+
+    # Piggybacked refreshes pre-empt some value-initiated ones.
+    assert piggy.piggybacked_refreshes > 0
+    assert piggy.value_initiated_refreshes <= plain.value_initiated_refreshes
+
+
+def test_hierarchy_query_timing(benchmark):
+    master = _hierarchy_master()
+    root, levels = build_chain(master, slacks=[1.0, 3.0])
+    edge = levels[-1]
+
+    def run():
+        executor = QueryExecutor(refresher=edge)
+        return executor.execute(edge.table, "SUM", "value", 50.0)
+
+    answer = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert answer.width <= 50 + 1e-9

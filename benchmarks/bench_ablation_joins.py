@@ -1,0 +1,120 @@
+"""Ablation: the join refresh heuristic (paper §7).
+
+The paper provides no optimal algorithm for joins; this bench measures the
+iterative greedy heuristic's behaviour on a star-join workload — cost and
+refresh counts across precision budgets — and asserts the same
+monotone precision-performance shape the single-table optimizers exhibit.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.tables import banner, print_table
+from repro.core.bound import Bound
+from repro.joins.refresh import execute_join_query
+from repro.predicates.parser import parse_predicate
+from repro.replication.local import LocalRefresher
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+N_LINKS = 30
+N_NODES = 10
+SEED = 5
+
+
+def _make_tables(seed=SEED):
+    rng = random.Random(seed)
+    links_master = Table("links", Schema.of(src="exact", dst="exact", latency="bounded"))
+    nodes_master = Table("nodes", Schema.of(id="exact", load="bounded"))
+    links_cache = Table("links", links_master.schema)
+    nodes_cache = Table("nodes", nodes_master.schema)
+
+    for node in range(1, N_NODES + 1):
+        load = rng.uniform(10, 90)
+        half = rng.uniform(2, 20)
+        nodes_master.insert({"id": node, "load": load})
+        nodes_cache.insert({"id": node, "load": Bound(load - half, load + half)})
+    for _ in range(N_LINKS):
+        src = rng.randint(1, N_NODES)
+        dst = rng.randint(1, N_NODES)
+        latency = rng.uniform(1, 20)
+        half = rng.uniform(0.5, 5)
+        links_master.insert({"src": src, "dst": dst, "latency": latency})
+        links_cache.insert(
+            {"src": src, "dst": dst, "latency": Bound(latency - half, latency + half)}
+        )
+    return (links_cache, nodes_cache), (links_master, nodes_master)
+
+
+class _Router:
+    def __init__(self, masters):
+        self._by_name = {m.name: LocalRefresher(m) for m in masters}
+
+    def refresh(self, table, tids):
+        self._by_name[table.name].refresh(table, tids)
+
+
+BUDGETS = [200.0, 100.0, 50.0, 20.0, 5.0, 0.0]
+
+
+def test_join_tradeoff_curve():
+    rows = []
+    costs = []
+    for budget in BUDGETS:
+        caches, masters = _make_tables()
+        answer = execute_join_query(
+            list(caches),
+            "SUM",
+            ("nodes", "load"),
+            budget,
+            parse_predicate("dst = id AND load > 30"),
+            refresher=_Router(masters),
+        )
+        assert answer.width <= budget + 1e-6
+        rows.append((budget, f"{answer.width:.2f}", len(answer.refreshed),
+                     answer.refresh_cost))
+        costs.append(answer.refresh_cost)
+
+    banner("Ablation — join query precision vs refresh effort (30 links x 10 nodes)")
+    print_table(["R", "answer width", "base tuples refreshed", "cost"], rows)
+
+    # Same Figure 1(b) shape: tighter budgets never get cheaper.
+    assert all(b >= a - 1e-9 for a, b in zip(costs, costs[1:])), costs
+
+
+def test_join_answer_contains_truth():
+    caches, masters = _make_tables()
+    links_master, nodes_master = masters
+    truth = 0.0
+    for link in links_master.rows():
+        node = next(
+            n for n in nodes_master.rows() if n["id"] == link["dst"]
+        )
+        if node.number("load") > 30:
+            truth += node.number("load")
+    answer = execute_join_query(
+        list(caches),
+        "SUM",
+        ("nodes", "load"),
+        10.0,
+        parse_predicate("dst = id AND load > 30"),
+        refresher=_Router(masters),
+    )
+    assert answer.bound.contains(truth)
+
+
+def test_join_heuristic_timing(benchmark):
+    def run():
+        caches, masters = _make_tables()
+        return execute_join_query(
+            list(caches),
+            "SUM",
+            ("nodes", "load"),
+            20.0,
+            parse_predicate("dst = id AND load > 30"),
+            refresher=_Router(masters),
+        )
+
+    answer = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert answer.width <= 20 + 1e-6

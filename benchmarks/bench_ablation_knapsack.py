@@ -1,0 +1,75 @@
+"""Ablation: knapsack solver choice inside CHOOSE_REFRESH(SUM).
+
+The paper commits to the Ibarra-Kim scheme; this ablation quantifies that
+choice against the exact DP, the density greedy (2-approximation), and the
+uniform-cost greedy, on the Figure 5 workload: solution quality (kept
+profit relative to optimal) and solve time per solver.
+"""
+
+import pytest
+
+from repro.bench.tables import banner, print_table
+from repro.core.knapsack import (
+    KnapsackItem,
+    solve_exact_dp,
+    solve_greedy_ratio,
+    solve_greedy_uniform,
+    solve_ibarra_kim,
+)
+
+R = 100.0
+
+SOLVERS = {
+    "exact_dp": lambda items, cap: solve_exact_dp(items, cap),
+    "ibarra_kim_0.1": lambda items, cap: solve_ibarra_kim(items, cap, 0.1),
+    "ibarra_kim_0.01": lambda items, cap: solve_ibarra_kim(items, cap, 0.01),
+    "greedy_ratio": lambda items, cap: solve_greedy_ratio(items, cap),
+    "greedy_uniform": lambda items, cap: solve_greedy_uniform(items, cap),
+}
+
+
+@pytest.fixture(scope="module")
+def knapsack_items(request):
+    from repro.workloads.stocks import stock_cache_table, volatile_stock_day
+
+    days = volatile_stock_day(n_stocks=90)
+    table = stock_cache_table(days)
+    return [
+        KnapsackItem(row.tid, row.bound("price").width, row.number("cost"))
+        for row in table.rows()
+    ]
+
+
+def test_solver_quality_comparison(knapsack_items):
+    optimal = solve_exact_dp(knapsack_items, R)
+    rows = []
+    for name, solve in SOLVERS.items():
+        solution = solve(knapsack_items, R)
+        rows.append(
+            (
+                name,
+                solution.total_profit,
+                f"{solution.total_profit / optimal.total_profit:.3f}",
+                f"{solution.total_weight:.2f}",
+            )
+        )
+        assert solution.total_weight <= R + 1e-9
+        assert solution.total_profit <= optimal.total_profit + 1e-9
+
+    banner("Ablation — knapsack solvers on the Figure 5 instance (capacity 100)")
+    print_table(["solver", "kept profit", "vs optimal", "used capacity"], rows)
+
+    by_name = {r[0]: r[1] for r in rows}
+    # Ibarra-Kim honours its guarantee; density greedy its 2-approximation.
+    assert by_name["ibarra_kim_0.1"] >= 0.9 * optimal.total_profit - 1e-9
+    assert by_name["ibarra_kim_0.01"] >= 0.99 * optimal.total_profit - 1e-9
+    assert by_name["greedy_ratio"] >= 0.5 * optimal.total_profit - 1e-9
+
+
+@pytest.mark.parametrize("solver", ["exact_dp", "ibarra_kim_0.1", "greedy_ratio"])
+def test_solver_timing(benchmark, knapsack_items, solver):
+    solve = SOLVERS[solver]
+    solution = benchmark.pedantic(
+        lambda: solve(knapsack_items, R), rounds=3, iterations=1
+    )
+    assert solution.total_weight <= R + 1e-9

@@ -1,0 +1,97 @@
+"""Figure 7: T+/T?/T- classification, regenerated and benchmarked.
+
+Prints the classification table for the paper's three predicates (before
+and after refresh) in Figure 7's layout, asserts it matches the paper cell
+by cell, and benchmarks both classification routes (symbolic endpoint
+transforms vs direct three-valued evaluation) at a larger scale to show
+they scale identically.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.tables import banner, print_table
+from repro.predicates.classify import classify, classify_trilean
+from repro.predicates.parser import parse_predicate
+from repro.workloads.netmon import (
+    build_master_table,
+    generate_topology,
+    paper_example_table,
+    paper_master_table,
+)
+
+PREDICATES = [
+    "bandwidth > 50 AND latency < 10",
+    "latency > 10",
+    "traffic > 100",
+]
+
+PAPER_TABLE = {
+    # predicate -> (before, after) labels for tuples 1..6
+    PREDICATES[0]: (
+        ["T+", "T?", "T-", "T?", "T?", "T?"],
+        ["T+", "T+", "T-", "T+", "T-", "T-"],
+    ),
+    PREDICATES[1]: (
+        ["T-", "T-", "T+", "T?", "T?", "T-"],
+        ["T-", "T-", "T+", "T-", "T+", "T-"],
+    ),
+    PREDICATES[2]: (
+        ["T?", "T+", "T?", "T+", "T?", "T?"],
+        ["T-", "T+", "T+", "T+", "T-", "T+"],
+    ),
+}
+
+
+def test_fig7_table_matches_paper():
+    cached = paper_example_table()
+    master = paper_master_table()
+    rows = []
+    for text in PREDICATES:
+        predicate = parse_predicate(text)
+        before = classify(cached.rows(), predicate)
+        after = classify(master.rows(), predicate)
+        before_labels = [before.label_of(t) for t in range(1, 7)]
+        after_labels = [after.label_of(t) for t in range(1, 7)]
+        expected_before, expected_after = PAPER_TABLE[text]
+        assert before_labels == expected_before, text
+        assert after_labels == expected_after, text
+        rows.append((text, " ".join(before_labels), " ".join(after_labels)))
+
+    banner("Figure 7 — tuple classification (tuples 1..6)")
+    print_table(["predicate", "before refresh", "after refresh"], rows)
+
+
+@pytest.fixture(scope="module")
+def large_table():
+    rng = random.Random(123)
+    master = build_master_table(generate_topology(200, 2000, rng), rng)
+    # Widen values into bounds so classification has real work to do.
+    from repro.core.bound import Bound
+
+    for row in master.rows():
+        for column in ("latency", "bandwidth", "traffic"):
+            value = row.number(column)
+            half = rng.uniform(0, 0.3) * value
+            master.update_value(row.tid, column, Bound(value - half, value + half))
+    return master
+
+
+def test_classification_routes_agree_at_scale(large_table):
+    predicate = parse_predicate(PREDICATES[0])
+    a = classify(large_table.rows(), predicate)
+    b = classify_trilean(large_table.rows(), predicate)
+    assert a.counts() == b.counts()
+    assert [r.tid for r in a.maybe] == [r.tid for r in b.maybe]
+
+
+@pytest.mark.parametrize("route", ["endpoint", "trilean"])
+def test_fig7_classification_timing(benchmark, large_table, route):
+    predicate = parse_predicate(PREDICATES[0])
+    rows = large_table.rows()
+    if route == "endpoint":
+        result = benchmark(lambda: classify(rows, predicate))
+    else:
+        result = benchmark(lambda: classify_trilean(rows, predicate))
+    assert sum(result.counts()) == len(rows)

@@ -1,0 +1,77 @@
+"""Beyond aggregation: bounded lowest-latency paths (§8.1).
+
+The paper's own suggested extension past SQL aggregates: find the lowest
+latency route between two nodes with a precision constraint on the
+route's latency.  Cached link bounds give an optimistic/pessimistic
+distance pair; the executor refreshes the most uncertain links on the
+contested routes until the guarantee is tight enough.
+
+Run:  python examples/bounded_shortest_path.py
+"""
+
+import random
+
+from repro.core.bound import Bound
+from repro.extensions.paths import PathQueryExecutor, bounded_shortest_path
+from repro.replication.local import LocalRefresher
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+N_NODES = 12
+SEED = 13
+
+
+def build_network():
+    rng = random.Random(SEED)
+    schema = Schema.of(from_node="exact", to_node="exact", latency="bounded")
+    cached = Table("links", schema)
+    master = Table("links", schema)
+    for u in range(1, N_NODES + 1):
+        for v in range(1, N_NODES + 1):
+            if u != v and (v == u + 1 or rng.random() < 0.25):
+                latency = rng.uniform(1, 15)
+                half = rng.uniform(0.5, 4)
+                cached.insert(
+                    {"from_node": u, "to_node": v,
+                     "latency": Bound(max(0.1, latency - half), latency + half)}
+                )
+                master.insert(
+                    {"from_node": u, "to_node": v, "latency": latency}
+                )
+    return cached, master
+
+
+def main():
+    cached, master = build_network()
+    print(f"{N_NODES}-node network, {len(cached)} directed links, "
+          "latencies cached as bounds\n")
+
+    cached_only = bounded_shortest_path(cached, 1, N_NODES)
+    print(f"cached-only answer for N1 -> N{N_NODES}:")
+    print(f"  latency in {cached_only.bound} via route {cached_only.route}")
+
+    truth = bounded_shortest_path(master, 1, N_NODES).bound.lo
+    print(f"  (precise optimum, hidden from the cache: {truth:.2f})\n")
+
+    print("tightening the precision constraint:")
+    print(f"  {'R':>6}  {'answer':>18}  {'links refreshed':>15}  route")
+    for budget in (20.0, 8.0, 3.0, 1.0, 0.0):
+        fresh_cached, fresh_master = build_network()
+        executor = PathQueryExecutor(LocalRefresher(fresh_master))
+        answer = executor.execute(fresh_cached, 1, N_NODES, max_width=budget)
+        route = "->".join(map(str, answer.route))
+        print(
+            f"  {budget:>6g}  {str(answer.bound):>18}  "
+            f"{len(answer.refreshed):>15}  {route}"
+        )
+        assert answer.bound.contains(truth)
+
+    print(
+        "\nEvery interval contains the precise optimum; tighter guarantees"
+        "\nneed more link refreshes — the aggregation tradeoff, transplanted"
+        "\nto route planning exactly as §8.1 envisions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` scripts."""
+
+from repro.bench.ascii_plot import ascii_plot, sparkline
+from repro.bench.harness import SweepPoint, SweepResult, run_sweep
+from repro.bench.tables import banner, format_table, print_table
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "banner",
+    "format_table",
+    "print_table",
+    "ascii_plot",
+    "sparkline",
+]

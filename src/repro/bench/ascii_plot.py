@@ -1,0 +1,96 @@
+"""Terminal plotting for experiment series.
+
+The paper presents its evaluation as two x/y plots (Figures 5 and 6).
+This module renders equivalent plots as ASCII so the benchmark scripts and
+examples can show the curves inline, dependency-free.
+
+Only what the harness needs: a scatter/line plot of one or two series over
+a shared x axis, with axis labels and automatic scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["ascii_plot", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline of a numeric series.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    for v in values:
+        index = int((v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """Render one series as an ASCII scatter plot with axes.
+
+    Points are linearly binned into a ``width``x``height`` grid; the y axis
+    carries min/max tick labels, the x axis its extremes and label.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    if not xs:
+        return "(empty series)"
+    finite = [(x, y) for x, y in zip(xs, ys) if math.isfinite(x) and math.isfinite(y)]
+    if not finite:
+        return "(no finite points)"
+    fx = [p[0] for p in finite]
+    fy = [p[1] for p in finite]
+    x_lo, x_hi = min(fx), max(fx)
+    y_lo, y_hi = min(fy), max(fy)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in finite:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    y_hi_label = f"{y_hi:g}"
+    y_lo_label = f"{y_lo:g}"
+    margin = max(len(y_hi_label), len(y_lo_label)) + 1
+
+    lines = [f"{y_label}"]
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_label.rjust(margin)
+        elif i == height - 1:
+            prefix = y_lo_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row_cells)}")
+    axis = " " * margin + " +" + "-" * width
+    lines.append(axis)
+    x_lo_label = f"{x_lo:g}"
+    x_hi_label = f"{x_hi:g}"
+    gap = width - len(x_lo_label) - len(x_hi_label)
+    lines.append(
+        " " * (margin + 2) + x_lo_label + " " * max(1, gap) + x_hi_label
+    )
+    lines.append(" " * (margin + 2) + x_label.center(width))
+    return "\n".join(lines)

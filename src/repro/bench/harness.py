@@ -1,0 +1,81 @@
+"""Experiment harness: parameter sweeps with timing and cost capture.
+
+The benchmark scripts under ``benchmarks/`` use this module to run the
+paper's sweeps (ε for Figure 5, R for Figure 6, plus the ablations) and to
+print paper-style series.  Timing uses ``time.perf_counter`` around the
+optimizer call only — matching what the paper's Figure 5 measures
+("CHOOSE_REFRESH time"), not end-to-end query latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One sweep sample: the parameter value and measured outputs."""
+
+    parameter: float
+    elapsed_seconds: float
+    outputs: dict[str, float]
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """A named sweep: parameter name plus collected points."""
+
+    name: str
+    parameter_name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, output: str) -> list[tuple[float, float]]:
+        """(parameter, outputs[output]) pairs in sweep order."""
+        return [(p.parameter, p.outputs[output]) for p in self.points]
+
+    def times(self) -> list[tuple[float, float]]:
+        """(parameter, elapsed seconds) pairs in sweep order."""
+        return [(p.parameter, p.elapsed_seconds) for p in self.points]
+
+    def column(self, output: str) -> list[float]:
+        return [p.outputs[output] for p in self.points]
+
+    def is_monotone_nonincreasing(self, output: str, tolerance: float = 1e-9) -> bool:
+        """True when the output never rises as the parameter grows."""
+        values = self.column(output)
+        return all(b <= a + tolerance for a, b in zip(values, values[1:]))
+
+
+def run_sweep(
+    name: str,
+    parameter_name: str,
+    parameters: Sequence[float],
+    run_once: Callable[[float], dict[str, float]],
+    repeats: int = 1,
+) -> SweepResult:
+    """Execute ``run_once`` at each parameter value, timing each call.
+
+    With ``repeats > 1`` the elapsed time is the minimum over repeats (the
+    usual noise-resistant estimator) while outputs come from the last run
+    (they are deterministic given the parameter).
+    """
+    result = SweepResult(name=name, parameter_name=parameter_name)
+    for parameter in parameters:
+        best_elapsed = float("inf")
+        outputs: dict[str, float] = {}
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            outputs = run_once(parameter)
+            best_elapsed = min(best_elapsed, time.perf_counter() - start)
+        result.points.append(
+            SweepPoint(
+                parameter=float(parameter),
+                elapsed_seconds=best_elapsed,
+                outputs=outputs,
+            )
+        )
+    return result

@@ -1,0 +1,51 @@
+"""Paper-style text rendering of experiment outputs.
+
+Keeps the benchmark scripts free of formatting noise: fixed-width columns,
+a ``Figure N`` banner, and a compact number format matching the way the
+paper reports series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "banner"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Print an aligned monospace table to stdout."""
+    print(format_table(headers, rows))
+
+
+def banner(title: str) -> None:
+    """Print a ``Figure N``-style section banner."""
+    line = "=" * max(len(title), 20)
+    print(f"\n{line}\n{title}\n{line}")

@@ -1,0 +1,23 @@
+"""Time-varying bound functions and width-adaptation policies (App. A)."""
+
+from repro.bounds.functions import (
+    SHAPES,
+    BoundFunction,
+    BoundShape,
+    ConstantShape,
+    LinearShape,
+    SqrtShape,
+)
+from repro.bounds.width import AdaptiveWidthController, FixedWidthPolicy, WidthPolicy
+
+__all__ = [
+    "BoundFunction",
+    "BoundShape",
+    "SqrtShape",
+    "LinearShape",
+    "ConstantShape",
+    "SHAPES",
+    "WidthPolicy",
+    "FixedWidthPolicy",
+    "AdaptiveWidthController",
+]

@@ -1,0 +1,35 @@
+"""Bounded aggregate evaluators for the five standard SQL aggregates.
+
+Importing this package populates the registry in
+:mod:`repro.core.aggregates.base`, so ``get_aggregate("SUM")`` etc. work
+immediately.
+"""
+
+from repro.core.aggregates.base import AggregateSpec, get_aggregate, registry
+from repro.core.aggregates.minmax import MAX, MIN, MaxAggregate, MinAggregate
+from repro.core.aggregates.summing import SUM, SumAggregate
+from repro.core.aggregates.counting import COUNT, CountAggregate
+from repro.core.aggregates.average import (
+    AVG,
+    AvgAggregate,
+    loose_avg_bound,
+    tight_avg_bound,
+)
+
+__all__ = [
+    "AggregateSpec",
+    "get_aggregate",
+    "registry",
+    "MIN",
+    "MAX",
+    "SUM",
+    "COUNT",
+    "AVG",
+    "MinAggregate",
+    "MaxAggregate",
+    "SumAggregate",
+    "CountAggregate",
+    "AvgAggregate",
+    "tight_avg_bound",
+    "loose_avg_bound",
+]

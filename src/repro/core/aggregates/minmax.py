@@ -1,0 +1,101 @@
+"""Bounded MIN and MAX evaluators (paper §5.1, §6.1, Appendix C).
+
+Without a predicate::
+
+    MIN: [ min_i L_i , min_i H_i ]        MAX: [ max_i L_i , max_i H_i ]
+
+With a predicate, a ``T?`` tuple might or might not contribute, so the two
+endpoints range over different tuple sets::
+
+    MIN: [ min_{T+ ∪ T?} L_i , min_{T+} H_i ]
+    MAX: [ max_{T+} L_i      , max_{T+ ∪ T?} H_i ]
+
+Empty tuple sets follow the paper's convention ``min ∅ = +inf`` and
+``max ∅ = -inf``, so e.g. a MIN over an empty T+ has upper endpoint +inf
+(nothing is guaranteed to be in the result set, so no finite upper bound on
+the minimum exists).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.aggregates.base import register
+from repro.core.bound import Bound
+from repro.errors import TrappError
+from repro.predicates.classify import Classification
+from repro.storage.row import Row
+
+__all__ = ["MinAggregate", "MaxAggregate", "MIN", "MAX"]
+
+
+def _require_column(name: str, column: str | None) -> str:
+    if column is None:
+        raise TrappError(f"{name} requires an aggregation column")
+    return column
+
+
+class MinAggregate:
+    """Bounded MIN."""
+
+    name = "MIN"
+    needs_column = True
+
+    def bound_without_predicate(
+        self, rows: Sequence[Row], column: str | None
+    ) -> Bound:
+        column = _require_column(self.name, column)
+        lo = min((row.bound(column).lo for row in rows), default=math.inf)
+        hi = min((row.bound(column).hi for row in rows), default=math.inf)
+        return Bound(lo, hi)
+
+    def bound_with_classification(
+        self, classification: Classification, column: str | None
+    ) -> Bound:
+        column = _require_column(self.name, column)
+        lo = min(
+            (row.bound(column).lo for row in classification.plus_or_maybe),
+            default=math.inf,
+        )
+        hi = min(
+            (row.bound(column).hi for row in classification.plus),
+            default=math.inf,
+        )
+        # An empty T+ leaves the upper endpoint unbounded (+inf) while T?
+        # tuples may still pull the lower endpoint down; lo <= hi holds
+        # because each T+ row contributes to both minima.
+        return Bound(lo, hi)
+
+
+class MaxAggregate:
+    """Bounded MAX (symmetric to MIN, Appendix C)."""
+
+    name = "MAX"
+    needs_column = True
+
+    def bound_without_predicate(
+        self, rows: Sequence[Row], column: str | None
+    ) -> Bound:
+        column = _require_column(self.name, column)
+        lo = max((row.bound(column).lo for row in rows), default=-math.inf)
+        hi = max((row.bound(column).hi for row in rows), default=-math.inf)
+        return Bound(lo, hi)
+
+    def bound_with_classification(
+        self, classification: Classification, column: str | None
+    ) -> Bound:
+        column = _require_column(self.name, column)
+        lo = max(
+            (row.bound(column).lo for row in classification.plus),
+            default=-math.inf,
+        )
+        hi = max(
+            (row.bound(column).hi for row in classification.plus_or_maybe),
+            default=-math.inf,
+        )
+        return Bound(lo, hi)
+
+
+MIN = register(MinAggregate())
+MAX = register(MaxAggregate())

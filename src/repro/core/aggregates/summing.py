@@ -1,0 +1,70 @@
+"""Bounded SUM evaluator (paper §5.2 and §6.2).
+
+Without a predicate, the extremes of a sum occur when every value sits at
+the same end of its bound::
+
+    SUM: [ Σ_i L_i , Σ_i H_i ]
+
+With a predicate, a ``T?`` tuple might turn out not to satisfy it and
+contribute nothing, so only *negative* lower endpoints can drag the lower
+extreme down, and only *positive* upper endpoints can push the upper
+extreme up::
+
+    SUM: [ Σ_{T+} L_i + Σ_{T? ∧ L_i < 0} L_i ,
+           Σ_{T+} H_i + Σ_{T? ∧ H_i > 0} H_i ]
+
+Equivalently, each T? bound is first extended to include zero
+(:meth:`repro.core.bound.Bound.extend_to_zero`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.aggregates.base import register
+from repro.core.bound import Bound
+from repro.errors import TrappError
+from repro.predicates.classify import Classification
+from repro.storage.row import Row
+
+__all__ = ["SumAggregate", "SUM"]
+
+
+class SumAggregate:
+    """Bounded SUM."""
+
+    name = "SUM"
+    needs_column = True
+
+    def bound_without_predicate(
+        self, rows: Sequence[Row], column: str | None
+    ) -> Bound:
+        if column is None:
+            raise TrappError("SUM requires an aggregation column")
+        lo = 0.0
+        hi = 0.0
+        for row in rows:
+            b = row.bound(column)
+            lo += b.lo
+            hi += b.hi
+        return Bound(lo, hi)
+
+    def bound_with_classification(
+        self, classification: Classification, column: str | None
+    ) -> Bound:
+        if column is None:
+            raise TrappError("SUM requires an aggregation column")
+        lo = 0.0
+        hi = 0.0
+        for row in classification.plus:
+            b = row.bound(column)
+            lo += b.lo
+            hi += b.hi
+        for row in classification.maybe:
+            b = row.bound(column).extend_to_zero()
+            lo += b.lo
+            hi += b.hi
+        return Bound(lo, hi)
+
+
+SUM = register(SumAggregate())

@@ -1,0 +1,62 @@
+"""Bounded answers returned by TRAPP/AG queries.
+
+A *bounded answer* is a pair ``[L_A, H_A]`` guaranteed to contain the
+precise answer (paper §1.3).  :class:`BoundedAnswer` wraps the interval
+with the execution metadata a caller of the three-step executor wants:
+which tuples were refreshed, what the refresh cost was, and whether the
+precision constraint was met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bound import Bound
+
+__all__ = ["BoundedAnswer"]
+
+
+@dataclass(frozen=True, slots=True)
+class BoundedAnswer:
+    """The result of executing a TRAPP/AG aggregation query."""
+
+    #: The guaranteed interval containing the precise answer.
+    bound: Bound
+    #: Tuple ids refreshed from sources while answering (empty when the
+    #: cached bounds alone met the constraint).
+    refreshed: frozenset[int] = frozenset()
+    #: Total cost of those refreshes under the query's cost model.
+    refresh_cost: float = 0.0
+    #: The answer computed from cached data alone (step 1 of execution),
+    #: useful for judging how much the refreshes tightened the answer.
+    initial_bound: Bound | None = None
+
+    @property
+    def width(self) -> float:
+        """The answer's imprecision ``H_A - L_A``."""
+        return self.bound.width
+
+    @property
+    def is_exact(self) -> bool:
+        return self.bound.is_exact
+
+    @property
+    def value(self) -> float:
+        """The exact answer, when the bound has collapsed to a point."""
+        if not self.bound.is_exact:
+            raise ValueError(
+                f"answer {self.bound} is not exact; read .bound instead"
+            )
+        return self.bound.lo
+
+    def meets(self, max_width: float) -> bool:
+        """True iff the answer satisfies ``H_A - L_A <= max_width``."""
+        return self.width <= max_width + 1e-9
+
+    def __str__(self) -> str:
+        parts = [str(self.bound)]
+        if self.refreshed:
+            parts.append(
+                f"(refreshed {len(self.refreshed)} tuples, cost {self.refresh_cost:g})"
+            )
+        return " ".join(parts)

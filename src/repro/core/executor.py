@@ -1,0 +1,233 @@
+"""The three-step TRAPP/AG query executor (paper §4).
+
+Executing ``SELECT AGG(T.a) WITHIN R FROM T WHERE P`` proceeds as:
+
+1. compute a bounded answer from the cached bounds alone; if its width
+   already satisfies the precision constraint, stop;
+2. run the aggregate's CHOOSE_REFRESH algorithm to pick a cheapest set of
+   tuples and ask their sources to refresh them;
+3. recompute the bounded answer over the now partially refreshed cache —
+   guaranteed by construction to satisfy the constraint.
+
+The executor is agnostic to where refreshed values come from: callers
+provide a :class:`RefreshProvider` (the replication layer's cache, or a
+test stub) that collapses cached bounds to exact values in place.
+
+Predicates referencing only exact columns are evaluated two-valued up
+front (the §5 "no selection predicate" regime); predicates touching
+bounded columns go through T+/T?/T− classification (§6).  The Appendix D
+refinement — shrinking T? bounds when the predicate restricts the
+aggregation column itself — is applied for the answer computation when
+``refine_bounds`` is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+from repro.core.aggregates import get_aggregate
+from repro.core.answer import BoundedAnswer
+from repro.core.bound import Bound
+from repro.core.constraints import AbsolutePrecision, PrecisionConstraint
+from repro.core.refresh import CostFunc, get_choose_refresh, uniform_cost
+from repro.errors import ConstraintUnsatisfiableError, UnknownColumnError
+from repro.predicates.ast import Predicate, TruePredicate, columns_of
+from repro.predicates.classify import Classification, classify, restrict_bound
+from repro.predicates.eval import evaluate_exact
+from repro.storage.row import Row
+from repro.storage.table import Table
+
+__all__ = ["RefreshProvider", "NullRefreshProvider", "QueryExecutor", "execute_query"]
+
+
+class RefreshProvider(Protocol):
+    """Collapses cached bounds to exact master values on request."""
+
+    def refresh(self, table: Table, tids: Iterable[int]) -> None:
+        """Refresh the given tuples of ``table`` in place.
+
+        After the call, every bounded column of each named tuple must hold
+        an exact value (zero-width bound or plain number).
+        """
+        ...
+
+
+class NullRefreshProvider:
+    """A provider that can never refresh (pure cached-data querying).
+
+    Useful for the "imprecise mode" extreme and for tests; the executor
+    raises :class:`ConstraintUnsatisfiableError` if a refresh is required.
+    """
+
+    def refresh(self, table: Table, tids: Iterable[int]) -> None:
+        tids = list(tids)
+        if tids:
+            raise ConstraintUnsatisfiableError(
+                f"query requires refreshing tuples {sorted(tids)} but no "
+                "refresh provider is connected"
+            )
+
+
+@dataclass(slots=True)
+class _PreparedPredicate:
+    """A predicate analyzed against a table's schema."""
+
+    predicate: Predicate
+    touches_bounded: bool
+
+
+class QueryExecutor:
+    """Executes bounded aggregation queries against one cached table."""
+
+    def __init__(
+        self,
+        refresher: RefreshProvider | None = None,
+        epsilon: float | None = None,
+        force_exact: bool = False,
+        refine_bounds: bool = True,
+    ) -> None:
+        self.refresher = refresher if refresher is not None else NullRefreshProvider()
+        self.epsilon = epsilon
+        self.force_exact = force_exact
+        self.refine_bounds = refine_bounds
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        table: Table,
+        aggregate: str,
+        column: str | None,
+        constraint: PrecisionConstraint | float,
+        predicate: Predicate | None = None,
+        cost: CostFunc = uniform_cost,
+    ) -> BoundedAnswer:
+        """Run the three-step pipeline and return a guaranteed answer."""
+        if isinstance(constraint, (int, float)):
+            constraint = AbsolutePrecision(float(constraint))
+        predicate = predicate if predicate is not None else TruePredicate()
+        prepared = self._prepare(table, predicate)
+        spec = get_aggregate(aggregate)
+        if spec.needs_column and column is None:
+            raise UnknownColumnError("<missing>", table.name)
+
+        initial = self._compute_bound(table, spec, column, prepared)
+        max_width = constraint.resolve(initial)
+        if initial.width <= max_width + 1e-9:
+            return BoundedAnswer(bound=initial, initial_bound=initial)
+
+        plan = self._choose_refresh(table, spec, column, prepared, max_width, cost)
+        self.refresher.refresh(table, plan.tids)
+
+        final = self._compute_bound(table, spec, column, prepared)
+        if final.width > max_width + 1e-6:
+            raise ConstraintUnsatisfiableError(
+                f"post-refresh answer {final} (width {final.width:g}) violates "
+                f"constraint {max_width:g}; this indicates an optimizer bug"
+            )
+        return BoundedAnswer(
+            bound=final,
+            refreshed=plan.tids,
+            refresh_cost=plan.total_cost,
+            initial_bound=initial,
+        )
+
+    # ------------------------------------------------------------------
+    def _prepare(self, table: Table, predicate: Predicate) -> _PreparedPredicate:
+        touched = columns_of(predicate)
+        for name in touched:
+            table.schema.column(name)  # raises on unknown columns
+        touches_bounded = any(
+            table.schema[name].is_bounded and not self._column_exact(table, name)
+            for name in touched
+        )
+        return _PreparedPredicate(predicate, touches_bounded)
+
+    @staticmethod
+    def _column_exact(table: Table, column: str) -> bool:
+        """True when every current value in the column is exactly known."""
+        return all(row.is_exact(column) for row in table)
+
+    # ------------------------------------------------------------------
+    def _rows_no_predicate(
+        self, table: Table, prepared: _PreparedPredicate
+    ) -> list[Row]:
+        """The §5 regime: filter rows two-valued over exact columns."""
+        if isinstance(prepared.predicate, TruePredicate):
+            return table.rows()
+        return [
+            row for row in table.rows() if evaluate_exact(prepared.predicate, row)
+        ]
+
+    def _refined_classification(
+        self,
+        classification: Classification,
+        prepared: _PreparedPredicate,
+        column: str | None,
+    ) -> Classification:
+        """Apply the Appendix D bound-shrinking refinement to T? tuples."""
+        if not self.refine_bounds or column is None:
+            return classification
+        refined_maybe: list[Row] = []
+        for row in classification.maybe:
+            original = row.bound(column)
+            shrunk = restrict_bound(original, prepared.predicate, column)
+            if shrunk != original:
+                clone = row.copy()
+                clone.set(column, shrunk)
+                refined_maybe.append(clone)
+            else:
+                refined_maybe.append(row)
+        return Classification(
+            plus=classification.plus,
+            maybe=refined_maybe,
+            minus=classification.minus,
+        )
+
+    def _compute_bound(
+        self,
+        table: Table,
+        spec,
+        column: str | None,
+        prepared: _PreparedPredicate,
+    ) -> Bound:
+        if not prepared.touches_bounded:
+            rows = self._rows_no_predicate(table, prepared)
+            return spec.bound_without_predicate(rows, column)
+        classification = classify(table.rows(), prepared.predicate)
+        classification = self._refined_classification(classification, prepared, column)
+        return spec.bound_with_classification(classification, column)
+
+    def _choose_refresh(
+        self,
+        table: Table,
+        spec,
+        column: str | None,
+        prepared: _PreparedPredicate,
+        max_width: float,
+        cost: CostFunc,
+    ):
+        chooser = get_choose_refresh(
+            spec.name, epsilon=self.epsilon, force_exact=self.force_exact
+        )
+        if not prepared.touches_bounded:
+            rows = self._rows_no_predicate(table, prepared)
+            return chooser.without_predicate(rows, column, max_width, cost)
+        classification = classify(table.rows(), prepared.predicate)
+        classification = self._refined_classification(classification, prepared, column)
+        return chooser.with_classification(classification, column, max_width, cost)
+
+
+def execute_query(
+    table: Table,
+    aggregate: str,
+    column: str | None,
+    constraint: PrecisionConstraint | float,
+    predicate: Predicate | None = None,
+    cost: CostFunc = uniform_cost,
+    refresher: RefreshProvider | None = None,
+    epsilon: float | None = None,
+) -> BoundedAnswer:
+    """One-shot convenience wrapper around :class:`QueryExecutor`."""
+    executor = QueryExecutor(refresher=refresher, epsilon=epsilon)
+    return executor.execute(table, aggregate, column, constraint, predicate, cost)

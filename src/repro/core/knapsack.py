@@ -1,0 +1,294 @@
+"""0/1 knapsack solvers backing the SUM/AVG CHOOSE_REFRESH optimizers.
+
+Paper §5.2 reduces "choose the cheapest set of tuples to refresh for a
+bounded SUM query" to the 0/1 Knapsack Problem: the knapsack holds the
+tuples *not* refreshed; an item's weight is its bound width ``H_i - L_i``;
+its profit is its refresh cost ``C_i``; the capacity is the precision
+constraint ``R``.  Maximizing the profit kept in the knapsack minimizes the
+cost of the refreshed complement.
+
+Four solvers are provided:
+
+* :func:`solve_exact_dp` — exact dynamic program over (scaled) profits,
+  ``O(n · P)`` time for total integer profit ``P``.  Used directly when
+  profits are small integers, and as the inner engine of the approximation.
+* :func:`solve_ibarra_kim` — the ε-approximation scheme of Ibarra & Kim
+  (JACM 1975) in its standard profit-scaling form: profits are rounded down
+  to multiples of ``ε · P_max / n`` before the exact DP, guaranteeing total
+  kept profit ≥ (1 − ε) · OPT in ``O(n log n + n · (n/ε))`` time.  This is
+  the algorithm the paper's Figures 5 and 6 exercise.
+* :func:`solve_greedy_uniform` — ascending-weight greedy, optimal for the
+  uniform-profit special case the paper singles out (§5.2), ``O(n log n)``.
+* :func:`solve_brute_force` — exponential enumeration, used by tests to
+  certify the other solvers on small instances.
+
+All solvers accept real-valued weights; only profits are discretized.
+Items with non-positive weight always fit and are placed in the knapsack
+unconditionally (a zero-width bound consumes none of the precision budget).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import OptimizerError
+
+__all__ = [
+    "KnapsackItem",
+    "KnapsackSolution",
+    "solve_exact_dp",
+    "solve_ibarra_kim",
+    "solve_greedy_uniform",
+    "solve_greedy_ratio",
+    "solve_brute_force",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class KnapsackItem:
+    """One candidate item: an opaque id, a weight, and a profit."""
+
+    item_id: int
+    weight: float
+    profit: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.weight) or math.isnan(self.profit):
+            raise OptimizerError("knapsack weight/profit must not be NaN")
+        if self.profit < 0:
+            raise OptimizerError(
+                f"negative profit {self.profit} for item {self.item_id}; "
+                "refresh costs must be non-negative"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class KnapsackSolution:
+    """The chosen (kept) item ids plus solution totals."""
+
+    chosen: frozenset[int]
+    total_profit: float
+    total_weight: float
+
+    @staticmethod
+    def of(items: Iterable[KnapsackItem], chosen_ids: Iterable[int]) -> "KnapsackSolution":
+        chosen = frozenset(chosen_ids)
+        total_profit = sum(i.profit for i in items if i.item_id in chosen)
+        total_weight = sum(i.weight for i in items if i.item_id in chosen)
+        return KnapsackSolution(chosen, total_profit, total_weight)
+
+
+def _validate(items: Sequence[KnapsackItem], capacity: float) -> None:
+    if math.isnan(capacity):
+        raise OptimizerError("knapsack capacity must not be NaN")
+    seen: set[int] = set()
+    for item in items:
+        if item.item_id in seen:
+            raise OptimizerError(f"duplicate knapsack item id {item.item_id}")
+        seen.add(item.item_id)
+
+
+def _split_free_items(
+    items: Sequence[KnapsackItem], capacity: float
+) -> tuple[list[KnapsackItem], list[int], list[int]]:
+    """Separate items into (contenders, always-in ids, never-in ids).
+
+    Non-positive-weight items are free profit; items heavier than the
+    capacity can never fit.
+    """
+    contenders: list[KnapsackItem] = []
+    always_in: list[int] = []
+    never_in: list[int] = []
+    for item in items:
+        if item.weight <= 0:
+            always_in.append(item.item_id)
+        elif item.weight > capacity:
+            never_in.append(item.item_id)
+        else:
+            contenders.append(item)
+    return contenders, always_in, never_in
+
+
+# ----------------------------------------------------------------------
+# Exact dynamic program (profit dimension)
+# ----------------------------------------------------------------------
+def solve_exact_dp(
+    items: Sequence[KnapsackItem],
+    capacity: float,
+    profit_of: Callable[[KnapsackItem], int] | None = None,
+) -> KnapsackSolution:
+    """Exact 0/1 knapsack via minimum-weight-per-profit DP.
+
+    ``profit_of`` maps each item to an *integer* profit (defaults to
+    ``round(item.profit)``, which is exact whenever profits are integral,
+    as with the paper's integer refresh costs).  Real-valued weights are
+    handled natively.  Runs in ``O(n · P)`` time and space for total
+    profit ``P``.
+    """
+    _validate(items, capacity)
+    contenders, always_in, _ = _split_free_items(items, capacity)
+
+    if profit_of is None:
+        def profit_of(item: KnapsackItem) -> int:
+            scaled = round(item.profit)
+            if abs(scaled - item.profit) > 1e-9:
+                raise OptimizerError(
+                    f"solve_exact_dp requires integral profits; item "
+                    f"{item.item_id} has profit {item.profit}. "
+                    "Use solve_ibarra_kim for real-valued profits."
+                )
+            return scaled
+
+    int_profits = [profit_of(item) for item in contenders]
+    total_profit = sum(int_profits)
+
+    # min_weight[p] = least total weight achieving integer profit exactly p.
+    min_weight = [math.inf] * (total_profit + 1)
+    min_weight[0] = 0.0
+    # For reconstruction: take[i][p] is True when item i is used to reach p.
+    take: list[list[bool]] = []
+    for item, p_i in zip(contenders, int_profits):
+        row = [False] * (total_profit + 1)
+        if p_i == 0:
+            # Zero-profit contenders never help; leave them out.
+            take.append(row)
+            continue
+        for p in range(total_profit, p_i - 1, -1):
+            candidate = min_weight[p - p_i] + item.weight
+            if candidate < min_weight[p]:
+                min_weight[p] = candidate
+                row[p] = True
+        take.append(row)
+
+    best_profit = max(
+        (p for p in range(total_profit + 1) if min_weight[p] <= capacity),
+        default=0,
+    )
+
+    chosen: set[int] = set(always_in)
+    p = best_profit
+    for i in range(len(contenders) - 1, -1, -1):
+        if p > 0 and take[i][p]:
+            chosen.add(contenders[i].item_id)
+            p -= int_profits[i]
+    return KnapsackSolution.of(items, chosen)
+
+
+# ----------------------------------------------------------------------
+# Ibarra–Kim ε-approximation
+# ----------------------------------------------------------------------
+def solve_ibarra_kim(
+    items: Sequence[KnapsackItem],
+    capacity: float,
+    epsilon: float,
+) -> KnapsackSolution:
+    """ε-approximate 0/1 knapsack by profit scaling (Ibarra & Kim, 1975).
+
+    Profits are floored to multiples of ``K = ε · P_max / n`` and the exact
+    DP is run over the scaled instance.  The classical analysis gives kept
+    profit ≥ (1 − ε) · OPT; the DP dimension shrinks from ``P`` to
+    ``O(n / ε)``, so smaller ε costs quadratically more time — exactly the
+    tradeoff the paper's Figure 5 plots.
+    """
+    if not 0 < epsilon < 1:
+        raise OptimizerError(f"epsilon must lie in (0, 1), got {epsilon}")
+    _validate(items, capacity)
+    contenders, always_in, _ = _split_free_items(items, capacity)
+    if not contenders:
+        return KnapsackSolution.of(items, always_in)
+
+    p_max = max(item.profit for item in contenders)
+    if p_max <= 0:
+        return KnapsackSolution.of(items, always_in)
+    scale = epsilon * p_max / len(contenders)
+
+    solution = solve_exact_dp(
+        contenders,
+        capacity,
+        profit_of=lambda item: int(item.profit / scale),
+    )
+    return KnapsackSolution.of(items, set(solution.chosen) | set(always_in))
+
+
+# ----------------------------------------------------------------------
+# Greedy variants
+# ----------------------------------------------------------------------
+def solve_greedy_uniform(
+    items: Sequence[KnapsackItem], capacity: float
+) -> KnapsackSolution:
+    """Ascending-weight greedy; optimal when all profits are equal (§5.2).
+
+    Placing the lightest items first maximizes the *number* of items kept,
+    which maximizes total profit under uniform profits.  ``O(n log n)``
+    (sublinear with a width index, which
+    :meth:`repro.storage.table.Table.create_endpoint_indexes` provides).
+    """
+    _validate(items, capacity)
+    contenders, always_in, _ = _split_free_items(items, capacity)
+    chosen = set(always_in)
+    remaining = capacity
+    for item in sorted(contenders, key=lambda i: (i.weight, i.item_id)):
+        if item.weight <= remaining:
+            chosen.add(item.item_id)
+            remaining -= item.weight
+    return KnapsackSolution.of(items, chosen)
+
+
+def solve_greedy_ratio(
+    items: Sequence[KnapsackItem], capacity: float
+) -> KnapsackSolution:
+    """Classic profit/weight-density greedy with the best-single fallback.
+
+    Guarantees at least half the optimal profit; included as an ablation
+    baseline against the Ibarra–Kim scheme (not used by the paper).
+    """
+    _validate(items, capacity)
+    contenders, always_in, _ = _split_free_items(items, capacity)
+    chosen = set(always_in)
+    remaining = capacity
+    greedy_profit = 0.0
+    for item in sorted(
+        contenders, key=lambda i: (-(i.profit / i.weight), i.item_id)
+    ):
+        if item.weight <= remaining:
+            chosen.add(item.item_id)
+            remaining -= item.weight
+            greedy_profit += item.profit
+    # The 2-approximation requires comparing with the single best item.
+    best_single = max(contenders, key=lambda i: i.profit, default=None)
+    if best_single is not None and best_single.profit > greedy_profit:
+        chosen = set(always_in) | {best_single.item_id}
+    return KnapsackSolution.of(items, chosen)
+
+
+# ----------------------------------------------------------------------
+# Brute force (test oracle)
+# ----------------------------------------------------------------------
+def solve_brute_force(
+    items: Sequence[KnapsackItem], capacity: float
+) -> KnapsackSolution:
+    """Exhaustive search over all subsets; the optimality oracle for tests.
+
+    Exponential — callers must keep instances small (≤ ~20 contenders).
+    """
+    _validate(items, capacity)
+    contenders, always_in, _ = _split_free_items(items, capacity)
+    if len(contenders) > 22:
+        raise OptimizerError(
+            f"brute force limited to 22 contenders, got {len(contenders)}"
+        )
+    best_ids: tuple[int, ...] = ()
+    best_profit = -1.0
+    for r in range(len(contenders) + 1):
+        for combo in combinations(contenders, r):
+            weight = sum(i.weight for i in combo)
+            if weight > capacity:
+                continue
+            profit = sum(i.profit for i in combo)
+            if profit > best_profit:
+                best_profit = profit
+                best_ids = tuple(i.item_id for i in combo)
+    return KnapsackSolution.of(items, set(best_ids) | set(always_in))

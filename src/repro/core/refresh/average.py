@@ -1,0 +1,166 @@
+"""CHOOSE_REFRESH for AVG (paper §5.4, §6.4.2, Appendix F).
+
+Without a predicate, COUNT is exact, so a precision constraint ``R`` on
+AVG reduces to the constraint ``R * COUNT`` on SUM; we delegate to the SUM
+optimizer with the scaled budget.
+
+With a predicate, Appendix F reduces the problem to a single knapsack that
+simultaneously accounts for SUM and COUNT uncertainty.  Writing
+``[L'_S, H'_S]`` and ``[L'_C, H'_C]`` for the SUM/COUNT bounds computed
+over the *current* cached data, the derivation yields a knapsack with
+
+* capacity ``M = L'_C * R``, and
+* item weights equal to the SUM weights (§6.2), plus — for T? tuples only —
+  the slope penalty ``max(H'_S, -L'_S, H'_S - L'_S) / L'_C - R``,
+
+because every T? tuple kept in the knapsack also widens the COUNT bound by
+one, shrinking the effective SUM budget by the slope.  Tuples left out of
+the knapsack are refreshed.  The structure (and hence complexity) is the
+same as the SUM optimizer's.
+
+Degenerate case: when ``L'_C = 0`` the derivation divides by zero — no
+nonempty answer set is guaranteed, and the loose AVG bound cannot be made
+finite without establishing one.  We then refresh *all* T? tuples (making
+COUNT exact) and fall back to the no-predicate reduction on what remains;
+this is sound, if not always minimal, and the situation cannot arise in
+the paper's examples (T+ is nonempty whenever the constraint is finite).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.aggregates.counting import COUNT
+from repro.core.aggregates.summing import SUM
+from repro.core.bound import Bound
+from repro.core.knapsack import (
+    KnapsackItem,
+    solve_exact_dp,
+    solve_greedy_uniform,
+    solve_ibarra_kim,
+)
+from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost
+from repro.core.refresh.summing import DEFAULT_EPSILON, SumChooseRefresh
+from repro.errors import TrappError
+from repro.predicates.classify import Classification
+from repro.storage.row import Row
+
+__all__ = ["AvgChooseRefresh", "CHOOSE_AVG"]
+
+
+class AvgChooseRefresh:
+    """Knapsack-based refresh selection for bounded AVG queries."""
+
+    name = "AVG"
+
+    def __init__(self, epsilon: float = DEFAULT_EPSILON, force_exact: bool = False):
+        self.epsilon = epsilon
+        self.force_exact = force_exact
+        self._sum = SumChooseRefresh(epsilon=epsilon, force_exact=force_exact)
+
+    # ------------------------------------------------------------------
+    def without_predicate(
+        self,
+        rows: Sequence[Row],
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        if column is None:
+            raise TrappError("AVG CHOOSE_REFRESH requires an aggregation column")
+        count = len(rows)
+        if count == 0:
+            return RefreshPlan.empty()
+        # AVG width = SUM width / COUNT, so budget SUM at R * COUNT (§5.4).
+        return self._sum.without_predicate(rows, column, max_width * count, cost)
+
+    # ------------------------------------------------------------------
+    def with_classification(
+        self,
+        classification: Classification,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        if column is None:
+            raise TrappError("AVG CHOOSE_REFRESH requires an aggregation column")
+        if math.isinf(max_width):
+            return RefreshPlan.empty()
+        plus = classification.plus
+        maybe = classification.maybe
+        if not plus and not maybe:
+            return RefreshPlan.empty()
+
+        sum0 = SUM.bound_with_classification(classification, column)
+        count0 = COUNT.bound_with_classification(classification, column)
+        l_count = count0.lo
+
+        if l_count <= 0:
+            return self._degenerate_plan(classification, column, max_width, cost)
+
+        capacity = l_count * max_width
+        slope = self._slope(sum0, l_count, max_width)
+
+        items: list[tuple[Row, KnapsackItem]] = []
+        for row in plus:
+            weight = row.bound(column).width
+            items.append((row, KnapsackItem(row.tid, weight, cost(row))))
+        for row in maybe:
+            weight = row.bound(column).extend_to_zero().width + slope
+            items.append((row, KnapsackItem(row.tid, weight, cost(row))))
+
+        knapsack_items = [item for _, item in items]
+        solution = self._solve(knapsack_items, capacity)
+        kept = solution.chosen
+        chosen_rows = [row for row, item in items if item.item_id not in kept]
+        return RefreshPlan.of(chosen_rows, cost)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _slope(sum0: Bound, l_count: float, max_width: float) -> float:
+        """The Appendix F per-T?-tuple weight penalty.
+
+        ``max(H'_S, -L'_S, H'_S - L'_S) / L'_C - R``; clamped at zero when a
+        very loose constraint would make it negative (keeping a T? tuple can
+        never *relax* the SUM budget).
+        """
+        numerator = max(sum0.hi, -sum0.lo, sum0.hi - sum0.lo)
+        return max(0.0, numerator / l_count - max_width)
+
+    def _solve(self, items: list[KnapsackItem], capacity: float):
+        profits = {item.profit for item in items}
+        if len(profits) <= 1:
+            return solve_greedy_uniform(items, capacity)
+        integral = all(abs(p - round(p)) <= 1e-9 for p in profits)
+        total = sum(round(item.profit) for item in items) if integral else math.inf
+        if self.force_exact or (integral and total <= 100_000):
+            return solve_exact_dp(items, capacity)
+        return solve_ibarra_kim(items, capacity, self.epsilon)
+
+    def _degenerate_plan(
+        self,
+        classification: Classification,
+        column: str,
+        max_width: float,
+        cost: CostFunc,
+    ) -> RefreshPlan:
+        """Fallback when no tuple is guaranteed to satisfy the predicate.
+
+        Refresh every T? tuple (deciding the predicate and making COUNT
+        exact); additionally budget the surviving T+ tuples' SUM at
+        ``R * |T+|`` so the final AVG width is covered even if every T?
+        tuple drops out.
+        """
+        maybe_plan = RefreshPlan.of(classification.maybe, cost)
+        if not classification.plus:
+            return maybe_plan
+        plus_plan = self._sum.without_predicate(
+            classification.plus, column, max_width * len(classification.plus), cost
+        )
+        combined = set(maybe_plan.tids) | set(plus_plan.tids)
+        total = maybe_plan.total_cost + plus_plan.total_cost
+        return RefreshPlan(frozenset(combined), total)
+
+
+CHOOSE_AVG = AvgChooseRefresh()

@@ -1,0 +1,90 @@
+"""Shared machinery for CHOOSE_REFRESH optimizers.
+
+A CHOOSE_REFRESH algorithm receives the cached rows (already partitioned
+into T+/T?/T− when a bounded-column predicate is present), the aggregation
+column, the precision constraint ``R``, and a per-tuple refresh cost
+function.  It returns a :class:`RefreshPlan`: the set of tuple ids to
+refresh, chosen so the recomputed bounded answer is guaranteed to satisfy
+``H_A - L_A <= R`` for *any* precise values of the refreshed tuples within
+their current bounds.
+
+Cost functions default to the uniform model; the replication layer's
+:mod:`repro.replication.costs` provides richer models (per-source,
+distance-weighted) that plug in unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol, Sequence
+
+from repro.predicates.classify import Classification
+from repro.storage.row import Row
+
+__all__ = ["CostFunc", "RefreshPlan", "uniform_cost", "cost_from_column", "ChooseRefresh"]
+
+CostFunc = Callable[[Row], float]
+
+
+def uniform_cost(row: Row) -> float:
+    """Every refresh costs 1 (the paper's uniform-cost special case)."""
+    return 1.0
+
+
+def cost_from_column(column: str) -> CostFunc:
+    """Read each tuple's refresh cost from one of its own (exact) columns,
+    as in the paper's Figure 2 sample table."""
+
+    def cost(row: Row) -> float:
+        return float(row.number(column))
+
+    return cost
+
+
+@dataclass(frozen=True, slots=True)
+class RefreshPlan:
+    """The optimizer's decision: which tuples to refresh and what it costs."""
+
+    tids: frozenset[int]
+    total_cost: float
+
+    @staticmethod
+    def of(rows: Iterable[Row], cost: CostFunc) -> "RefreshPlan":
+        rows = list(rows)
+        return RefreshPlan(
+            frozenset(row.tid for row in rows),
+            sum(cost(row) for row in rows),
+        )
+
+    @staticmethod
+    def empty() -> "RefreshPlan":
+        return RefreshPlan(frozenset(), 0.0)
+
+    def __len__(self) -> int:
+        return len(self.tids)
+
+
+class ChooseRefresh(Protocol):
+    """Interface implemented by each aggregate's optimizer pair."""
+
+    name: str
+
+    def without_predicate(
+        self,
+        rows: Sequence[Row],
+        column: str | None,
+        max_width: float,
+        cost: CostFunc,
+    ) -> RefreshPlan:
+        """Paper §5 variants: every row contributes to the aggregate."""
+        ...
+
+    def with_classification(
+        self,
+        classification: Classification,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc,
+    ) -> RefreshPlan:
+        """Paper §6 variants: rows partitioned by a bounded predicate."""
+        ...

@@ -1,0 +1,163 @@
+"""CHOOSE_REFRESH for MIN and MAX (paper §5.1, §6.1, Appendices B/C).
+
+For MIN without a predicate, the refresh set is *forced*: a tuple whose
+lower endpoint lies below ``min_k(H_k) - R`` could, if left unrefreshed,
+leave the answer wider than ``R`` in the worst case, and Appendix B proves
+every such tuple must appear in every feasible solution — so the optimal
+set is exactly
+
+    ``TR = { t_i : L_i < min_k(H_k) - R }``
+
+independent of refresh costs.  With a predicate, the threshold uses the
+guaranteed upper bound ``min_{T+}(H_k) - R`` and candidates range over
+``T+ ∪ T?`` (refreshing a T? tuple that drops into T− never hurts the
+bound).  MAX is the mirror image.
+
+Both run in ``O(n)`` with a plain scan, or sublinear given lower/upper
+endpoint indexes (the table's ``create_endpoint_indexes``); the
+index-accelerated path is exposed via ``without_predicate_indexed``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost
+from repro.errors import TrappError
+from repro.predicates.classify import Classification
+from repro.storage.row import Row
+from repro.storage.table import Table
+
+__all__ = ["MinChooseRefresh", "MaxChooseRefresh", "CHOOSE_MIN", "CHOOSE_MAX"]
+
+
+def _require_column(name: str, column: str | None) -> str:
+    if column is None:
+        raise TrappError(f"{name} CHOOSE_REFRESH requires an aggregation column")
+    return column
+
+
+class MinChooseRefresh:
+    """Optimal refresh selection for bounded MIN queries."""
+
+    name = "MIN"
+
+    def without_predicate(
+        self,
+        rows: Sequence[Row],
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        column = _require_column(self.name, column)
+        min_hi = min((row.bound(column).hi for row in rows), default=math.inf)
+        threshold = min_hi - max_width
+        chosen = [row for row in rows if row.bound(column).lo < threshold]
+        return RefreshPlan.of(chosen, cost)
+
+    def with_classification(
+        self,
+        classification: Classification,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        column = _require_column(self.name, column)
+        min_hi_plus = min(
+            (row.bound(column).hi for row in classification.plus),
+            default=math.inf,
+        )
+        threshold = min_hi_plus - max_width
+        chosen = [
+            row
+            for row in classification.plus_or_maybe
+            if row.bound(column).lo < threshold
+        ]
+        return RefreshPlan.of(chosen, cost)
+
+    def without_predicate_indexed(
+        self,
+        table: Table,
+        column: str,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        """Index-accelerated variant: ``O(log n + |TR|)``.
+
+        Uses the ``column__hi`` index to find ``min_k(H_k)`` and the
+        ``column__lo`` index to range-scan tuples below the threshold,
+        matching the sublinear bound claimed in §5.1.
+        """
+        hi_index = table.indexes.get(f"{column}__hi")
+        lo_index = table.indexes.get(f"{column}__lo")
+        if hi_index is None or lo_index is None:
+            raise TrappError(
+                f"table {table.name!r} lacks endpoint indexes on {column!r}; "
+                "call create_endpoint_indexes first"
+            )
+        threshold = hi_index.min_key() - max_width
+        chosen = [table.row(tid) for tid in lo_index.tids_below(threshold)]
+        return RefreshPlan.of(chosen, cost)
+
+
+class MaxChooseRefresh:
+    """Optimal refresh selection for bounded MAX queries (Appendix C)."""
+
+    name = "MAX"
+
+    def without_predicate(
+        self,
+        rows: Sequence[Row],
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        column = _require_column(self.name, column)
+        max_lo = max((row.bound(column).lo for row in rows), default=-math.inf)
+        threshold = max_lo + max_width
+        chosen = [row for row in rows if row.bound(column).hi > threshold]
+        return RefreshPlan.of(chosen, cost)
+
+    def with_classification(
+        self,
+        classification: Classification,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        column = _require_column(self.name, column)
+        max_lo_plus = max(
+            (row.bound(column).lo for row in classification.plus),
+            default=-math.inf,
+        )
+        threshold = max_lo_plus + max_width
+        chosen = [
+            row
+            for row in classification.plus_or_maybe
+            if row.bound(column).hi > threshold
+        ]
+        return RefreshPlan.of(chosen, cost)
+
+    def without_predicate_indexed(
+        self,
+        table: Table,
+        column: str,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        """Index-accelerated variant mirroring MIN's."""
+        hi_index = table.indexes.get(f"{column}__hi")
+        lo_index = table.indexes.get(f"{column}__lo")
+        if hi_index is None or lo_index is None:
+            raise TrappError(
+                f"table {table.name!r} lacks endpoint indexes on {column!r}; "
+                "call create_endpoint_indexes first"
+            )
+        threshold = lo_index.max_key() + max_width
+        chosen = [table.row(tid) for tid in hi_index.tids_above(threshold)]
+        return RefreshPlan.of(chosen, cost)
+
+
+CHOOSE_MIN = MinChooseRefresh()
+CHOOSE_MAX = MaxChooseRefresh()

@@ -1,0 +1,140 @@
+"""CHOOSE_REFRESH for SUM (paper §5.2 and §6.2).
+
+The complement trick: after refreshing a tuple its bound width is zero, so
+the final answer width is the total width of the *unrefreshed* tuples.
+Choosing the cheapest refresh set is therefore equivalent to packing a
+knapsack of capacity ``R`` with the tuples *kept* (not refreshed),
+maximizing kept refresh cost, where each tuple's weight is its bound width.
+
+With a predicate over bounded columns, T− tuples are ignored and each T?
+tuple's weight uses its bound extended to zero (§6.2): the tuple might not
+satisfy the predicate and contribute nothing, so the answer must already
+tolerate its value being absent.
+
+Solver selection: the exact DP runs when every cost is integral and the
+instance is small; otherwise the Ibarra–Kim ε-approximation is used (the
+paper's choice, ε tunable).  The uniform-cost special case short-circuits
+to the ascending-width greedy, which is optimal there (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.bound import Bound
+from repro.core.knapsack import (
+    KnapsackItem,
+    solve_exact_dp,
+    solve_greedy_uniform,
+    solve_ibarra_kim,
+)
+from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost
+from repro.errors import TrappError
+from repro.predicates.classify import Classification
+from repro.storage.row import Row
+
+__all__ = ["SumChooseRefresh", "CHOOSE_SUM"]
+
+#: Default approximation parameter; the paper finds ε = 0.1 "very close to
+#: optimal" while keeping the optimizer fast (Figure 5 discussion).
+DEFAULT_EPSILON = 0.1
+
+#: Instances whose total integral profit stays below this use the exact DP.
+_EXACT_DP_PROFIT_LIMIT = 100_000
+
+
+class SumChooseRefresh:
+    """Knapsack-based refresh selection for bounded SUM queries."""
+
+    name = "SUM"
+
+    def __init__(
+        self,
+        epsilon: float = DEFAULT_EPSILON,
+        force_exact: bool = False,
+        force_approx: bool = False,
+    ):
+        if force_exact and force_approx:
+            raise TrappError("force_exact and force_approx are mutually exclusive")
+        self.epsilon = epsilon
+        self.force_exact = force_exact
+        #: Always run the Ibarra-Kim scheme, even when the instance admits
+        #: the exact DP or uniform greedy.  Used by the Figure 5 bench to
+        #: measure the approximation's epsilon/time tradeoff in isolation.
+        self.force_approx = force_approx
+
+    # ------------------------------------------------------------------
+    def without_predicate(
+        self,
+        rows: Sequence[Row],
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        if column is None:
+            raise TrappError("SUM CHOOSE_REFRESH requires an aggregation column")
+        items = [
+            (row, KnapsackItem(row.tid, row.bound(column).width, cost(row)))
+            for row in rows
+        ]
+        return self._solve(items, max_width, cost)
+
+    def with_classification(
+        self,
+        classification: Classification,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        if column is None:
+            raise TrappError("SUM CHOOSE_REFRESH requires an aggregation column")
+        items: list[tuple[Row, KnapsackItem]] = []
+        for row in classification.plus:
+            width = row.bound(column).width
+            items.append((row, KnapsackItem(row.tid, width, cost(row))))
+        for row in classification.maybe:
+            width = row.bound(column).extend_to_zero().width
+            items.append((row, KnapsackItem(row.tid, width, cost(row))))
+        # T− tuples are ignored entirely: they contribute nothing and need
+        # no refresh.
+        return self._solve(items, max_width, cost)
+
+    # ------------------------------------------------------------------
+    def _solve(
+        self,
+        items: list[tuple[Row, KnapsackItem]],
+        capacity: float,
+        cost: CostFunc,
+    ) -> RefreshPlan:
+        knapsack_items = [item for _, item in items]
+        costs = {item.item_id: item.profit for item in knapsack_items}
+
+        if self.force_approx:
+            solution = solve_ibarra_kim(knapsack_items, capacity, self.epsilon)
+        elif self._is_uniform(costs):
+            solution = solve_greedy_uniform(knapsack_items, capacity)
+        elif self.force_exact or self._exact_feasible(costs):
+            solution = solve_exact_dp(knapsack_items, capacity)
+        else:
+            solution = solve_ibarra_kim(knapsack_items, capacity, self.epsilon)
+
+        kept = solution.chosen
+        chosen_rows = [row for row, item in items if item.item_id not in kept]
+        return RefreshPlan.of(chosen_rows, cost)
+
+    @staticmethod
+    def _is_uniform(costs: dict[int, float]) -> bool:
+        values = set(costs.values())
+        return len(values) <= 1
+
+    @staticmethod
+    def _exact_feasible(costs: dict[int, float]) -> bool:
+        total = 0.0
+        for value in costs.values():
+            if abs(value - round(value)) > 1e-9:
+                return False
+            total += round(value)
+        return total <= _EXACT_DP_PROFIT_LIMIT
+
+
+CHOOSE_SUM = SumChooseRefresh()

@@ -1,0 +1,101 @@
+"""Exception hierarchy for the TRAPP/AG reproduction.
+
+Every error raised by this package derives from :class:`TrappError`, so
+callers can catch a single base class at API boundaries.  The hierarchy
+mirrors the layered architecture: storage errors, predicate/classification
+errors, replication-protocol errors, query-language errors, and optimizer
+errors each have their own branch.
+"""
+
+from __future__ import annotations
+
+
+class TrappError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class BoundError(TrappError):
+    """An interval operation was given invalid endpoints or operands.
+
+    Raised, for example, when constructing a bound with ``lo > hi`` or with
+    a NaN endpoint, or when dividing by an interval that straddles zero.
+    """
+
+
+class PrecisionConstraintError(TrappError):
+    """A precision constraint is malformed (e.g. negative width)."""
+
+
+class ConstraintUnsatisfiableError(TrappError):
+    """No refresh set can satisfy the requested precision constraint.
+
+    This should not occur for the standard aggregates (refreshing every
+    tuple always yields an exact answer), but defensive code paths raise it
+    rather than returning an answer that silently violates the constraint.
+    """
+
+
+class SchemaError(TrappError):
+    """A table schema is malformed or a row does not match its schema."""
+
+
+class UnknownColumnError(SchemaError):
+    """A query or predicate referenced a column that does not exist."""
+
+    def __init__(self, column: str, table: str | None = None) -> None:
+        where = f" in table {table!r}" if table else ""
+        super().__init__(f"unknown column {column!r}{where}")
+        self.column = column
+        self.table = table
+
+
+class UnknownTableError(TrappError):
+    """A query referenced a table not present in the catalog."""
+
+    def __init__(self, table: str) -> None:
+        super().__init__(f"unknown table {table!r}")
+        self.table = table
+
+
+class DuplicateKeyError(TrappError):
+    """An insert would duplicate an existing primary key."""
+
+
+class PredicateError(TrappError):
+    """A predicate expression is malformed or cannot be evaluated."""
+
+
+class PredicateTypeError(PredicateError):
+    """A predicate compared incompatible types (e.g. bound vs string)."""
+
+
+class ReplicationProtocolError(TrappError):
+    """The source/cache protocol was violated (e.g. refresh for an object
+    the source does not own, or a cache registering twice)."""
+
+
+class StaleBoundError(ReplicationProtocolError):
+    """A master value escaped its cached bound without a refresh.
+
+    The TRAPP contract obligates sources to send a value-initiated refresh
+    the moment a master value exceeds any cached bound; this error is the
+    simulator's assertion that the contract held.
+    """
+
+
+class SqlSyntaxError(TrappError):
+    """The TRAPP SQL dialect parser rejected the input text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class OptimizerError(TrappError):
+    """A CHOOSE_REFRESH optimizer was invoked with inconsistent inputs."""
+
+
+class SimulationError(TrappError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,156 @@
+"""MEDIAN as a first-class registered aggregate (paper §8.1 extension).
+
+Importing this module registers ``MEDIAN`` with both the aggregate
+registry and the CHOOSE_REFRESH dispatcher, so the three-step executor and
+the SQL front-end (`SELECT MEDIAN(price) WITHIN 1 FROM stocks`) handle it
+like the five standard aggregates.
+
+Evaluation:
+
+* **No predicate** — ``[median(L_i), median(H_i)]`` (see
+  :func:`repro.extensions.median.bounded_median`).
+* **With a predicate** — the contributing set ``S`` satisfies
+  ``T+ ⊆ S ⊆ T+ ∪ T?``, and within any fixed ``S`` the realized median is
+  monotone in each value, so the extremes are::
+
+      lo = min over S of median(lows of S)
+      hi = max over S of median(highs of S)
+
+  Both optimizations are solved exactly by a prefix argument: to minimize
+  the median, include T? lows in ascending order while the median drops;
+  excluding any included low for a larger one can only raise it (mirror
+  image for the maximum).
+
+Refresh selection combines the membership rule (refresh every T? tuple the
+budget cannot tolerate) with the no-predicate window rule from
+:func:`repro.extensions.median.choose_refresh_median`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.aggregates.base import register
+from repro.core.bound import Bound
+from repro.core.refresh import register_choose_refresh
+from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost
+from repro.errors import TrappError
+from repro.extensions.median import bounded_median, choose_refresh_median, median_of
+from repro.predicates.classify import Classification
+from repro.storage.row import Row
+
+__all__ = ["MedianAggregate", "MedianChooseRefresh", "MEDIAN", "CHOOSE_MEDIAN"]
+
+
+def _extreme_median(
+    base: list[float], optional: list[float], minimize: bool
+) -> float:
+    """Optimize ``median(base ∪ subset(optional))`` over subset choice.
+
+    Prefix argument: by an exchange argument, some *prefix* of the optional
+    values sorted toward the objective (ascending to minimize, descending
+    to maximize) achieves the optimum — swapping any included value for a
+    more extreme excluded one never hurts.  The lower-median convention
+    makes the objective non-monotone in the prefix length (an odd/even
+    index shift), so every prefix is evaluated rather than stopping at the
+    first non-improvement.
+    """
+    if not base and not optional:
+        raise TrappError("median of an empty collection is undefined")
+    if not base:
+        # S could be any nonempty subset; a singleton pins the median at
+        # any single optional value, so the extreme is the extreme value.
+        return min(optional) if minimize else max(optional)
+    best = median_of(base)
+    included = list(base)
+    for value in sorted(optional, reverse=not minimize):
+        included.append(value)
+        candidate = median_of(included)
+        if (candidate < best) if minimize else (candidate > best):
+            best = candidate
+    return best
+
+
+class MedianAggregate:
+    """Bounded MEDIAN (lower-median convention)."""
+
+    name = "MEDIAN"
+    needs_column = True
+
+    def bound_without_predicate(
+        self, rows: Sequence[Row], column: str | None
+    ) -> Bound:
+        if column is None:
+            raise TrappError("MEDIAN requires an aggregation column")
+        return bounded_median(rows, column)
+
+    def bound_with_classification(
+        self, classification: Classification, column: str | None
+    ) -> Bound:
+        if column is None:
+            raise TrappError("MEDIAN requires an aggregation column")
+        plus = classification.plus
+        maybe = classification.maybe
+        if not plus and not maybe:
+            return Bound.unbounded()
+        lo = _extreme_median(
+            [row.bound(column).lo for row in plus],
+            [row.bound(column).lo for row in maybe],
+            minimize=True,
+        )
+        hi = _extreme_median(
+            [row.bound(column).hi for row in plus],
+            [row.bound(column).hi for row in maybe],
+            minimize=False,
+        )
+        return Bound(lo, hi)
+
+
+class MedianChooseRefresh:
+    """Refresh selection for MEDIAN queries."""
+
+    name = "MEDIAN"
+
+    def without_predicate(
+        self,
+        rows: Sequence[Row],
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        if column is None:
+            raise TrappError("MEDIAN CHOOSE_REFRESH requires an aggregation column")
+        return choose_refresh_median(rows, column, max_width, cost)
+
+    def with_classification(
+        self,
+        classification: Classification,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> RefreshPlan:
+        """Membership + window rule.
+
+        Refresh (a) every T? tuple — deciding membership exactly — and (b)
+        every T+ ∪ T? tuple wider than the budget whose bound overlaps the
+        current extreme-median window.  After (a), the contributing set is
+        known; after (b), the spanning-lemma argument of
+        :func:`choose_refresh_median` bounds the realized window by the
+        budget for any realization.
+        """
+        if column is None:
+            raise TrappError("MEDIAN CHOOSE_REFRESH requires an aggregation column")
+        spec = MEDIAN
+        window = spec.bound_with_classification(classification, column)
+        if window.width <= max_width + 1e-9:
+            return RefreshPlan.empty()
+        chosen: dict[int, Row] = {row.tid: row for row in classification.maybe}
+        for row in classification.plus_or_maybe:
+            bound = row.bound(column)
+            if bound.width > max_width and bound.overlaps(window):
+                chosen[row.tid] = row
+        return RefreshPlan.of(chosen.values(), cost)
+
+
+MEDIAN = register(MedianAggregate())
+CHOOSE_MEDIAN = register_choose_refresh("MEDIAN", MedianChooseRefresh())

@@ -1,0 +1,111 @@
+"""Refresh piggybacking and pre-refreshing (paper §8.3).
+
+Two cost-amortization tactics the paper proposes:
+
+* **Piggybacking** — when a source answers a (value- or query-initiated)
+  refresh anyway, it may attach extra refreshes for objects "likely to
+  need refreshing in the near future, e.g. if the precise value is very
+  close to the edge of its bound."
+* **Pre-refreshing** — during idle periods the source proactively
+  refreshes the riskiest objects so later peak-load refreshes are avoided.
+
+Both need the same primitive: a *risk score* for each tracked object — how
+close its master value sits to its cached bound's edge, normalized by the
+bound's width.  :func:`edge_risk` provides it; :class:`PiggybackPolicy`
+selects the extra payload for a refresh response; :func:`pre_refresh_candidates`
+ranks objects for an idle-time sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.bound import Bound
+from repro.errors import TrappError
+
+__all__ = ["edge_risk", "PiggybackPolicy", "pre_refresh_candidates"]
+
+
+def edge_risk(value: float, bound: Bound) -> float:
+    """How endangered a cached bound is, in [0, 1].
+
+    0 means the master value sits at the bound's center; 1 means it sits
+    on (or outside) an edge.  Zero-width bounds are at maximal risk: any
+    update escapes them.
+    """
+    if not bound.contains(value):
+        return 1.0
+    if bound.width == 0:
+        return 1.0
+    center_distance = abs(value - bound.midpoint)
+    return min(1.0, 2.0 * center_distance / bound.width)
+
+
+@dataclass(frozen=True, slots=True)
+class PiggybackPolicy:
+    """Selects extra objects to refresh alongside a requested one.
+
+    ``risk_threshold`` — only objects at least this endangered ride along;
+    ``max_extra`` — cap on piggybacked objects per response (each one adds
+    marginal transfer cost, so unbounded piggybacking would re-create the
+    eager-replication regime the paper is escaping).
+    """
+
+    risk_threshold: float = 0.8
+    max_extra: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.risk_threshold <= 1.0:
+            raise TrappError(
+                f"risk threshold must lie in [0, 1], got {self.risk_threshold}"
+            )
+        if self.max_extra < 0:
+            raise TrappError(f"max_extra must be non-negative, got {self.max_extra}")
+
+    def select(
+        self,
+        requested: set,
+        tracked: Iterable[tuple[object, float, Bound]],
+    ) -> list:
+        """Choose piggyback keys.
+
+        ``tracked`` yields ``(key, master_value, cached_bound)`` for every
+        object the source tracks for the requesting cache; ``requested``
+        are the keys already being refreshed.  Returns up to ``max_extra``
+        additional keys, most endangered first.
+        """
+        scored = [
+            (edge_risk(value, bound), key)
+            for key, value, bound in tracked
+            if key not in requested
+        ]
+        risky = sorted(
+            (item for item in scored if item[0] >= self.risk_threshold),
+            key=lambda item: (-item[0], repr(item[1])),
+        )
+        return [key for _, key in risky[: self.max_extra]]
+
+
+def pre_refresh_candidates(
+    tracked: Iterable[tuple[object, float, Bound]],
+    budget: int,
+    risk_threshold: float = 0.5,
+) -> list:
+    """Rank objects for an idle-time pre-refresh sweep.
+
+    Returns up to ``budget`` keys whose risk meets the threshold, most
+    endangered first — the objects most likely to cost a value-initiated
+    refresh soon.
+    """
+    if budget < 0:
+        raise TrappError(f"budget must be non-negative, got {budget}")
+    scored = sorted(
+        (
+            (edge_risk(value, bound), key)
+            for key, value, bound in tracked
+            if edge_risk(value, bound) >= risk_threshold
+        ),
+        key=lambda item: (-item[0], repr(item[1])),
+    )
+    return [key for _, key in scored[:budget]]

@@ -1,0 +1,112 @@
+"""Bounded TOP-n (paper §8.1 extension).
+
+TOP-n generalizes MAX: the answer of interest is the n-th largest value
+(and, for reporting, the identity of the top-n set).  Under bounded data:
+
+* the n-th largest value's bounded answer is
+  ``[ nth_largest(L_i) , nth_largest(H_i) ]`` — both endpoint multisets use
+  the same order statistic, mirroring the bounded-median argument;
+* the top-n *membership* splits tuples into certain members (tuples whose
+  lower endpoint beats the (n+1)-th largest upper endpoint), certain
+  non-members, and unresolved candidates.
+
+CHOOSE_REFRESH follows the MAX pattern (Appendix C): refresh every tuple
+whose bound overlaps the contested region around the n-th-place cutoff
+wider than the precision budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.bound import Bound
+from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost
+from repro.errors import TrappError
+from repro.storage.row import Row
+
+__all__ = ["TopNResult", "bounded_top_n", "choose_refresh_top_n"]
+
+
+def _nth_largest(values: Sequence[float], n: int) -> float:
+    return sorted(values, reverse=True)[n - 1]
+
+
+@dataclass(frozen=True, slots=True)
+class TopNResult:
+    """The bounded n-th value plus the three membership sets."""
+
+    #: Bounded value of the n-th largest element.
+    nth_value: Bound
+    #: Tuple ids certainly in the top-n set.
+    certain_members: frozenset[int]
+    #: Tuple ids that might be in the top-n set.
+    possible_members: frozenset[int]
+
+
+def bounded_top_n(rows: Sequence[Row], column: str, n: int) -> TopNResult:
+    """Compute the bounded TOP-n over a column of bounded values."""
+    if n < 1:
+        raise TrappError(f"n must be at least 1, got {n}")
+    if len(rows) < n:
+        raise TrappError(f"TOP-{n} over only {len(rows)} tuples is undefined")
+
+    lows = [row.bound(column).lo for row in rows]
+    highs = [row.bound(column).hi for row in rows]
+    nth_value = Bound(_nth_largest(lows, n), _nth_largest(highs, n))
+
+    # A tuple is certainly in the top n iff its LOWER endpoint beats the
+    # (n+1)-th largest UPPER endpoint (i.e. at most n-1 other tuples can
+    # possibly exceed it).  It is possibly in the top n iff its UPPER
+    # endpoint reaches the n-th largest LOWER endpoint.
+    certain: set[int] = set()
+    possible: set[int] = set()
+    if len(rows) == n:
+        certain = {row.tid for row in rows}
+        possible = set(certain)
+        return TopNResult(nth_value, frozenset(certain), frozenset(possible))
+
+    for row in rows:
+        b = row.bound(column)
+        others_hi = sorted(
+            (r.bound(column).hi for r in rows if r.tid != row.tid), reverse=True
+        )
+        # Count of others that can possibly beat this tuple.
+        can_beat = sum(1 for h in others_hi if h > b.lo)
+        if can_beat < n:
+            certain.add(row.tid)
+        others_lo = sorted(
+            (r.bound(column).lo for r in rows if r.tid != row.tid), reverse=True
+        )
+        must_beat = sum(1 for l in others_lo if l >= b.hi)
+        if must_beat < n:
+            possible.add(row.tid)
+    return TopNResult(nth_value, frozenset(certain), frozenset(possible))
+
+
+def choose_refresh_top_n(
+    rows: Sequence[Row],
+    column: str,
+    n: int,
+    max_width: float,
+    cost: CostFunc = uniform_cost,
+) -> RefreshPlan:
+    """Refresh set narrowing the n-th value's bound to ``max_width``.
+
+    Analogue of CHOOSE_REFRESH_MAX: the guaranteed *lower* cutoff is the
+    n-th largest lower endpoint; every tuple whose upper endpoint exceeds
+    ``cutoff + max_width`` could leave the n-th value above the budget and
+    must be refreshed (along with tuples straddling the cutoff from below
+    whose lower endpoint is within the contested region).
+    """
+    if len(rows) < n:
+        raise TrappError(f"TOP-{n} over only {len(rows)} tuples is undefined")
+    lows = [row.bound(column).lo for row in rows]
+    cutoff = _nth_largest(lows, n)
+    chosen = [
+        row
+        for row in rows
+        if row.bound(column).hi > cutoff + max_width
+        and row.bound(column).width > 0
+    ]
+    return RefreshPlan.of(chosen, cost)

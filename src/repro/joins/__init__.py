@@ -1,0 +1,12 @@
+"""Aggregation queries with joins (paper §7): classification + heuristics."""
+
+from repro.joins.classify import JoinedTuple, classify_joined, join_rows
+from repro.joins.refresh import JoinRefreshHeuristic, execute_join_query
+
+__all__ = [
+    "JoinedTuple",
+    "join_rows",
+    "classify_joined",
+    "JoinRefreshHeuristic",
+    "execute_join_query",
+]

@@ -1,0 +1,174 @@
+"""Joined-tuple construction and classification (paper §7).
+
+"Computing the bounded answer to an aggregation query with a join
+expression is no different from doing so with a selection predicate": the
+join condition is just a predicate over columns of several tables, and the
+Appendix D Possible/Certain machinery classifies each *joined* tuple into
+T+/T?/T− exactly as before.
+
+:func:`join_rows` materializes the candidate joined tuples.  Each joined
+row stores every column under its table-qualified name (``table.column``)
+plus an unqualified alias when no collision exists, so predicates written
+either way evaluate correctly.  Joined tuples that are *certainly* not in
+the join (``Possible`` fails) are dropped eagerly; the remainder carry
+their classification.
+
+A dominance filter keeps the candidate set small: for equality joins over
+exact key columns a hash join is used instead of the nested loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.bound import Trilean
+from repro.predicates.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    Predicate,
+    TruePredicate,
+)
+from repro.predicates.classify import Classification
+from repro.predicates.eval import evaluate_trilean
+from repro.storage.row import Row
+from repro.storage.table import Table
+
+__all__ = ["JoinedTuple", "join_rows", "classify_joined"]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinedTuple:
+    """One candidate joined tuple plus its provenance.
+
+    ``row`` is the merged virtual row; ``base`` maps each table name to the
+    contributing base tuple id (needed by the refresh heuristic, which must
+    refresh *base* tuples, not joined ones).
+    """
+
+    row: Row
+    base: dict[str, int]
+    verdict: Trilean
+
+
+def _merge_rows(tables: Sequence[Table], rows: Sequence[Row], joined_tid: int) -> Row:
+    values: dict[str, object] = {}
+    collisions: set[str] = set()
+    for table, row in zip(tables, rows):
+        for column in table.schema.column_names:
+            values[f"{table.name}.{column}"] = row[column]
+            if column in values and column not in collisions:
+                # Second unqualified sighting: drop the alias.
+                if any(
+                    column in t.schema.column_names
+                    for t in tables
+                    if t.name != table.name
+                ):
+                    collisions.add(column)
+    for table, row in zip(tables, rows):
+        for column in table.schema.column_names:
+            if column not in collisions:
+                values[column] = row[column]
+    return Row(joined_tid, values)
+
+
+def _equality_key_columns(
+    predicate: Predicate, tables: Sequence[Table]
+) -> tuple[str, str] | None:
+    """Detect ``t1.key = t2.key`` over *exact* columns for a 2-table join.
+
+    Returns the (left column, right column) pair when the predicate is a
+    conjunction containing such an equality; None otherwise.
+    """
+    if len(tables) != 2:
+        return None
+
+    def find(node: Predicate) -> tuple[str, str] | None:
+        if isinstance(node, And):
+            return find(node.left) or find(node.right)
+        if isinstance(node, Comparison) and node.op == "=":
+            left, right = node.left, node.right
+            if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+                t1, t2 = tables
+                left_table = left.table or (
+                    t1.name if left.column in t1.schema else t2.name
+                )
+                right_table = right.table or (
+                    t2.name if right.column in t2.schema else t1.name
+                )
+                if {left_table, right_table} != {t1.name, t2.name}:
+                    return None
+                if left_table == t2.name:
+                    left, right = right, left
+                if (
+                    left.column in t1.schema
+                    and right.column in t2.schema
+                    and not t1.schema[left.column].is_bounded
+                    and not t2.schema[right.column].is_bounded
+                    and left.scale == right.scale == 1.0
+                    and left.offset == right.offset == 0.0
+                ):
+                    return (left.column, right.column)
+        return None
+
+    return find(predicate)
+
+
+def join_rows(
+    tables: Sequence[Table], predicate: Predicate | None = None
+) -> list[JoinedTuple]:
+    """Materialize candidate joined tuples with their classification.
+
+    Uses a hash join when an exact-column equality is available (the common
+    foreign-key case), else the general nested loop.  Tuples whose verdict
+    is FALSE (certainly not joined) are dropped.
+    """
+    predicate = predicate if predicate is not None else TruePredicate()
+    out: list[JoinedTuple] = []
+    joined_tid = 1
+
+    key_pair = _equality_key_columns(predicate, tables)
+    if key_pair is not None:
+        left_col, right_col = key_pair
+        t1, t2 = tables
+        buckets: dict[object, list[Row]] = {}
+        for row in t2.rows():
+            buckets.setdefault(row[right_col], []).append(row)
+        combos = (
+            (r1, r2)
+            for r1 in t1.rows()
+            for r2 in buckets.get(r1[left_col], ())
+        )
+    else:
+        combos = itertools.product(*(t.rows() for t in tables))
+
+    for rows in combos:
+        rows = tuple(rows)
+        merged = _merge_rows(tables, rows, joined_tid)
+        verdict = evaluate_trilean(predicate, merged)
+        if verdict is Trilean.FALSE:
+            continue
+        out.append(
+            JoinedTuple(
+                row=merged,
+                base={t.name: r.tid for t, r in zip(tables, rows)},
+                verdict=verdict,
+            )
+        )
+        joined_tid += 1
+    return out
+
+
+def classify_joined(joined: Sequence[JoinedTuple]) -> Classification:
+    """Convert joined tuples' verdicts into a standard Classification."""
+    result = Classification()
+    for jt in joined:
+        if jt.verdict is Trilean.TRUE:
+            result.plus.append(jt.row)
+        elif jt.verdict is Trilean.MAYBE:
+            result.maybe.append(jt.row)
+        else:
+            result.minus.append(jt.row)
+    return result

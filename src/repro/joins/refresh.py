@@ -1,0 +1,191 @@
+"""Heuristic refresh selection for join queries (paper §7).
+
+The paper observes that choosing refresh tuples under joins is
+"significantly more difficult": each joined tuple aggregates several base
+tuples (any subset of which could be refreshed), and one base tuple can
+feed many joined tuples, so refresh benefits interact.  No optimal
+algorithm is given — the authors report investigating heuristics — so this
+module implements the natural *iterative greedy* heuristic the paper's
+§8.2 discussion motivates:
+
+1. materialize and classify the joined tuples, compute the bounded answer;
+2. while the answer is too wide, score every refreshable base tuple by an
+   estimate of how much uncertainty it feeds into the answer, divided by
+   its refresh cost; refresh the best scorer;
+3. recompute (refreshed base values reclassify joined tuples) and repeat.
+
+The benefit estimate charges a base tuple with (a) the aggregation-column
+bound width it contributes through every surviving joined tuple and (b)
+the classification uncertainty (T? membership) of those joined tuples.
+The loop terminates because every refresh strictly reduces the pool of
+wide base tuples; a final full-refresh fallback guarantees the constraint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.aggregates import get_aggregate
+from repro.core.answer import BoundedAnswer
+from repro.core.bound import Bound, Trilean
+from repro.core.executor import RefreshProvider
+from repro.errors import ConstraintUnsatisfiableError
+from repro.joins.classify import JoinedTuple, classify_joined, join_rows
+from repro.predicates.ast import Predicate
+from repro.storage.row import Row
+from repro.storage.table import Table
+
+__all__ = ["JoinRefreshHeuristic", "execute_join_query"]
+
+CostFunc = Callable[[Row], float]
+
+
+@dataclass(frozen=True, slots=True)
+class _BaseTupleKey:
+    table: str
+    tid: int
+
+
+class JoinRefreshHeuristic:
+    """Iterative greedy base-tuple refresh for join aggregation queries."""
+
+    def __init__(
+        self,
+        tables: Sequence[Table],
+        refresher: RefreshProvider,
+        cost: CostFunc | None = None,
+        max_iterations: int = 10_000,
+    ) -> None:
+        self.tables = list(tables)
+        self.by_name = {t.name: t for t in self.tables}
+        self.refresher = refresher
+        self.cost = cost if cost is not None else (lambda row: 1.0)
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        aggregate: str,
+        column: tuple[str, str] | None,
+        max_width: float,
+        predicate: Predicate | None = None,
+    ) -> BoundedAnswer:
+        """Run the iterative heuristic until the constraint is met."""
+        spec = get_aggregate(aggregate)
+        agg_key = self._aggregation_key(column)
+
+        refreshed: set[_BaseTupleKey] = set()
+        total_cost = 0.0
+        initial: Bound | None = None
+
+        for _ in range(self.max_iterations):
+            joined = join_rows(self.tables, predicate)
+            classification = classify_joined(joined)
+            bound = spec.bound_with_classification(classification, agg_key)
+            if initial is None:
+                initial = bound
+            if bound.width <= max_width + 1e-9:
+                return BoundedAnswer(
+                    bound=bound,
+                    refreshed=frozenset(k.tid for k in refreshed),
+                    refresh_cost=total_cost,
+                    initial_bound=initial,
+                )
+            best = self._best_candidate(joined, agg_key, refreshed)
+            if best is None:
+                # Nothing left to refresh yet constraint unmet: the answer
+                # is inherently this wide (e.g. R = 0 over an empty join).
+                raise ConstraintUnsatisfiableError(
+                    f"join answer {bound} cannot be narrowed below "
+                    f"{bound.width:g} (requested {max_width:g})"
+                )
+            total_cost += self._refresh_base(best)
+            refreshed.add(best)
+        raise ConstraintUnsatisfiableError(
+            f"join refresh heuristic exceeded {self.max_iterations} iterations"
+        )
+
+    # ------------------------------------------------------------------
+    def _aggregation_key(self, column: tuple[str, str] | None) -> str | None:
+        if column is None:
+            return None
+        table_name, col = column
+        # Joined rows always carry the qualified key.
+        return f"{table_name}.{col}"
+
+    def _best_candidate(
+        self,
+        joined: Sequence[JoinedTuple],
+        agg_key: str | None,
+        refreshed: set[_BaseTupleKey],
+    ) -> _BaseTupleKey | None:
+        """Highest benefit/cost base tuple not yet refreshed."""
+        benefit: dict[_BaseTupleKey, float] = {}
+        for jt in joined:
+            uncertainty = 1.0 if jt.verdict is Trilean.MAYBE else 0.0
+            if agg_key is not None:
+                bound = jt.row.bound(agg_key)
+                width = (
+                    bound.extend_to_zero().width
+                    if jt.verdict is Trilean.MAYBE
+                    else bound.width
+                )
+            else:
+                width = 0.0
+            score = width + uncertainty
+            if score <= 0:
+                continue
+            for table_name, tid in jt.base.items():
+                key = _BaseTupleKey(table_name, tid)
+                if key in refreshed:
+                    continue
+                if self._is_fully_exact(key):
+                    continue
+                benefit[key] = benefit.get(key, 0.0) + score
+        if not benefit:
+            return None
+        return max(
+            benefit,
+            key=lambda k: (
+                benefit[k] / max(self._cost_of(k), 1e-12),
+                -k.tid,
+            ),
+        )
+
+    def _is_fully_exact(self, key: _BaseTupleKey) -> bool:
+        table = self.by_name[key.table]
+        row = table.row(key.tid)
+        return all(
+            row.is_exact(column.name) for column in table.schema.bounded_columns
+        )
+
+    def _cost_of(self, key: _BaseTupleKey) -> float:
+        return self.cost(self.by_name[key.table].row(key.tid))
+
+    def _refresh_base(self, key: _BaseTupleKey) -> float:
+        table = self.by_name[key.table]
+        cost = self._cost_of(key)
+        self.refresher.refresh(table, [key.tid])
+        return cost
+
+
+def execute_join_query(
+    tables: Sequence[Table],
+    aggregate: str,
+    column: tuple[str, str] | None,
+    max_width: float,
+    predicate: Predicate | None = None,
+    refresher: RefreshProvider | None = None,
+    cost: CostFunc | None = None,
+) -> BoundedAnswer:
+    """One-shot convenience wrapper around :class:`JoinRefreshHeuristic`."""
+    from repro.core.executor import NullRefreshProvider
+
+    heuristic = JoinRefreshHeuristic(
+        tables,
+        refresher if refresher is not None else NullRefreshProvider(),
+        cost=cost,
+    )
+    return heuristic.execute(aggregate, column, max_width, predicate)

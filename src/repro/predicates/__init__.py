@@ -1,0 +1,44 @@
+"""Predicate language: AST, parsing, evaluation, Possible/Certain, T± sets."""
+
+from repro.predicates.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    columns_of,
+)
+from repro.predicates.classify import (
+    Classification,
+    classify,
+    classify_trilean,
+    restrict_bound,
+)
+from repro.predicates.eval import evaluate_exact, evaluate_trilean
+from repro.predicates.parser import parse_predicate
+from repro.predicates.transforms import certain, endpoint_sql, possible
+
+__all__ = [
+    "And",
+    "ColumnRef",
+    "Comparison",
+    "Literal",
+    "Not",
+    "Or",
+    "Predicate",
+    "TruePredicate",
+    "columns_of",
+    "Classification",
+    "classify",
+    "classify_trilean",
+    "restrict_bound",
+    "evaluate_exact",
+    "evaluate_trilean",
+    "parse_predicate",
+    "possible",
+    "certain",
+    "endpoint_sql",
+]

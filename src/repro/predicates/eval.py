@@ -1,0 +1,170 @@
+"""Predicate evaluation over exact and bounded rows.
+
+Two evaluators are provided:
+
+* :func:`evaluate_exact` — ordinary two-valued evaluation over a row whose
+  referenced columns all hold exact values (the master-side semantics).
+* :func:`evaluate_trilean` — three-valued evaluation over a row whose
+  columns may hold :class:`~repro.core.bound.Bound` intervals.  The result
+  is ``TRUE`` when the predicate holds for *every* realization of the
+  bounds, ``FALSE`` when it holds for *none*, and ``MAYBE`` otherwise.
+  This is the value-level form of the paper's ``Certain``/``Possible``
+  transforms (Appendix D): ``Certain(P)`` ⟺ result is TRUE, and
+  ``Possible(P)`` ⟺ result is not FALSE.
+
+Note the same conservative approximations as the paper: conjunction of
+``Possible`` and disjunction of ``Certain`` are one-directional, so a
+``MAYBE`` may occasionally be reported for a tuple that is really decided
+(correlated subexpressions); this affects only optimality, never
+correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.bound import Bound, Trilean
+from repro.errors import PredicateError, PredicateTypeError
+from repro.predicates.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    Term,
+    TruePredicate,
+)
+from repro.storage.row import Row
+
+__all__ = ["evaluate_exact", "evaluate_trilean"]
+
+
+def resolve_column(row: Row, term: ColumnRef):
+    """Fetch a column value, preferring the table-qualified key.
+
+    Joined rows (:mod:`repro.joins`) store values under ``table.column``
+    keys (plus unqualified aliases when unambiguous); single-table rows use
+    plain column names.  This helper makes both work for any ``ColumnRef``.
+    """
+    if term.table is not None:
+        qualified = f"{term.table}.{term.column}"
+        if qualified in row:
+            return row[qualified]
+    return row[term.column]
+
+
+def _term_value_exact(term: Term, row: Row) -> float | str:
+    if isinstance(term, Literal):
+        return term.value
+    value = resolve_column(row, term)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Bound):
+        if not value.is_exact:
+            raise PredicateTypeError(
+                f"column {term.column!r} holds non-exact bound {value}; "
+                "exact evaluation is impossible"
+            )
+        return term.as_number(value.lo)
+    return term.as_number(float(value))
+
+
+def _term_value_bound(term: Term, row: Row) -> Bound | str:
+    if isinstance(term, Literal):
+        if isinstance(term.value, str):
+            return term.value
+        return Bound.exact(term.value)
+    value = resolve_column(row, term)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Bound):
+        return term.as_bound(value)
+    return term.as_bound(Bound.exact(float(value)))
+
+
+_EXACT_OPS: dict[str, Callable[[float, float], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def evaluate_exact(predicate: Predicate, row: Row) -> bool:
+    """Two-valued evaluation; every referenced column must be exact."""
+    if isinstance(predicate, TruePredicate):
+        return True
+    if isinstance(predicate, Comparison):
+        left = _term_value_exact(predicate.left, row)
+        right = _term_value_exact(predicate.right, row)
+        if isinstance(left, str) != isinstance(right, str):
+            raise PredicateTypeError(
+                f"cannot compare {type(left).__name__} with {type(right).__name__}"
+            )
+        if isinstance(left, str):
+            if predicate.op not in ("=", "!="):
+                raise PredicateTypeError(
+                    f"operator {predicate.op!r} is not defined for strings"
+                )
+            return (left == right) if predicate.op == "=" else (left != right)
+        return _EXACT_OPS[predicate.op](left, right)
+    if isinstance(predicate, Not):
+        return not evaluate_exact(predicate.operand, row)
+    if isinstance(predicate, And):
+        return evaluate_exact(predicate.left, row) and evaluate_exact(
+            predicate.right, row
+        )
+    if isinstance(predicate, Or):
+        return evaluate_exact(predicate.left, row) or evaluate_exact(
+            predicate.right, row
+        )
+    raise PredicateError(f"unknown predicate node {predicate!r}")
+
+
+def _compare_trilean(left: Bound | str, op: str, right: Bound | str) -> Trilean:
+    if isinstance(left, str) or isinstance(right, str):
+        if not (isinstance(left, str) and isinstance(right, str)):
+            raise PredicateTypeError("cannot compare string with numeric value")
+        if op == "=":
+            return Trilean.of(left == right)
+        if op == "!=":
+            return Trilean.of(left != right)
+        raise PredicateTypeError(f"operator {op!r} is not defined for strings")
+    if op == "<":
+        return left.cmp_lt(right)
+    if op == "<=":
+        return left.cmp_le(right)
+    if op == ">":
+        return left.cmp_gt(right)
+    if op == ">=":
+        return left.cmp_ge(right)
+    if op == "=":
+        return left.cmp_eq(right)
+    if op == "!=":
+        return left.cmp_ne(right)
+    raise PredicateError(f"unknown comparison operator {op!r}")
+
+
+def evaluate_trilean(predicate: Predicate, row: Row) -> Trilean:
+    """Three-valued evaluation over possibly-bounded column values."""
+    if isinstance(predicate, TruePredicate):
+        return Trilean.TRUE
+    if isinstance(predicate, Comparison):
+        left = _term_value_bound(predicate.left, row)
+        right = _term_value_bound(predicate.right, row)
+        return _compare_trilean(left, predicate.op, right)
+    if isinstance(predicate, Not):
+        return ~evaluate_trilean(predicate.operand, row)
+    if isinstance(predicate, And):
+        return evaluate_trilean(predicate.left, row) & evaluate_trilean(
+            predicate.right, row
+        )
+    if isinstance(predicate, Or):
+        return evaluate_trilean(predicate.left, row) | evaluate_trilean(
+            predicate.right, row
+        )
+    raise PredicateError(f"unknown predicate node {predicate!r}")

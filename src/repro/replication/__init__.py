@@ -1,0 +1,40 @@
+"""TRAPP replication architecture: sources, caches, protocol, costs."""
+
+from repro.replication.cache import DataCache
+from repro.replication.costs import (
+    ColumnCostModel,
+    CostModel,
+    PerSourceCostModel,
+    TableCostModel,
+    UniformCostModel,
+)
+from repro.replication.messages import (
+    CardinalityChange,
+    ObjectKey,
+    Refresh,
+    RefreshPayload,
+    RefreshReason,
+    RefreshRequest,
+)
+from repro.replication.local import LocalRefresher
+from repro.replication.source import DataSource, RefreshMonitor
+from repro.replication.system import TrappSystem
+
+__all__ = [
+    "DataCache",
+    "DataSource",
+    "LocalRefresher",
+    "RefreshMonitor",
+    "TrappSystem",
+    "CostModel",
+    "UniformCostModel",
+    "ColumnCostModel",
+    "PerSourceCostModel",
+    "TableCostModel",
+    "ObjectKey",
+    "Refresh",
+    "RefreshPayload",
+    "RefreshReason",
+    "RefreshRequest",
+    "CardinalityChange",
+]

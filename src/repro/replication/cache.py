@@ -1,0 +1,202 @@
+"""Data caches: bounded replicas plus the query-side refresh glue (§3).
+
+A :class:`DataCache` holds, for each subscribed table, a cached
+:class:`~repro.storage.table.Table` whose bounded columns store intervals
+evaluated from the current bound functions.  It implements the executor's
+``RefreshProvider`` protocol, so a
+:class:`~repro.core.executor.QueryExecutor` wired to a cache transparently
+performs query-initiated refreshes through the replication protocol.
+
+Time handling: bound functions widen continuously, so the cache
+re-evaluates every tracked bound at the current clock reading before a
+query runs (:meth:`DataCache.sync_bounds`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.bounds.functions import BoundFunction
+from repro.errors import ReplicationProtocolError
+from repro.replication.messages import (
+    CardinalityChange,
+    ObjectKey,
+    Refresh,
+    RefreshRequest,
+)
+from repro.replication.source import DataSource
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+__all__ = ["DataCache"]
+
+
+@dataclass(slots=True)
+class _Subscription:
+    """Where one cached object comes from and its current bound function."""
+
+    source: DataSource
+    bound_function: BoundFunction
+
+
+class DataCache:
+    """A cache of bounded replicas that can answer TRAPP/AG queries."""
+
+    def __init__(self, cache_id: str, clock: Callable[[], float] = lambda: 0.0):
+        self.cache_id = cache_id
+        self.clock = clock
+        self.catalog = Catalog()
+        self._subscriptions: dict[ObjectKey, _Subscription] = {}
+        self._sources: dict[str, DataSource] = {}
+        # Statistics for experiments.
+        self.refreshes_received = 0
+        self.refresh_requests_sent = 0
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def subscribe_table(
+        self,
+        source: DataSource,
+        table_name: str,
+        policy_factory: Callable[[], object] | None = None,
+    ) -> Table:
+        """Replicate an entire master table into this cache.
+
+        Every bounded column of every row is registered with the source's
+        refresh monitor; exact/text columns are copied as-is (they never
+        change without a cardinality message in this architecture).
+        """
+        master = source.table(table_name)
+        if table_name in self.catalog:
+            raise ReplicationProtocolError(
+                f"cache {self.cache_id!r} already caches table {table_name!r}"
+            )
+        self._sources.setdefault(source.source_id, source)
+        source.connect_cache(self.cache_id, self._on_message)
+
+        cached = self.catalog.create_table(table_name, master.schema)
+        for row in master.rows():
+            values = {}
+            for column in master.schema:
+                if column.is_bounded:
+                    values[column.name] = 0.0  # placeholder, set below
+                else:
+                    values[column.name] = row[column.name]
+            cached.insert(values, tid=row.tid)
+            for column in master.schema.bounded_columns:
+                key = ObjectKey(table_name, row.tid, column.name)
+                policy = policy_factory() if policy_factory is not None else None
+                payload = source.register(self.cache_id, key, policy=policy)
+                self._subscriptions[key] = _Subscription(source, payload.bound_function)
+                cached.update_value(
+                    row.tid, column.name, payload.bound_function.at(self.clock())
+                )
+        return cached
+
+    # ------------------------------------------------------------------
+    # Clock synchronization
+    # ------------------------------------------------------------------
+    def sync_bounds(self) -> None:
+        """Re-evaluate every cached bound at the current time.
+
+        Bound functions widen as time passes; queries must see the bound at
+        query time, not at last-message time.
+        """
+        now = self.clock()
+        for key, subscription in self._subscriptions.items():
+            table = self.catalog.table(key.table)
+            if key.tid in table:
+                table.update_value(
+                    key.tid, key.column, subscription.bound_function.at(now)
+                )
+
+    # ------------------------------------------------------------------
+    # RefreshProvider protocol (query-initiated refreshes)
+    # ------------------------------------------------------------------
+    def refresh(self, table: Table, tids: Iterable[int]) -> None:
+        """Collapse the named tuples' bounds by asking their sources.
+
+        Groups keys per source so each source receives one request (the
+        batching extension can then amortize transfer costs).
+        """
+        tids = sorted(set(tids))
+        if not tids:
+            return
+        by_source: dict[str, list[ObjectKey]] = {}
+        for tid in tids:
+            for column in table.schema.bounded_columns:
+                key = ObjectKey(table.name, tid, column.name)
+                subscription = self._subscriptions.get(key)
+                if subscription is None:
+                    raise ReplicationProtocolError(
+                        f"cache {self.cache_id!r} holds no subscription for {key}"
+                    )
+                by_source.setdefault(subscription.source.source_id, []).append(key)
+        for source_id, keys in by_source.items():
+            source = self._sources[source_id]
+            request = RefreshRequest(cache_id=self.cache_id, keys=tuple(keys))
+            self.refresh_requests_sent += 1
+            response = source.handle_refresh_request(request)
+            self._apply_refresh(response)
+
+    # ------------------------------------------------------------------
+    # Incoming messages (value-initiated refreshes, cardinality changes)
+    # ------------------------------------------------------------------
+    def _on_message(self, cache_id: str, message: object) -> None:
+        if isinstance(message, Refresh):
+            self._apply_refresh(message)
+        elif isinstance(message, CardinalityChange):
+            self._apply_cardinality_change(message)
+        else:  # pragma: no cover - defensive
+            raise ReplicationProtocolError(f"unexpected message {message!r}")
+
+    def _apply_refresh(self, refresh: Refresh) -> None:
+        now = self.clock()
+        for payload in refresh.payloads:
+            key = payload.key
+            subscription = self._subscriptions.get(key)
+            if subscription is None:
+                # Late message for an object deleted meanwhile; drop it.
+                continue
+            subscription.bound_function = payload.bound_function
+            table = self.catalog.table(key.table)
+            if key.tid in table:
+                table.update_value(key.tid, key.column, payload.bound_function.at(now))
+            self.refreshes_received += 1
+
+    def _apply_cardinality_change(self, change: CardinalityChange) -> None:
+        table = self.catalog.table(change.table)
+        source = self._sources[change.source_id]
+        if change.is_insert:
+            assert change.values is not None
+            values = dict(change.values)
+            table.insert(values, tid=change.tid)
+            for column in table.schema.bounded_columns:
+                key = ObjectKey(change.table, change.tid, column.name)
+                payload = source.register(self.cache_id, key)
+                self._subscriptions[key] = _Subscription(source, payload.bound_function)
+                table.update_value(
+                    change.tid, column.name, payload.bound_function.at(self.clock())
+                )
+        else:
+            if change.tid in table:
+                table.delete(change.tid)
+            for column in table.schema.column_names:
+                self._subscriptions.pop(
+                    ObjectKey(change.table, change.tid, column), None
+                )
+
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def bound_function_of(self, key: ObjectKey) -> BoundFunction:
+        subscription = self._subscriptions.get(key)
+        if subscription is None:
+            raise ReplicationProtocolError(
+                f"cache {self.cache_id!r} holds no subscription for {key}"
+            )
+        return subscription.bound_function

@@ -1,0 +1,98 @@
+"""Refresh cost models (paper §3 and §4).
+
+The paper assumes a known quantitative cost to refresh each data object,
+possibly varying per object (e.g. with node distance), though "in practice
+it is likely that the cost of refreshing an object depends only on which
+source it comes from".  Total cost of a set is the sum of member costs
+(batching amortization is an extension — see
+:mod:`repro.extensions.batching`).
+
+Cost models implement a single ``cost_of(row) -> float`` method and are
+adapted to the optimizer-facing ``CostFunc`` with :meth:`CostModel.as_func`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.refresh.base import CostFunc
+from repro.errors import TrappError
+from repro.storage.row import Row
+
+__all__ = [
+    "CostModel",
+    "UniformCostModel",
+    "ColumnCostModel",
+    "PerSourceCostModel",
+    "TableCostModel",
+]
+
+
+class CostModel:
+    """Base class for refresh cost models."""
+
+    def cost_of(self, row: Row) -> float:
+        raise NotImplementedError
+
+    def as_func(self) -> CostFunc:
+        """Adapt to the ``Callable[[Row], float]`` optimizers expect."""
+        return self.cost_of
+
+
+@dataclass(slots=True)
+class UniformCostModel(CostModel):
+    """Every refresh costs the same constant (default 1)."""
+
+    cost: float = 1.0
+
+    def cost_of(self, row: Row) -> float:
+        return self.cost
+
+
+@dataclass(slots=True)
+class ColumnCostModel(CostModel):
+    """Per-tuple costs stored in a column of the table itself.
+
+    Matches the paper's Figure 2 layout, where each link row carries its own
+    ``refresh cost`` value.
+    """
+
+    column: str = "cost"
+
+    def cost_of(self, row: Row) -> float:
+        return float(row.number(self.column))
+
+
+@dataclass(slots=True)
+class PerSourceCostModel(CostModel):
+    """Each source charges a flat per-object cost — the "likely in
+    practice" model from §3.
+
+    ``source_of`` maps a row to its source id (commonly a column read);
+    unknown sources fall back to ``default_cost``.
+    """
+
+    costs_by_source: Mapping[str, float] = field(default_factory=dict)
+    source_of: Callable[[Row], str] = field(
+        default=lambda row: str(row.get("source", ""))
+    )
+    default_cost: float = 1.0
+
+    def cost_of(self, row: Row) -> float:
+        return float(self.costs_by_source.get(self.source_of(row), self.default_cost))
+
+
+@dataclass(slots=True)
+class TableCostModel(CostModel):
+    """Explicit per-tuple-id costs; handy for tests and benchmarks."""
+
+    costs: Mapping[int, float] = field(default_factory=dict)
+    default_cost: float | None = None
+
+    def cost_of(self, row: Row) -> float:
+        if row.tid in self.costs:
+            return float(self.costs[row.tid])
+        if self.default_cost is not None:
+            return self.default_cost
+        raise TrappError(f"no refresh cost known for tuple #{row.tid}")

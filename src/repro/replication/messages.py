@@ -1,0 +1,96 @@
+"""Protocol messages exchanged between data sources and data caches (§3).
+
+The TRAPP refresh protocol has three message kinds:
+
+* :class:`RefreshRequest` — cache → source: a *query-initiated* refresh for
+  a set of tuples (the output of CHOOSE_REFRESH);
+* :class:`Refresh` — source → cache: the current precise value of each
+  requested object together with a new bound function, flagged with the
+  reason (value- vs query-initiated);
+* :class:`CardinalityChange` — source → cache: an insertion or deletion,
+  which the §3 architecture propagates immediately.
+
+Messages are plain frozen dataclasses; the simulation layer handles
+delivery timing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.bounds.functions import BoundFunction
+
+__all__ = [
+    "RefreshReason",
+    "ObjectKey",
+    "RefreshRequest",
+    "RefreshPayload",
+    "Refresh",
+    "CardinalityChange",
+]
+
+
+class RefreshReason(enum.Enum):
+    """Why a refresh was sent (paper §3.1)."""
+
+    #: The master value escaped the cached bound.
+    VALUE_INITIATED = "value"
+    #: A query needed the exact value to meet its precision constraint.
+    QUERY_INITIATED = "query"
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectKey:
+    """Identifies one replicated data object: (table, tuple id, column)."""
+
+    table: str
+    tid: int
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}#{self.tid}.{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class RefreshRequest:
+    """Cache → source: please refresh these objects now."""
+
+    cache_id: str
+    keys: tuple[ObjectKey, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class RefreshPayload:
+    """One object's refresh content: exact value plus its new bound function."""
+
+    key: ObjectKey
+    value: float
+    bound_function: BoundFunction
+
+
+@dataclass(frozen=True, slots=True)
+class Refresh:
+    """Source → cache: new exact values and bound functions."""
+
+    source_id: str
+    reason: RefreshReason
+    payloads: tuple[RefreshPayload, ...]
+    sent_at: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CardinalityChange:
+    """Source → cache: a tuple appeared or disappeared at the master.
+
+    ``values`` carries the full new row for insertions; ``None`` deletes.
+    """
+
+    source_id: str
+    table: str
+    tid: int
+    values: dict[str, float] | None = None
+
+    @property
+    def is_insert(self) -> bool:
+        return self.values is not None

@@ -1,0 +1,314 @@
+"""Data sources and their refresh monitors (paper §3, Figure 3).
+
+A :class:`DataSource` owns the master copy of one or more tables: every
+bounded column of every tuple has a single exact value ``V_i`` that only
+the source may update.  Its embedded :class:`RefreshMonitor` tracks, for
+every registered cache, the bound function the cache currently holds for
+each object, and enforces the TRAPP contract: the moment an update pushes
+a master value outside any cache's bound, the source emits a
+*value-initiated* refresh to that cache.  *Query-initiated* refreshes are
+answered on demand with the current exact value plus a fresh bound
+function whose width comes from the object's width policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.bounds.functions import BoundFunction, BoundShape, SqrtShape
+from repro.bounds.width import AdaptiveWidthController, WidthPolicy
+from repro.errors import ReplicationProtocolError
+from repro.replication.messages import (
+    CardinalityChange,
+    ObjectKey,
+    Refresh,
+    RefreshPayload,
+    RefreshReason,
+    RefreshRequest,
+)
+from repro.storage.table import Table
+
+__all__ = ["RefreshMonitor", "DataSource"]
+
+#: Callback type used to deliver a message to a cache; the simulation layer
+#: interposes latency here.
+DeliverFunc = Callable[[str, object], None]
+
+
+@dataclass(slots=True)
+class _TrackedBound:
+    """One cache's bound function for one object, as the source remembers it."""
+
+    bound_function: BoundFunction
+    policy: WidthPolicy
+
+
+class RefreshMonitor:
+    """Per-source bookkeeping of every remotely cached bound (§3).
+
+    Keys are ``(cache_id, ObjectKey)``.  The monitor is deliberately
+    simple; the paper notes that a source serving many caches would want a
+    scalable trigger system, which is out of scope.
+    """
+
+    def __init__(self) -> None:
+        self._tracked: dict[tuple[str, ObjectKey], _TrackedBound] = {}
+
+    def track(
+        self, cache_id: str, key: ObjectKey, bound_function: BoundFunction,
+        policy: WidthPolicy,
+    ) -> None:
+        self._tracked[(cache_id, key)] = _TrackedBound(bound_function, policy)
+
+    def update(self, cache_id: str, key: ObjectKey, bound_function: BoundFunction) -> None:
+        entry = self._entry(cache_id, key)
+        entry.bound_function = bound_function
+
+    def forget_cache(self, cache_id: str) -> None:
+        for tracked_key in [k for k in self._tracked if k[0] == cache_id]:
+            del self._tracked[tracked_key]
+
+    def forget_object(self, key: ObjectKey) -> None:
+        for tracked_key in [k for k in self._tracked if k[1] == key]:
+            del self._tracked[tracked_key]
+
+    def policy(self, cache_id: str, key: ObjectKey) -> WidthPolicy:
+        return self._entry(cache_id, key).policy
+
+    def violations(
+        self, key: ObjectKey, value: float, now: float
+    ) -> list[tuple[str, _TrackedBound]]:
+        """Caches whose bound for ``key`` no longer contains ``value``."""
+        out: list[tuple[str, _TrackedBound]] = []
+        for (cache_id, tracked_key), entry in self._tracked.items():
+            if tracked_key == key and not entry.bound_function.contains(value, now):
+                out.append((cache_id, entry))
+        return out
+
+    def caches_tracking(self, key: ObjectKey) -> list[str]:
+        return [cid for (cid, k) in self._tracked if k == key]
+
+    def entries_for_cache(self, cache_id: str) -> list[tuple[ObjectKey, "_TrackedBound"]]:
+        """Every (key, tracked bound) pair held on behalf of one cache."""
+        return [
+            (key, entry)
+            for (cid, key), entry in self._tracked.items()
+            if cid == cache_id
+        ]
+
+    def tracked_count(self) -> int:
+        return len(self._tracked)
+
+    def _entry(self, cache_id: str, key: ObjectKey) -> _TrackedBound:
+        try:
+            return self._tracked[(cache_id, key)]
+        except KeyError:
+            raise ReplicationProtocolError(
+                f"cache {cache_id!r} is not registered for object {key}"
+            ) from None
+
+
+class DataSource:
+    """The master copy of one or more tables plus its refresh monitor."""
+
+    def __init__(
+        self,
+        source_id: str,
+        clock: Callable[[], float] = lambda: 0.0,
+        shape: BoundShape | None = None,
+        default_policy_factory: Callable[[], WidthPolicy] | None = None,
+        piggyback: "object | None" = None,
+    ) -> None:
+        self.source_id = source_id
+        self.clock = clock
+        self.shape = shape if shape is not None else SqrtShape()
+        self._policy_factory = default_policy_factory or AdaptiveWidthController
+        #: Optional §8.3 piggyback policy; when set, refresh responses may
+        #: carry extra payloads for objects near their bound edges.
+        self.piggyback = piggyback
+        self.piggybacked_refreshes = 0
+        self._tables: dict[str, Table] = {}
+        self.monitor = RefreshMonitor()
+        self._deliver: dict[str, DeliverFunc] = {}
+        # Statistics for experiments.
+        self.value_initiated_refreshes = 0
+        self.query_initiated_refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Table and cache management
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise ReplicationProtocolError(
+                f"source {self.source_id!r} already serves table {table.name!r}"
+            )
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ReplicationProtocolError(
+                f"source {self.source_id!r} does not serve table {name!r}"
+            ) from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def connect_cache(self, cache_id: str, deliver: DeliverFunc) -> None:
+        """Register the delivery channel for one cache."""
+        self._deliver[cache_id] = deliver
+
+    # ------------------------------------------------------------------
+    # Registration: a cache subscribes to an object
+    # ------------------------------------------------------------------
+    def register(
+        self, cache_id: str, key: ObjectKey, policy: WidthPolicy | None = None
+    ) -> RefreshPayload:
+        """Subscribe a cache to an object; returns the initial payload.
+
+        The initial bound function starts at the current exact value with
+        the policy's width parameter.
+        """
+        value = self._master_value(key)
+        policy = policy if policy is not None else self._policy_factory()
+        bound_function = BoundFunction(
+            value_at_refresh=value,
+            width_parameter=policy.next_width(),
+            refreshed_at=self.clock(),
+            shape=self.shape,
+        )
+        self.monitor.track(cache_id, key, bound_function, policy)
+        return RefreshPayload(key, value, bound_function)
+
+    # ------------------------------------------------------------------
+    # Query-initiated refresh
+    # ------------------------------------------------------------------
+    def handle_refresh_request(self, request: RefreshRequest) -> Refresh:
+        """Answer a cache's query-initiated refresh request synchronously."""
+        payloads = []
+        now = self.clock()
+        for key in request.keys:
+            value = self._master_value(key)
+            policy = self.monitor.policy(request.cache_id, key)
+            policy.on_query_initiated()
+            bound_function = BoundFunction(
+                value_at_refresh=value,
+                width_parameter=policy.next_width(),
+                refreshed_at=now,
+                shape=self.shape,
+            )
+            self.monitor.update(request.cache_id, key, bound_function)
+            payloads.append(RefreshPayload(key, value, bound_function))
+            self.query_initiated_refreshes += 1
+        payloads.extend(self._piggyback_payloads(request, now))
+        return Refresh(
+            source_id=self.source_id,
+            reason=RefreshReason.QUERY_INITIATED,
+            payloads=tuple(payloads),
+            sent_at=now,
+        )
+
+    def _piggyback_payloads(
+        self, request: RefreshRequest, now: float
+    ) -> list[RefreshPayload]:
+        """§8.3 piggybacking: refresh endangered objects while we're at it.
+
+        Piggybacked refreshes reuse the object's current width (they are
+        opportunistic, not a precision signal, so the width policy receives
+        no feedback).
+        """
+        if self.piggyback is None:
+            return []
+        requested = set(request.keys)
+        tracked = [
+            (key, self._master_value(key), entry.bound_function.at(now))
+            for key, entry in self.monitor.entries_for_cache(request.cache_id)
+            if key not in requested
+        ]
+        extras = []
+        for key in self.piggyback.select(requested, tracked):
+            value = self._master_value(key)
+            entry_policy = self.monitor.policy(request.cache_id, key)
+            bound_function = BoundFunction(
+                value_at_refresh=value,
+                width_parameter=entry_policy.next_width(),
+                refreshed_at=now,
+                shape=self.shape,
+            )
+            self.monitor.update(request.cache_id, key, bound_function)
+            extras.append(RefreshPayload(key, value, bound_function))
+            self.piggybacked_refreshes += 1
+        return extras
+
+    # ------------------------------------------------------------------
+    # Master updates and value-initiated refresh
+    # ------------------------------------------------------------------
+    def apply_update(self, key: ObjectKey, new_value: float) -> list[Refresh]:
+        """Update a master value, emitting value-initiated refreshes as
+        required by the TRAPP contract."""
+        table = self.table(key.table)
+        table.update_value(key.tid, key.column, float(new_value))
+        now = self.clock()
+        refreshes: list[Refresh] = []
+        for cache_id, entry in self.monitor.violations(key, new_value, now):
+            entry.policy.on_value_initiated()
+            bound_function = BoundFunction(
+                value_at_refresh=new_value,
+                width_parameter=entry.policy.next_width(),
+                refreshed_at=now,
+                shape=self.shape,
+            )
+            self.monitor.update(cache_id, key, bound_function)
+            refresh = Refresh(
+                source_id=self.source_id,
+                reason=RefreshReason.VALUE_INITIATED,
+                payloads=(RefreshPayload(key, new_value, bound_function),),
+                sent_at=now,
+            )
+            self.value_initiated_refreshes += 1
+            self._send(cache_id, refresh)
+            refreshes.append(refresh)
+        return refreshes
+
+    # ------------------------------------------------------------------
+    # Insertions and deletions (propagated immediately, §3)
+    # ------------------------------------------------------------------
+    def insert_row(self, table_name: str, values: dict) -> CardinalityChange:
+        table = self.table(table_name)
+        row = table.insert(values)
+        change = CardinalityChange(
+            source_id=self.source_id,
+            table=table_name,
+            tid=row.tid,
+            values=dict(values),
+        )
+        self._broadcast(change)
+        return change
+
+    def delete_row(self, table_name: str, tid: int) -> CardinalityChange:
+        table = self.table(table_name)
+        table.delete(tid)
+        for column in table.schema.column_names:
+            self.monitor.forget_object(ObjectKey(table_name, tid, column))
+        change = CardinalityChange(
+            source_id=self.source_id, table=table_name, tid=tid, values=None
+        )
+        self._broadcast(change)
+        return change
+
+    # ------------------------------------------------------------------
+    def _master_value(self, key: ObjectKey) -> float:
+        table = self.table(key.table)
+        return table.row(key.tid).number(key.column)
+
+    def _send(self, cache_id: str, message: object) -> None:
+        deliver = self._deliver.get(cache_id)
+        if deliver is not None:
+            deliver(cache_id, message)
+
+    def _broadcast(self, message: object) -> None:
+        for cache_id in self._deliver:
+            self._send(cache_id, message)

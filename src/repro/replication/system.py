@@ -1,0 +1,139 @@
+"""Top-level TRAPP system wiring: sources + caches + query processor.
+
+:class:`TrappSystem` assembles the architecture of the paper's Figure 3 in
+one object: it owns a shared clock, any number of data sources and data
+caches, and a query API that runs the three-step executor against a cache
+with query-initiated refreshes flowing through the replication protocol.
+
+This is the main entry point for library users::
+
+    system = TrappSystem()
+    source = system.add_source("s1")
+    ...populate master tables...
+    cache = system.add_cache("monitor")
+    cache.subscribe_table(source, "links")
+    answer = system.query(
+        "monitor", "SELECT AVG(traffic) WITHIN 10 FROM links"
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.answer import BoundedAnswer
+from repro.core.constraints import PrecisionConstraint
+from repro.core.executor import QueryExecutor
+from repro.core.refresh.base import CostFunc, uniform_cost
+from repro.errors import TrappError
+from repro.predicates.ast import Predicate
+from repro.replication.cache import DataCache
+from repro.replication.costs import CostModel
+from repro.replication.source import DataSource
+from repro.simulation.clock import Clock
+
+__all__ = ["TrappSystem"]
+
+
+class TrappSystem:
+    """A complete TRAPP deployment: clock, sources, caches, query API."""
+
+    def __init__(self, clock: Clock | None = None, epsilon: float | None = None):
+        self.clock = clock if clock is not None else Clock()
+        self.epsilon = epsilon
+        self._sources: dict[str, DataSource] = {}
+        self._caches: dict[str, DataCache] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_source(self, source_id: str, **kwargs) -> DataSource:
+        if source_id in self._sources:
+            raise TrappError(f"source {source_id!r} already exists")
+        source = DataSource(source_id, clock=self.clock.now, **kwargs)
+        self._sources[source_id] = source
+        return source
+
+    def add_cache(self, cache_id: str) -> DataCache:
+        if cache_id in self._caches:
+            raise TrappError(f"cache {cache_id!r} already exists")
+        cache = DataCache(cache_id, clock=self.clock.now)
+        self._caches[cache_id] = cache
+        return cache
+
+    def source(self, source_id: str) -> DataSource:
+        try:
+            return self._sources[source_id]
+        except KeyError:
+            raise TrappError(f"unknown source {source_id!r}") from None
+
+    def cache(self, cache_id: str) -> DataCache:
+        try:
+            return self._caches[cache_id]
+        except KeyError:
+            raise TrappError(f"unknown cache {cache_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        cache_id: str,
+        sql: str,
+        cost: CostFunc | CostModel | None = None,
+        epsilon: float | None = None,
+    ) -> BoundedAnswer:
+        """Parse and execute a TRAPP SQL statement against one cache."""
+        from repro.sql.compiler import compile_statement
+        from repro.sql.parser import parse_statement
+
+        cache = self.cache(cache_id)
+        cache.sync_bounds()
+        statement = parse_statement(sql)
+        plan = compile_statement(statement, cache.catalog)
+        executor = QueryExecutor(
+            refresher=cache, epsilon=epsilon if epsilon is not None else self.epsilon
+        )
+        return executor.execute(
+            table=plan.table,
+            aggregate=plan.aggregate,
+            column=plan.column,
+            constraint=plan.constraint,
+            predicate=plan.predicate,
+            cost=self._resolve_cost(cost),
+        )
+
+    def query_ast(
+        self,
+        cache_id: str,
+        table: str,
+        aggregate: str,
+        column: str | None,
+        constraint: PrecisionConstraint | float,
+        predicate: Predicate | None = None,
+        cost: CostFunc | CostModel | None = None,
+        epsilon: float | None = None,
+    ) -> BoundedAnswer:
+        """Execute a query given pre-built AST pieces (no SQL text)."""
+        cache = self.cache(cache_id)
+        cache.sync_bounds()
+        executor = QueryExecutor(
+            refresher=cache, epsilon=epsilon if epsilon is not None else self.epsilon
+        )
+        return executor.execute(
+            table=cache.table(table),
+            aggregate=aggregate,
+            column=column,
+            constraint=constraint,
+            predicate=predicate,
+            cost=self._resolve_cost(cost),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_cost(cost: CostFunc | CostModel | None) -> CostFunc:
+        if cost is None:
+            return uniform_cost
+        if isinstance(cost, CostModel):
+            return cost.as_func()
+        return cost

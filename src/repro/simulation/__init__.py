@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate: clock, events, walks, network."""
+
+from repro.simulation.clock import Clock
+from repro.simulation.engine import (
+    QueryDriver,
+    QueryRecord,
+    SimulationEngine,
+    UpdateDriver,
+)
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.network import LatencyNetwork
+from repro.simulation.random_walk import GaussianWalk, GeometricWalk, RandomWalk
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "LatencyNetwork",
+    "RandomWalk",
+    "GaussianWalk",
+    "GeometricWalk",
+    "SimulationEngine",
+    "UpdateDriver",
+    "QueryDriver",
+    "QueryRecord",
+]

@@ -1,0 +1,45 @@
+"""Simulated time.
+
+Every component of a TRAPP deployment — sources stamping bound functions,
+caches evaluating them, the event engine ordering deliveries — reads the
+same :class:`Clock`.  Time is a plain float; units are whatever the
+workload chooses (the network-monitoring example uses seconds).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A monotonically non-decreasing simulated clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """The current simulated time."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` (must be non-negative)."""
+        if delta < 0:
+            raise SimulationError(f"cannot advance the clock by {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Jump to an absolute time (must not move backwards)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot move the clock backwards from {self._now} to {when}"
+            )
+        self._now = float(when)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"Clock(t={self._now:g})"

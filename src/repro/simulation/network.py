@@ -1,0 +1,76 @@
+"""A simulated message-passing network with per-channel latency.
+
+The paper's running example is a wide-area network whose monitoring
+stations refresh link metrics from remote nodes; refresh *cost* in the
+optimizers "might be based on the node distance or network path latency"
+(§1.3).  :class:`LatencyNetwork` models exactly that substrate: named
+endpoints, per-pair latencies, and message delivery through the event
+queue so value-initiated refreshes arrive after a realistic delay
+(paper §8.4's "refresh delay" concern is thereby observable in
+experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.simulation.events import EventQueue
+
+__all__ = ["LatencyNetwork"]
+
+Handler = Callable[[str, object], None]
+
+
+@dataclass(slots=True)
+class _Endpoint:
+    handler: Handler
+    received: int = 0
+
+
+class LatencyNetwork:
+    """Named endpoints exchanging messages with configurable latency."""
+
+    def __init__(self, events: EventQueue, default_latency: float = 0.0) -> None:
+        if default_latency < 0:
+            raise SimulationError("latency must be non-negative")
+        self.events = events
+        self.default_latency = default_latency
+        self._endpoints: dict[str, _Endpoint] = {}
+        self._latency: dict[tuple[str, str], float] = {}
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, name: str, handler: Handler) -> None:
+        """Register an endpoint; ``handler(sender, message)`` receives."""
+        if name in self._endpoints:
+            raise SimulationError(f"endpoint {name!r} already attached")
+        self._endpoints[name] = _Endpoint(handler)
+
+    def set_latency(self, sender: str, receiver: str, latency: float) -> None:
+        """Set the one-way latency for a directed pair."""
+        if latency < 0:
+            raise SimulationError("latency must be non-negative")
+        self._latency[(sender, receiver)] = latency
+
+    def latency(self, sender: str, receiver: str) -> float:
+        return self._latency.get((sender, receiver), self.default_latency)
+
+    # ------------------------------------------------------------------
+    def send(self, sender: str, receiver: str, message: object) -> None:
+        """Deliver ``message`` after the pair's latency via the event queue."""
+        if receiver not in self._endpoints:
+            raise SimulationError(f"unknown endpoint {receiver!r}")
+        endpoint = self._endpoints[receiver]
+        self.messages_sent += 1
+
+        def deliver() -> None:
+            endpoint.received += 1
+            endpoint.handler(sender, message)
+
+        self.events.schedule(self.latency(sender, receiver), deliver)
+
+    def received_count(self, name: str) -> int:
+        endpoint = self._endpoints.get(name)
+        return endpoint.received if endpoint else 0

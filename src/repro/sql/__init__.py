@@ -1,0 +1,14 @@
+"""TRAPP SQL dialect: ``SELECT AGG(col) WITHIN R FROM t WHERE ...``."""
+
+from repro.sql.ast import AGGREGATE_NAMES, SelectStatement
+from repro.sql.compiler import JoinQueryPlan, QueryPlan, compile_statement
+from repro.sql.parser import parse_statement
+
+__all__ = [
+    "AGGREGATE_NAMES",
+    "SelectStatement",
+    "QueryPlan",
+    "JoinQueryPlan",
+    "compile_statement",
+    "parse_statement",
+]

@@ -1,0 +1,60 @@
+"""AST for the TRAPP SQL dialect.
+
+The dialect is the paper's single-table query template (§4)::
+
+    SELECT AGGREGATE(T.a) WITHIN R FROM T [WHERE predicate]
+
+plus two conveniences: ``COUNT(*)``, and omission of ``WITHIN R`` for the
+implicit ``R = ∞``.  Join queries list several tables in ``FROM`` (§7) and
+are compiled through :mod:`repro.joins`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.predicates.ast import Predicate, TruePredicate
+
+__all__ = ["SelectStatement", "AGGREGATE_NAMES"]
+
+#: Aggregates the dialect accepts; MEDIAN is the §8.1 extension.
+AGGREGATE_NAMES = ("COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN")
+
+
+@dataclass(frozen=True, slots=True)
+class SelectStatement:
+    """A parsed ``SELECT`` statement."""
+
+    aggregate: str
+    #: Aggregation column (``None`` for ``COUNT(*)``).
+    column: str | None
+    tables: tuple[str, ...]
+    #: ``WITHIN`` precision budget; ``inf`` when omitted.
+    within: float
+    predicate: Predicate = field(default_factory=TruePredicate)
+
+    @property
+    def table(self) -> str:
+        """The single table of a non-join query."""
+        if len(self.tables) != 1:
+            raise ValueError(
+                f"statement reads {len(self.tables)} tables; use .tables"
+            )
+        return self.tables[0]
+
+    @property
+    def is_join(self) -> bool:
+        return len(self.tables) > 1
+
+    def __str__(self) -> str:
+        target = self.column if self.column is not None else "*"
+        within = "" if self.within == float("inf") else f" WITHIN {self.within:g}"
+        where = (
+            ""
+            if isinstance(self.predicate, TruePredicate)
+            else f" WHERE {self.predicate}"
+        )
+        return (
+            f"SELECT {self.aggregate}({target}){within} "
+            f"FROM {', '.join(self.tables)}{where}"
+        )

@@ -1,0 +1,104 @@
+"""Compilation of parsed statements into executable query plans.
+
+The compiler resolves table and column names against a catalog, validates
+the aggregate/column combination, and packages everything the executor
+needs.  Join statements resolve through :mod:`repro.joins` instead and get
+a :class:`JoinQueryPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import AbsolutePrecision
+from repro.errors import SqlSyntaxError, UnknownColumnError
+from repro.predicates.ast import Predicate, columns_of
+from repro.sql.ast import SelectStatement
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+__all__ = ["QueryPlan", "JoinQueryPlan", "compile_statement"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """A resolved single-table aggregation query, ready for the executor."""
+
+    table: Table
+    aggregate: str
+    column: str | None
+    constraint: AbsolutePrecision
+    predicate: Predicate
+
+
+@dataclass(frozen=True, slots=True)
+class JoinQueryPlan:
+    """A resolved multi-table aggregation query (§7)."""
+
+    tables: tuple[Table, ...]
+    aggregate: str
+    #: (table name, column name) of the aggregation target.
+    column: tuple[str, str] | None
+    constraint: AbsolutePrecision
+    predicate: Predicate
+
+
+def compile_statement(
+    statement: SelectStatement, catalog: Catalog
+) -> QueryPlan | JoinQueryPlan:
+    """Resolve names and produce an executable plan."""
+    if statement.is_join:
+        return _compile_join(statement, catalog)
+    table = catalog.table(statement.table)
+
+    column = statement.column
+    if column is not None:
+        spec = table.schema.column(column)
+        if not spec.is_numeric:
+            raise SqlSyntaxError(
+                f"cannot aggregate non-numeric column {column!r}"
+            )
+    elif statement.aggregate != "COUNT":
+        raise SqlSyntaxError(f"{statement.aggregate} requires a column argument")
+
+    for name in columns_of(statement.predicate):
+        table.schema.column(name)  # raises UnknownColumnError
+
+    return QueryPlan(
+        table=table,
+        aggregate=statement.aggregate,
+        column=column,
+        constraint=AbsolutePrecision(statement.within),
+        predicate=statement.predicate,
+    )
+
+
+def _compile_join(statement: SelectStatement, catalog: Catalog) -> JoinQueryPlan:
+    tables = tuple(catalog.table(name) for name in statement.tables)
+    by_name = {t.name: t for t in tables}
+
+    column: tuple[str, str] | None = None
+    if statement.column is not None:
+        owners = [t.name for t in tables if statement.column in t.schema]
+        if not owners:
+            raise UnknownColumnError(statement.column)
+        if len(owners) > 1:
+            raise SqlSyntaxError(
+                f"column {statement.column!r} is ambiguous across "
+                f"{', '.join(owners)}"
+            )
+        column = (owners[0], statement.column)
+    elif statement.aggregate != "COUNT":
+        raise SqlSyntaxError(f"{statement.aggregate} requires a column argument")
+
+    for name in columns_of(statement.predicate):
+        if not any(name in t.schema for t in by_name.values()):
+            raise UnknownColumnError(name)
+
+    return JoinQueryPlan(
+        tables=tables,
+        aggregate=statement.aggregate,
+        column=column,
+        constraint=AbsolutePrecision(statement.within),
+        predicate=statement.predicate,
+    )

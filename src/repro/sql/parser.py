@@ -1,0 +1,92 @@
+"""Parser for the TRAPP SQL dialect.
+
+Reuses the predicate tokenizer/parser from :mod:`repro.predicates.parser`
+and layers the statement grammar on top::
+
+    statement := SELECT agg '(' target ')' [WITHIN number]
+                 FROM table (',' table)*
+                 [WHERE predicate] [';']
+    agg       := COUNT | SUM | AVG | MIN | MAX | MEDIAN
+    target    := '*' | column | table '.' column
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SqlSyntaxError
+from repro.predicates.ast import TruePredicate
+from repro.predicates.parser import PredicateParser, TokenStream, tokenize
+from repro.sql.ast import AGGREGATE_NAMES, SelectStatement
+
+__all__ = ["parse_statement"]
+
+
+def parse_statement(text: str) -> SelectStatement:
+    """Parse one ``SELECT`` statement; raises :class:`SqlSyntaxError`."""
+    stream = TokenStream(tokenize(text))
+    stream.expect_keyword("SELECT")
+
+    agg_token = stream.expect_ident("aggregate function")
+    aggregate = agg_token.text.upper()
+    if aggregate not in AGGREGATE_NAMES:
+        raise SqlSyntaxError(
+            f"unknown aggregate {agg_token.text!r}; expected one of "
+            f"{', '.join(AGGREGATE_NAMES)}",
+            agg_token.pos,
+        )
+
+    stream.expect_punct("(")
+    column = _parse_target(stream, aggregate)
+    stream.expect_punct(")")
+
+    within = math.inf
+    if stream.accept_keyword("WITHIN"):
+        within = _parse_number(stream)
+
+    stream.expect_keyword("FROM")
+    tables = [stream.expect_ident("table name").text]
+    while stream.accept_punct(","):
+        tables.append(stream.expect_ident("table name").text)
+
+    predicate = TruePredicate()
+    if stream.accept_keyword("WHERE"):
+        predicate = PredicateParser(stream).parse()
+
+    stream.accept_punct(";")
+    stream.expect_eof()
+    return SelectStatement(
+        aggregate=aggregate,
+        column=column,
+        tables=tuple(tables),
+        within=within,
+        predicate=predicate,
+    )
+
+
+def _parse_target(stream: TokenStream, aggregate: str) -> str | None:
+    token = stream.peek()
+    if token.kind == "punct" and token.text == "*":
+        if aggregate != "COUNT":
+            raise SqlSyntaxError(
+                f"{aggregate}(*) is not valid; only COUNT takes '*'", token.pos
+            )
+        stream.advance()
+        return None
+    first = stream.expect_ident("column name")
+    if stream.accept_punct("."):
+        return stream.expect_ident("column name").text
+    return first.text
+
+
+def _parse_number(stream: TokenStream) -> float:
+    token = stream.peek()
+    sign = 1.0
+    if token.kind == "punct" and token.text == "-":
+        stream.advance()
+        sign = -1.0
+        token = stream.peek()
+    if token.kind != "number":
+        raise SqlSyntaxError(f"expected number, found {token.text!r}", token.pos)
+    stream.advance()
+    return sign * float(token.text)

@@ -1,0 +1,18 @@
+"""In-memory relational storage substrate: schemas, rows, tables, indexes."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.index import IndexSet, SortedIndex
+from repro.storage.row import Row
+from repro.storage.schema import Column, ColumnKind, Schema
+from repro.storage.table import Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnKind",
+    "IndexSet",
+    "Row",
+    "Schema",
+    "SortedIndex",
+    "Table",
+]

@@ -1,0 +1,113 @@
+"""Rows (tuples) of the TRAPP storage substrate.
+
+A :class:`Row` carries an immutable tuple id plus a mapping from column
+name to value.  On the *cache* side, bounded columns hold
+:class:`~repro.core.bound.Bound` objects; on the *source* side (and after a
+refresh collapses a cached bound), they hold plain numbers.  The helper
+:meth:`Row.bound` normalizes either representation to a ``Bound`` so that
+aggregate evaluators can treat exact values as zero-width intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.core.bound import Bound
+from repro.errors import UnknownColumnError
+
+__all__ = ["Row"]
+
+
+class Row:
+    """A single tuple: an id plus column values.
+
+    Rows are mutable only through :meth:`set` (used by the cache when a
+    refresh arrives); queries treat them as read-only.
+    """
+
+    __slots__ = ("tid", "_values")
+
+    def __init__(self, tid: int, values: Mapping[str, Any]) -> None:
+        self.tid = tid
+        self._values: dict[str, Any] = dict(values)
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, column: str) -> Any:
+        try:
+            return self._values[column]
+        except KeyError:
+            raise UnknownColumnError(column) from None
+
+    def get(self, column: str, default: Any = None) -> Any:
+        return self._values.get(column, default)
+
+    def __contains__(self, column: object) -> bool:
+        return column in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def keys(self):
+        return self._values.keys()
+
+    def items(self):
+        return self._values.items()
+
+    def as_dict(self) -> dict[str, Any]:
+        """A shallow copy of the row's values."""
+        return dict(self._values)
+
+    # ------------------------------------------------------------------
+    def bound(self, column: str) -> Bound:
+        """The value of ``column`` as an interval.
+
+        Plain numbers are lifted to zero-width bounds, so callers can apply
+        interval arithmetic uniformly whether or not the tuple has been
+        refreshed.
+        """
+        value = self[column]
+        if isinstance(value, Bound):
+            return value
+        return Bound.exact(value)
+
+    def number(self, column: str) -> float:
+        """The value of ``column`` as an exact number.
+
+        Zero-width bounds collapse to their single point; a genuinely wide
+        bound raises ``TypeError`` because no exact value exists.
+        """
+        value = self[column]
+        if isinstance(value, Bound):
+            if value.is_exact:
+                return value.lo
+            raise TypeError(
+                f"column {column!r} of tuple {self.tid} holds the non-exact "
+                f"bound {value}; refresh it before reading an exact value"
+            )
+        return float(value)
+
+    def is_exact(self, column: str) -> bool:
+        """True iff the column's current value is exactly known."""
+        value = self[column]
+        return not isinstance(value, Bound) or value.is_exact
+
+    # ------------------------------------------------------------------
+    def set(self, column: str, value: Any) -> None:
+        """Overwrite one column value (cache refresh path)."""
+        if column not in self._values:
+            raise UnknownColumnError(column)
+        self._values[column] = value
+
+    def copy(self) -> "Row":
+        """An independent copy sharing no mutable state."""
+        return Row(self.tid, self._values)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.tid == other.tid and self._values == other._values
+
+    def __repr__(self) -> str:
+        vals = ", ".join(f"{k}={v}" for k, v in self._values.items())
+        return f"Row(#{self.tid}: {vals})"

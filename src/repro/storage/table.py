@@ -1,0 +1,130 @@
+"""In-memory tables for the TRAPP storage substrate.
+
+A :class:`Table` owns a schema, a set of rows keyed by tuple id, and an
+:class:`~repro.storage.index.IndexSet` of sorted secondary indexes.  Both
+the *master* relation at a data source and the *cached* relation at a data
+cache are instances of this class; they differ only in whether bounded
+columns hold plain numbers (master) or :class:`~repro.core.bound.Bound`
+intervals (cache).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.core.bound import Bound
+from repro.errors import DuplicateKeyError, SchemaError, TrappError
+from repro.storage.index import IndexSet, SortedIndex
+from repro.storage.row import Row
+from repro.storage.schema import Schema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An ordered collection of rows conforming to a schema."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows: dict[int, Row] = {}
+        self._next_tid = 1
+        self.indexes = IndexSet()
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows.values())
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._rows
+
+    def row(self, tid: int) -> Row:
+        try:
+            return self._rows[tid]
+        except KeyError:
+            raise TrappError(f"table {self.name!r} has no tuple #{tid}") from None
+
+    def rows(self) -> list[Row]:
+        """All rows in insertion (tid) order."""
+        return [self._rows[tid] for tid in sorted(self._rows)]
+
+    def tids(self) -> list[int]:
+        return sorted(self._rows)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: Mapping[str, Any], tid: int | None = None) -> Row:
+        """Insert a row, validating against the schema.
+
+        Explicit ``tid`` lets callers mirror a master table's tuple ids in a
+        cache (the replication layer relies on shared ids).
+        """
+        self.schema.validate_values(values)
+        if tid is None:
+            tid = self._next_tid
+        if tid in self._rows:
+            raise DuplicateKeyError(f"table {self.name!r} already has tuple #{tid}")
+        self._next_tid = max(self._next_tid, tid + 1)
+        row = Row(tid, values)
+        self._rows[tid] = row
+        self.indexes.on_insert(row)
+        return row
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> list[Row]:
+        return [self.insert(values) for values in rows]
+
+    def delete(self, tid: int) -> None:
+        if tid not in self._rows:
+            raise TrappError(f"table {self.name!r} has no tuple #{tid}")
+        del self._rows[tid]
+        self.indexes.on_delete(tid)
+
+    def update_value(self, tid: int, column: str, value: Any) -> None:
+        """Overwrite one cell, keeping every index synchronized."""
+        self.schema[column].validate(value)
+        row = self.row(tid)
+        row.set(column, value)
+        self.indexes.on_update(row)
+
+    def clear(self) -> None:
+        for tid in list(self._rows):
+            self.delete(tid)
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, key_func: Callable[[Row], float]) -> SortedIndex:
+        """Create (or replace) a named sorted index over all current rows."""
+        return self.indexes.create(name, key_func, self._rows.values())
+
+    def create_endpoint_indexes(self, column: str) -> None:
+        """Create the lower/upper/width index trio the paper's sublinear
+        CHOOSE_REFRESH variants assume (§5.1, §5.2, §8.3)."""
+        if not self.schema[column].is_bounded:
+            raise SchemaError(f"column {column!r} is not bounded; no endpoint indexes")
+        self.create_index(f"{column}__lo", lambda r, c=column: r.bound(c).lo)
+        self.create_index(f"{column}__hi", lambda r, c=column: r.bound(c).hi)
+        self.create_index(f"{column}__width", lambda r, c=column: r.bound(c).width)
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+    def column_bounds(self, column: str) -> dict[int, Bound]:
+        """Map tuple id to the column's value as a bound."""
+        return {tid: row.bound(column) for tid, row in self._rows.items()}
+
+    def copy(self, name: str | None = None) -> "Table":
+        """A deep copy (rows copied; indexes are *not* carried over)."""
+        clone = Table(name or self.name, self.schema)
+        for tid in sorted(self._rows):
+            clone.insert(self._rows[tid].as_dict(), tid=tid)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows, schema={self.schema!r})"

@@ -1,0 +1,78 @@
+"""Query workload generation for scaling and ablation benchmarks.
+
+Generates randomized but reproducible TRAPP/AG query mixes over a table:
+aggregate choice, precision constraint drawn from a width distribution,
+and optional predicates over the table's bounded columns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.predicates.ast import ColumnRef, Comparison, Literal, Predicate
+from repro.storage.table import Table
+
+__all__ = ["QuerySpec", "QueryWorkload"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One generated query: aggregate, column, constraint, predicate."""
+
+    aggregate: str
+    column: str | None
+    max_width: float
+    predicate: Predicate | None = None
+
+    def __str__(self) -> str:
+        target = self.column or "*"
+        where = f" WHERE {self.predicate}" if self.predicate is not None else ""
+        return f"SELECT {self.aggregate}({target}) WITHIN {self.max_width:g}{where}"
+
+
+@dataclass(slots=True)
+class QueryWorkload:
+    """A reproducible stream of :class:`QuerySpec` over one table.
+
+    ``aggregates`` weights which functions appear; ``width_range`` bounds
+    the precision constraints (absolute widths); ``predicate_rate`` is the
+    fraction of queries carrying a bounded-column predicate.
+    """
+
+    table: Table
+    numeric_column: str
+    seed: int = 7
+    aggregates: tuple[str, ...] = ("MIN", "MAX", "SUM", "COUNT", "AVG")
+    width_range: tuple[float, float] = (1.0, 100.0)
+    predicate_rate: float = 0.5
+    _rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def next_query(self) -> QuerySpec:
+        aggregate = self._rng.choice(self.aggregates)
+        column = None if aggregate == "COUNT" else self.numeric_column
+        max_width = self._rng.uniform(*self.width_range)
+        predicate = None
+        if self._rng.random() < self.predicate_rate:
+            predicate = self._random_predicate()
+        return QuerySpec(aggregate, column, max_width, predicate)
+
+    def take(self, n: int) -> list[QuerySpec]:
+        return [self.next_query() for _ in range(n)]
+
+    def _random_predicate(self) -> Predicate:
+        """A threshold comparison over the numeric column, placed near the
+        middle of the column's value range so all of T+/T?/T− appear."""
+        values = [row.bound(self.numeric_column) for row in self.table.rows()]
+        if not values:
+            return Comparison(
+                ColumnRef(self.numeric_column), ">", Literal(0.0)
+            )
+        lows = min(b.lo for b in values)
+        highs = max(b.hi for b in values)
+        threshold = self._rng.uniform(lows, highs)
+        op = self._rng.choice((">", "<", ">=", "<="))
+        return Comparison(ColumnRef(self.numeric_column), op, Literal(threshold))

@@ -1,0 +1,103 @@
+"""Tests for the bench harness, table formatting, and ASCII plotting."""
+
+import math
+
+import pytest
+
+from repro.bench.ascii_plot import ascii_plot, sparkline
+from repro.bench.harness import run_sweep
+from repro.bench.tables import banner, format_table
+
+
+class TestRunSweep:
+    def test_collects_points_in_order(self):
+        sweep = run_sweep(
+            "s", "p", [1.0, 2.0, 3.0], lambda p: {"out": p * 10}
+        )
+        assert [pt.parameter for pt in sweep.points] == [1.0, 2.0, 3.0]
+        assert sweep.series("out") == [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+        assert sweep.column("out") == [10.0, 20.0, 30.0]
+
+    def test_times_are_positive(self):
+        sweep = run_sweep("s", "p", [1.0], lambda p: {"out": sum(range(1000))})
+        assert all(t > 0 for _, t in sweep.times())
+
+    def test_monotonicity_check(self):
+        down = run_sweep("s", "p", [1, 2, 3], lambda p: {"out": -p})
+        up = run_sweep("s", "p", [1, 2, 3], lambda p: {"out": p})
+        assert down.is_monotone_nonincreasing("out")
+        assert not up.is_monotone_nonincreasing("out")
+
+    def test_repeats_keep_last_outputs(self):
+        calls = []
+
+        def run_once(p):
+            calls.append(p)
+            return {"out": p}
+
+        sweep = run_sweep("s", "p", [5.0], run_once, repeats=3)
+        assert len(calls) == 3
+        assert sweep.points[0].outputs == {"out": 5.0}
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22.5], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # Numeric cells are right-aligned within their column width.
+        assert lines[2].endswith("22.5")
+
+    def test_integral_floats_render_as_ints(self):
+        text = format_table(["x"], [[3.0]])
+        assert "3" in text
+        assert "3.0" not in text
+
+    def test_banner_prints(self, capsys):
+        banner("hello world")
+        out = capsys.readouterr().out
+        assert "hello world" in out
+        assert "=" in out
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        plot = ascii_plot([0, 1, 2, 3], [0, 1, 4, 9], width=20, height=8,
+                          x_label="R", y_label="cost")
+        assert "cost" in plot
+        assert "R" in plot
+        assert "*" in plot
+        assert "9" in plot  # y max label
+        assert "0" in plot
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], [1])
+
+    def test_empty_and_nonfinite(self):
+        assert "empty" in ascii_plot([], [])
+        assert "finite" in ascii_plot([math.nan], [1.0])
+
+    def test_single_point(self):
+        plot = ascii_plot([5], [7], width=10, height=4)
+        assert "*" in plot
+
+    def test_grid_dimensions(self):
+        plot = ascii_plot(list(range(10)), list(range(10)), width=30, height=6)
+        data_lines = [l for l in plot.splitlines() if "|" in l]
+        assert len(data_lines) == 6

@@ -1,0 +1,73 @@
+"""Unit tests for width-adaptation policies (Appendix A)."""
+
+import pytest
+
+from repro.bounds.width import AdaptiveWidthController, FixedWidthPolicy
+from repro.errors import BoundError
+
+
+class TestFixedWidthPolicy:
+    def test_constant(self):
+        policy = FixedWidthPolicy(3.0)
+        assert policy.next_width() == 3.0
+        policy.on_value_initiated()
+        policy.on_query_initiated()
+        assert policy.next_width() == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(BoundError):
+            FixedWidthPolicy(-1)
+
+
+class TestAdaptiveWidthController:
+    def test_grows_on_value_initiated(self):
+        c = AdaptiveWidthController(initial_width=1.0, grow=2.0)
+        c.on_value_initiated()
+        assert c.next_width() == 2.0
+        c.on_value_initiated()
+        assert c.next_width() == 4.0
+
+    def test_shrinks_on_query_initiated(self):
+        c = AdaptiveWidthController(initial_width=8.0, shrink=0.5)
+        c.on_query_initiated()
+        assert c.next_width() == 4.0
+
+    def test_clamps(self):
+        c = AdaptiveWidthController(
+            initial_width=1.0, grow=10.0, shrink=0.1, min_width=0.5, max_width=2.0
+        )
+        c.on_value_initiated()
+        assert c.next_width() == 2.0
+        for _ in range(5):
+            c.on_query_initiated()
+        assert c.next_width() == 0.5
+
+    def test_counters(self):
+        c = AdaptiveWidthController()
+        c.on_value_initiated()
+        c.on_query_initiated()
+        c.on_query_initiated()
+        assert c.value_initiated_count == 1
+        assert c.query_initiated_count == 2
+        assert c.total_refreshes == 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(BoundError):
+            AdaptiveWidthController(initial_width=0)
+        with pytest.raises(BoundError):
+            AdaptiveWidthController(grow=1.0)
+        with pytest.raises(BoundError):
+            AdaptiveWidthController(shrink=1.5)
+        with pytest.raises(BoundError):
+            AdaptiveWidthController(min_width=2.0, max_width=1.0)
+
+    def test_converges_between_opposing_pressures(self):
+        """Alternating signals keep the width in a stable band rather than
+        driving it to either clamp — the Appendix A 'middle ground'."""
+        c = AdaptiveWidthController(initial_width=1.0, grow=2.0, shrink=0.7)
+        for _ in range(200):
+            c.on_value_initiated()
+            c.on_query_initiated()
+            c.on_query_initiated()
+        # 2.0 * 0.7 * 0.7 ≈ 0.98 per cycle: near-neutral drift.
+        assert 0.01 < c.next_width() < 100.0

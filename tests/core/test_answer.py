@@ -1,0 +1,39 @@
+"""Unit tests for BoundedAnswer."""
+
+import pytest
+
+from repro.core.answer import BoundedAnswer
+from repro.core.bound import Bound
+
+
+class TestBoundedAnswer:
+    def test_width_and_meets(self):
+        a = BoundedAnswer(bound=Bound(1, 4))
+        assert a.width == 3
+        assert a.meets(3)
+        assert a.meets(5)
+        assert not a.meets(2)
+
+    def test_exact_value(self):
+        a = BoundedAnswer(bound=Bound.exact(7))
+        assert a.is_exact
+        assert a.value == 7
+
+    def test_value_of_wide_answer_raises(self):
+        a = BoundedAnswer(bound=Bound(1, 2))
+        with pytest.raises(ValueError):
+            _ = a.value
+
+    def test_str_mentions_refreshes(self):
+        a = BoundedAnswer(
+            bound=Bound(1, 2), refreshed=frozenset({3, 4}), refresh_cost=7.0
+        )
+        text = str(a)
+        assert "2 tuples" in text
+        assert "7" in text
+
+    def test_defaults(self):
+        a = BoundedAnswer(bound=Bound(0, 1))
+        assert a.refreshed == frozenset()
+        assert a.refresh_cost == 0.0
+        assert a.initial_bound is None

@@ -1,0 +1,78 @@
+"""Unit tests for precision constraints."""
+
+import math
+
+import pytest
+
+from repro.core.bound import Bound
+from repro.core.constraints import (
+    EXACT,
+    UNCONSTRAINED,
+    AbsolutePrecision,
+    RelativePrecision,
+)
+from repro.errors import PrecisionConstraintError
+
+
+class TestAbsolutePrecision:
+    def test_resolve_ignores_first_pass(self):
+        c = AbsolutePrecision(5.0)
+        assert c.resolve(Bound(0, 100)) == 5.0
+        assert c.resolve(Bound(-1, 1)) == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(PrecisionConstraintError):
+            AbsolutePrecision(-1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(PrecisionConstraintError):
+            AbsolutePrecision(math.nan)
+
+    def test_satisfied_by(self):
+        c = AbsolutePrecision(2.0)
+        assert c.satisfied_by(Bound(0, 2))
+        assert c.satisfied_by(Bound(0, 1.5))
+        assert not c.satisfied_by(Bound(0, 2.5))
+
+    def test_extremes(self):
+        assert EXACT.satisfied_by(Bound.exact(7))
+        assert not EXACT.satisfied_by(Bound(0, 0.1))
+        assert UNCONSTRAINED.satisfied_by(Bound(-1e9, 1e9))
+        assert UNCONSTRAINED.satisfied_by(Bound.unbounded())
+
+    def test_str(self):
+        assert "5" in str(AbsolutePrecision(5))
+        assert "inf" in str(UNCONSTRAINED)
+
+
+class TestRelativePrecision:
+    def test_resolve_uses_smallest_abs_endpoint(self):
+        c = RelativePrecision(0.1)
+        # first pass [10, 30]: min |A| = 10, so R = 2 * 10 * 0.1 = 2.
+        assert c.resolve(Bound(10, 30)) == pytest.approx(2.0)
+        # negative interval: min |A| = 5.
+        assert c.resolve(Bound(-30, -5)) == pytest.approx(1.0)
+
+    def test_zero_straddling_requires_exact(self):
+        c = RelativePrecision(0.1)
+        assert c.resolve(Bound(-1, 1)) == 0.0
+
+    def test_half_infinite_first_pass_uses_finite_endpoint(self):
+        c = RelativePrecision(0.1)
+        # A could be as small as 1, so the conservative budget is 0.2.
+        assert c.resolve(Bound(1, math.inf)) == pytest.approx(0.2)
+
+    def test_fully_infinite_first_pass(self):
+        c = RelativePrecision(0.1)
+        assert c.resolve(Bound(math.inf, math.inf)) == math.inf
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(PrecisionConstraintError):
+            RelativePrecision(-0.5)
+
+    def test_satisfied_by_uses_answer_itself(self):
+        c = RelativePrecision(0.1)
+        # answer [99, 101]: budget 2 * 99 * 0.1 = 19.8, width 2 -> ok.
+        assert c.satisfied_by(Bound(99, 101))
+        # answer [1, 10]: budget 0.2, width 9 -> fails.
+        assert not c.satisfied_by(Bound(1, 10))

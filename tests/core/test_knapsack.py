@@ -1,0 +1,168 @@
+"""Unit tests for the 0/1 knapsack solvers."""
+
+import random
+
+import pytest
+
+from repro.core.knapsack import (
+    KnapsackItem,
+    KnapsackSolution,
+    solve_brute_force,
+    solve_exact_dp,
+    solve_greedy_ratio,
+    solve_greedy_uniform,
+    solve_ibarra_kim,
+)
+from repro.errors import OptimizerError
+
+
+def items_of(*triples):
+    return [KnapsackItem(i, w, p) for i, w, p in triples]
+
+
+class TestValidation:
+    def test_negative_profit_rejected(self):
+        with pytest.raises(OptimizerError):
+            KnapsackItem(1, 1.0, -1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(OptimizerError):
+            KnapsackItem(1, float("nan"), 1.0)
+
+    def test_duplicate_ids_rejected(self):
+        items = items_of((1, 1, 1), (1, 2, 2))
+        with pytest.raises(OptimizerError):
+            solve_exact_dp(items, 10)
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(OptimizerError):
+            solve_ibarra_kim([], 10, 0.0)
+        with pytest.raises(OptimizerError):
+            solve_ibarra_kim([], 10, 1.0)
+
+    def test_brute_force_size_limit(self):
+        items = items_of(*[(i, 1, 1) for i in range(30)])
+        with pytest.raises(OptimizerError):
+            solve_brute_force(items, 5)
+
+
+class TestExactDP:
+    def test_empty(self):
+        solution = solve_exact_dp([], 10)
+        assert solution.chosen == frozenset()
+        assert solution.total_profit == 0
+
+    def test_classic_instance(self):
+        # weights/profits chosen so greedy-by-density is suboptimal.
+        items = items_of((1, 10, 60), (2, 20, 100), (3, 30, 120))
+        solution = solve_exact_dp(items, 50)
+        assert solution.chosen == frozenset({2, 3})
+        assert solution.total_profit == 220
+
+    def test_zero_weight_items_always_in(self):
+        items = items_of((1, 0, 5), (2, 100, 50))
+        solution = solve_exact_dp(items, 10)
+        assert 1 in solution.chosen
+        assert 2 not in solution.chosen
+
+    def test_oversize_items_never_in(self):
+        items = items_of((1, 11, 1000), (2, 5, 1))
+        solution = solve_exact_dp(items, 10)
+        assert solution.chosen == frozenset({2})
+
+    def test_real_weights_integer_profits(self):
+        items = items_of((1, 1.5, 3), (2, 1.6, 3), (3, 2.9, 5))
+        solution = solve_exact_dp(items, 3.1)
+        assert solution.chosen == frozenset({1, 2})
+
+    def test_non_integral_profits_rejected_by_default(self):
+        items = items_of((1, 1, 1.5))
+        with pytest.raises(OptimizerError):
+            solve_exact_dp(items, 10)
+
+    def test_matches_brute_force_randomized(self):
+        rng = random.Random(42)
+        for _ in range(25):
+            n = rng.randint(1, 12)
+            items = items_of(
+                *[(i, rng.uniform(0.1, 10), rng.randint(0, 10)) for i in range(n)]
+            )
+            capacity = rng.uniform(0, 25)
+            dp = solve_exact_dp(items, capacity)
+            bf = solve_brute_force(items, capacity)
+            assert dp.total_profit == pytest.approx(bf.total_profit)
+            assert dp.total_weight <= capacity + 1e-9
+
+
+class TestIbarraKim:
+    def test_guarantee_on_random_instances(self):
+        rng = random.Random(7)
+        for epsilon in (0.5, 0.1, 0.05):
+            for _ in range(15):
+                n = rng.randint(1, 12)
+                items = items_of(
+                    *[
+                        (i, rng.uniform(0.1, 10), rng.uniform(0.1, 10))
+                        for i in range(n)
+                    ]
+                )
+                capacity = rng.uniform(0, 25)
+                approx = solve_ibarra_kim(items, capacity, epsilon)
+                optimal = solve_brute_force(items, capacity)
+                assert approx.total_weight <= capacity + 1e-9
+                assert approx.total_profit >= (1 - epsilon) * optimal.total_profit - 1e-9
+
+    def test_smaller_epsilon_not_worse(self):
+        rng = random.Random(3)
+        items = items_of(
+            *[(i, rng.uniform(0.5, 5), rng.uniform(1, 10)) for i in range(40)]
+        )
+        coarse = solve_ibarra_kim(items, 30, 0.5)
+        fine = solve_ibarra_kim(items, 30, 0.01)
+        assert fine.total_profit >= coarse.total_profit - 1e-9
+
+    def test_empty_and_all_free(self):
+        assert solve_ibarra_kim([], 10, 0.1).chosen == frozenset()
+        items = items_of((1, 0, 5), (2, -1, 3))
+        solution = solve_ibarra_kim(items, 10, 0.1)
+        assert solution.chosen == frozenset({1, 2})
+
+
+class TestGreedyUniform:
+    def test_optimal_under_uniform_profits(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            n = rng.randint(1, 12)
+            items = items_of(*[(i, rng.uniform(0.1, 5), 1) for i in range(n)])
+            capacity = rng.uniform(0, 15)
+            greedy = solve_greedy_uniform(items, capacity)
+            optimal = solve_brute_force(items, capacity)
+            assert greedy.total_profit == pytest.approx(optimal.total_profit)
+
+    def test_packs_lightest_first(self):
+        items = items_of((1, 5, 1), (2, 1, 1), (3, 2, 1))
+        solution = solve_greedy_uniform(items, 3.5)
+        assert solution.chosen == frozenset({2, 3})
+
+
+class TestGreedyRatio:
+    def test_half_approximation_guarantee(self):
+        rng = random.Random(13)
+        for _ in range(25):
+            n = rng.randint(1, 12)
+            items = items_of(
+                *[(i, rng.uniform(0.1, 10), rng.uniform(0.1, 10)) for i in range(n)]
+            )
+            capacity = rng.uniform(0.5, 25)
+            greedy = solve_greedy_ratio(items, capacity)
+            optimal = solve_brute_force(items, capacity)
+            assert greedy.total_weight <= capacity + 1e-9
+            assert greedy.total_profit >= 0.5 * optimal.total_profit - 1e-9
+
+
+class TestSolutionHelper:
+    def test_of_computes_totals(self):
+        items = items_of((1, 2, 3), (2, 4, 5))
+        solution = KnapsackSolution.of(items, {2})
+        assert solution.total_weight == 4
+        assert solution.total_profit == 5

@@ -1,0 +1,274 @@
+"""Golden tests: every worked example from the paper, end to end.
+
+These pin the implementation to the paper's own numbers over the Figure 2
+sample data:
+
+* Q1 — bottleneck (MIN bandwidth) along N1→N2→N4→N5→N6, R=10;
+* Q2 — total (SUM) latency along the same path, R=5;
+* Q3 — AVG traffic network-wide, R=10;
+* Q4 — MIN traffic where bandwidth > 50 AND latency < 10, R=10;
+* Q5 — COUNT of links with latency > 10, R=1;
+* Q6 — AVG latency where traffic > 100, R=2 (tight + loose bounds).
+"""
+
+import pytest
+
+from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM, loose_avg_bound
+from repro.core.executor import QueryExecutor
+from repro.core.refresh import (
+    CHOOSE_AVG,
+    CHOOSE_COUNT,
+    CHOOSE_MIN,
+    CHOOSE_SUM,
+    AvgChooseRefresh,
+    SumChooseRefresh,
+)
+from repro.core.bound import Bound
+from repro.predicates.classify import classify
+from repro.predicates.parser import parse_predicate
+
+
+def path_rows(cached_links, tids=(1, 2, 5, 6)):
+    """Tuples on the example path N1→N2→N4→N5→N6 (Figure 2 rows 1,2,5,6)."""
+    return [cached_links.row(t) for t in tids]
+
+
+class TestQ1MinBandwidth:
+    def test_initial_bounded_answer(self, cached_links):
+        bound = MIN.bound_without_predicate(path_rows(cached_links), "bandwidth")
+        assert bound == Bound(40, 55)
+
+    def test_choose_refresh_selects_tuple_5(self, cached_links, cost_func):
+        plan = CHOOSE_MIN.without_predicate(
+            path_rows(cached_links), "bandwidth", 10, cost_func
+        )
+        assert set(plan.tids) == {5}
+        assert plan.total_cost == 4
+
+    def test_answer_after_refresh(self, cached_links, refresher, cost_func):
+        rows = path_rows(cached_links)
+        plan = CHOOSE_MIN.without_predicate(rows, "bandwidth", 10, cost_func)
+        refresher.refresh(cached_links, plan.tids)
+        bound = MIN.bound_without_predicate(path_rows(cached_links), "bandwidth")
+        assert bound == Bound(45, 50)
+
+
+class TestQ2SumLatency:
+    def test_initial_bounded_answer(self, cached_links):
+        bound = SUM.bound_without_predicate(path_rows(cached_links), "latency")
+        assert bound == Bound(19, 28)
+
+    def test_optimal_knapsack_refreshes_1_and_6(self, cached_links, cost_func):
+        chooser = SumChooseRefresh(force_exact=True)
+        plan = chooser.without_predicate(
+            path_rows(cached_links), "latency", 5, cost_func
+        )
+        assert set(plan.tids) == {1, 6}
+        assert plan.total_cost == 5  # costs 3 + 2
+
+    def test_answer_after_refresh(self, cached_links, refresher, cost_func):
+        chooser = SumChooseRefresh(force_exact=True)
+        plan = chooser.without_predicate(
+            path_rows(cached_links), "latency", 5, cost_func
+        )
+        refresher.refresh(cached_links, plan.tids)
+        bound = SUM.bound_without_predicate(path_rows(cached_links), "latency")
+        assert bound == Bound(21, 26)
+
+
+class TestQ3AvgTraffic:
+    def test_initial_count_is_exact_six(self, cached_links):
+        assert COUNT.bound_without_predicate(cached_links.rows(), None) == Bound.exact(6)
+
+    def test_choose_refresh_selects_5_and_6(self, cached_links, cost_func):
+        chooser = AvgChooseRefresh(force_exact=True)
+        plan = chooser.without_predicate(cached_links.rows(), "traffic", 10, cost_func)
+        assert set(plan.tids) == {5, 6}
+
+    def test_sum_and_avg_after_refresh(self, cached_links, refresher, cost_func):
+        chooser = AvgChooseRefresh(force_exact=True)
+        plan = chooser.without_predicate(cached_links.rows(), "traffic", 10, cost_func)
+        refresher.refresh(cached_links, plan.tids)
+        total = SUM.bound_without_predicate(cached_links.rows(), "traffic")
+        assert total == Bound(618, 678)
+        avg = AVG.bound_without_predicate(cached_links.rows(), "traffic")
+        assert avg == Bound(103, 113)
+
+
+Q4_PREDICATE = "bandwidth > 50 AND latency < 10"
+
+
+class TestQ4MinTrafficWithPredicate:
+    def test_classification_before_refresh(self, cached_links):
+        cls = classify(cached_links.rows(), parse_predicate(Q4_PREDICATE))
+        assert {r.tid for r in cls.plus} == {1}
+        assert {r.tid for r in cls.maybe} == {2, 4, 5, 6}
+        assert {r.tid for r in cls.minus} == {3}
+
+    def test_initial_bounded_answer(self, cached_links):
+        cls = classify(cached_links.rows(), parse_predicate(Q4_PREDICATE))
+        assert MIN.bound_with_classification(cls, "traffic") == Bound(90, 105)
+
+    def test_choose_refresh_selects_5_and_6(self, cached_links, cost_func):
+        cls = classify(cached_links.rows(), parse_predicate(Q4_PREDICATE))
+        plan = CHOOSE_MIN.with_classification(cls, "traffic", 10, cost_func)
+        assert set(plan.tids) == {5, 6}
+
+    def test_answer_after_refresh(self, cached_links, refresher, cost_func):
+        predicate = parse_predicate(Q4_PREDICATE)
+        cls = classify(cached_links.rows(), predicate)
+        plan = CHOOSE_MIN.with_classification(cls, "traffic", 10, cost_func)
+        refresher.refresh(cached_links, plan.tids)
+        cls2 = classify(cached_links.rows(), predicate)
+        # Refreshed tuples 5 and 6 fail the predicate (bandwidth 50 and 45).
+        assert {r.tid for r in cls2.minus} >= {5, 6}
+        assert MIN.bound_with_classification(cls2, "traffic") == Bound(95, 105)
+
+
+Q5_PREDICATE = "latency > 10"
+
+
+class TestQ5CountHighLatency:
+    def test_classification(self, cached_links):
+        cls = classify(cached_links.rows(), parse_predicate(Q5_PREDICATE))
+        assert {r.tid for r in cls.plus} == {3}
+        assert {r.tid for r in cls.maybe} == {4, 5}
+        assert {r.tid for r in cls.minus} == {1, 2, 6}
+
+    def test_initial_bounded_answer(self, cached_links):
+        cls = classify(cached_links.rows(), parse_predicate(Q5_PREDICATE))
+        assert COUNT.bound_with_classification(cls, None) == Bound(1, 3)
+
+    def test_choose_refresh_picks_cheapest_maybe(self, cached_links, cost_func):
+        cls = classify(cached_links.rows(), parse_predicate(Q5_PREDICATE))
+        plan = CHOOSE_COUNT.with_classification(cls, None, 1, cost_func)
+        # |T?| - R = 1 tuple; tuple 5 (cost 4) beats tuple 4 (cost 8).
+        assert set(plan.tids) == {5}
+        assert plan.total_cost == 4
+
+    def test_answer_after_refresh(self, cached_links, refresher, cost_func):
+        predicate = parse_predicate(Q5_PREDICATE)
+        cls = classify(cached_links.rows(), predicate)
+        plan = CHOOSE_COUNT.with_classification(cls, None, 1, cost_func)
+        refresher.refresh(cached_links, plan.tids)
+        cls2 = classify(cached_links.rows(), predicate)
+        # Tuple 5's precise latency is 11 > 10: it lands in T+.
+        assert COUNT.bound_with_classification(cls2, None) == Bound(2, 3)
+
+
+Q6_PREDICATE = "traffic > 100"
+
+
+class TestQ6AvgLatencyWithPredicate:
+    def test_classification(self, cached_links):
+        cls = classify(cached_links.rows(), parse_predicate(Q6_PREDICATE))
+        assert {r.tid for r in cls.plus} == {2, 4}
+        assert {r.tid for r in cls.maybe} == {1, 3, 5, 6}
+        assert not cls.minus
+
+    def test_tight_bound(self, cached_links):
+        cls = classify(cached_links.rows(), parse_predicate(Q6_PREDICATE))
+        bound = AVG.bound_with_classification(cls, "latency")
+        assert bound.lo == pytest.approx(5.0)
+        assert bound.hi == pytest.approx(34 / 3)
+
+    def test_loose_bound(self, cached_links):
+        cls = classify(cached_links.rows(), parse_predicate(Q6_PREDICATE))
+        total = SUM.bound_with_classification(cls, "latency")
+        count = COUNT.bound_with_classification(cls, None)
+        assert total == Bound(14, 55)
+        assert count == Bound(2, 6)
+        loose = loose_avg_bound(total, count)
+        assert loose.lo == pytest.approx(14 / 6)
+        assert loose.hi == pytest.approx(27.5)
+
+    def test_tight_is_inside_loose(self, cached_links):
+        cls = classify(cached_links.rows(), parse_predicate(Q6_PREDICATE))
+        tight = AVG.bound_with_classification(cls, "latency")
+        loose = loose_avg_bound(
+            SUM.bound_with_classification(cls, "latency"),
+            COUNT.bound_with_classification(cls, None),
+        )
+        assert loose.contains_bound(tight)
+
+    def test_choose_refresh_keeps_2_and_4(self, cached_links, cost_func):
+        cls = classify(cached_links.rows(), parse_predicate(Q6_PREDICATE))
+        chooser = AvgChooseRefresh(force_exact=True)
+        plan = chooser.with_classification(cls, "latency", 2, cost_func)
+        assert set(plan.tids) == {1, 3, 5, 6}
+
+    def test_answer_after_refresh(self, cached_links, refresher, cost_func):
+        predicate = parse_predicate(Q6_PREDICATE)
+        cls = classify(cached_links.rows(), predicate)
+        chooser = AvgChooseRefresh(force_exact=True)
+        plan = chooser.with_classification(cls, "latency", 2, cost_func)
+        refresher.refresh(cached_links, plan.tids)
+        cls2 = classify(cached_links.rows(), predicate)
+        bound = AVG.bound_with_classification(cls2, "latency")
+        assert bound == Bound(8, 9)
+
+
+class TestEndToEndExecutor:
+    """The same examples through the three-step executor."""
+
+    def test_q2_executor(self, cached_links, refresher, cost_func):
+        # Q2 ranges over the path tuples {1, 2, 5, 6} only; build that view.
+        from repro.storage.table import Table
+
+        path = Table("links", cached_links.schema)
+        for tid in (1, 2, 5, 6):
+            path.insert(cached_links.row(tid).as_dict(), tid=tid)
+        executor = QueryExecutor(refresher=refresher, force_exact=True)
+        answer = executor.execute(path, "SUM", "latency", 5, cost=cost_func)
+        assert answer.initial_bound == Bound(19, 28)
+        assert answer.bound == Bound(21, 26)
+        assert set(answer.refreshed) == {1, 6}
+        assert answer.refresh_cost == 5
+
+    def test_q4_executor(self, cached_links, refresher, cost_func):
+        executor = QueryExecutor(refresher=refresher)
+        answer = executor.execute(
+            cached_links,
+            "MIN",
+            "traffic",
+            10,
+            predicate=parse_predicate(Q4_PREDICATE),
+            cost=cost_func,
+        )
+        assert answer.bound == Bound(95, 105)
+        assert set(answer.refreshed) == {5, 6}
+
+    def test_q5_executor(self, cached_links, refresher, cost_func):
+        executor = QueryExecutor(refresher=refresher)
+        answer = executor.execute(
+            cached_links,
+            "COUNT",
+            None,
+            1,
+            predicate=parse_predicate(Q5_PREDICATE),
+            cost=cost_func,
+        )
+        assert answer.bound == Bound(2, 3)
+        assert set(answer.refreshed) == {5}
+
+    def test_q6_executor(self, cached_links, refresher, cost_func):
+        executor = QueryExecutor(refresher=refresher, force_exact=True)
+        answer = executor.execute(
+            cached_links,
+            "AVG",
+            "latency",
+            2,
+            predicate=parse_predicate(Q6_PREDICATE),
+            cost=cost_func,
+        )
+        assert answer.bound == Bound(8, 9)
+        assert set(answer.refreshed) == {1, 3, 5, 6}
+
+    def test_no_refresh_when_constraint_already_met(self, cached_links, refresher):
+        executor = QueryExecutor(refresher=refresher)
+        answer = executor.execute(cached_links, "SUM", "latency", 1000)
+        assert not answer.refreshed
+        assert answer.refresh_cost == 0
+        # SUM of latency over all six tuples: lows 2+5+12+9+8+4=40,
+        # highs 4+7+16+11+11+6=55.
+        assert answer.bound == Bound(40, 55)

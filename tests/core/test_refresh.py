@@ -1,0 +1,286 @@
+"""Unit tests for the CHOOSE_REFRESH optimizers (§5, §6, Appendices B/C/F)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
+from repro.core.bound import Bound
+from repro.core.refresh import (
+    CHOOSE_AVG,
+    CHOOSE_COUNT,
+    CHOOSE_MAX,
+    CHOOSE_MIN,
+    CHOOSE_SUM,
+    AvgChooseRefresh,
+    SumChooseRefresh,
+    get_choose_refresh,
+)
+from repro.errors import TrappError
+from repro.predicates.classify import Classification
+from repro.storage.row import Row
+from repro.storage.schema import Column, ColumnKind, Schema
+from repro.storage.table import Table
+
+
+def rows_of(*bounds):
+    return [Row(i + 1, {"x": b}) for i, b in enumerate(bounds)]
+
+
+def cls_of(plus=(), maybe=(), minus=()):
+    tid = 0
+    out = Classification()
+    for group, target in ((plus, out.plus), (maybe, out.maybe), (minus, out.minus)):
+        for b in group:
+            tid += 1
+            target.append(Row(tid, {"x": b}))
+    return out
+
+
+def collapse(rows, tids, values):
+    """Simulate a refresh: pin each chosen tuple at the given value."""
+    by_tid = {r.tid: r for r in rows}
+    for tid in tids:
+        by_tid[tid].set("x", Bound.exact(values[tid]))
+
+
+class TestDispatcher:
+    def test_known_aggregates(self):
+        assert get_choose_refresh("min") is CHOOSE_MIN
+        assert get_choose_refresh("MAX") is CHOOSE_MAX
+        assert get_choose_refresh("count") is CHOOSE_COUNT
+
+    def test_unknown_raises(self):
+        with pytest.raises(TrappError):
+            get_choose_refresh("MODE")
+
+    def test_epsilon_builds_fresh_optimizer(self):
+        chooser = get_choose_refresh("SUM", epsilon=0.05)
+        assert isinstance(chooser, SumChooseRefresh)
+        assert chooser.epsilon == 0.05
+        chooser = get_choose_refresh("AVG", force_exact=True)
+        assert isinstance(chooser, AvgChooseRefresh)
+        assert chooser.force_exact
+
+
+class TestChooseMin:
+    def test_selects_below_threshold(self):
+        rows = rows_of(Bound(0, 10), Bound(6, 8), Bound(7, 9))
+        # min hi = 8; R = 3 -> threshold 5: only tuple 1 (lo=0) qualifies.
+        plan = CHOOSE_MIN.without_predicate(rows, "x", 3)
+        assert set(plan.tids) == {1}
+
+    def test_zero_width_budget_refreshes_all_contenders(self):
+        rows = rows_of(Bound(0, 10), Bound(6, 8))
+        plan = CHOOSE_MIN.without_predicate(rows, "x", 0)
+        assert set(plan.tids) == {1, 2}
+
+    def test_infinite_budget_refreshes_nothing(self):
+        rows = rows_of(Bound(0, 10), Bound(6, 8))
+        plan = CHOOSE_MIN.without_predicate(rows, "x", math.inf)
+        assert not plan.tids
+
+    def test_guarantee_worst_case(self):
+        """Whatever values the refreshed tuples take, width <= R."""
+        rng = random.Random(17)
+        for _ in range(50):
+            rows = rows_of(
+                *[
+                    Bound(lo, lo + rng.uniform(0, 10))
+                    for lo in (rng.uniform(-20, 20) for _ in range(8))
+                ]
+            )
+            budget = rng.uniform(0, 12)
+            plan = CHOOSE_MIN.without_predicate(rows, "x", budget)
+            # Adversarial realization: every refreshed value at its top.
+            collapse(rows, plan.tids, {r.tid: r.bound("x").hi for r in rows})
+            assert MIN.bound_without_predicate(rows, "x").width <= budget + 1e-9
+
+    def test_necessity_each_refreshed_tuple_was_required(self):
+        """Leaving out any chosen tuple can violate the constraint
+        (Appendix B's 'every solution contains TR' direction)."""
+        rows = rows_of(Bound(0, 10), Bound(6, 8), Bound(-5, 9))
+        budget = 3.0
+        plan = CHOOSE_MIN.without_predicate(rows, "x", budget)
+        for omitted in plan.tids:
+            fresh = rows_of(Bound(0, 10), Bound(6, 8), Bound(-5, 9))
+            keep = set(plan.tids) - {omitted}
+            # Refresh all kept tuples at their upper endpoints (worst case).
+            collapse(fresh, keep, {r.tid: r.bound("x").hi for r in fresh})
+            width = MIN.bound_without_predicate(fresh, "x").width
+            assert width > budget - 1e-9
+
+    def test_with_classification_threshold_from_plus(self):
+        cls = cls_of(plus=[Bound(5, 8)], maybe=[Bound(0, 10), Bound(7, 9)])
+        # threshold = min_{T+} hi - R = 8 - 2 = 6: tuples with lo < 6.
+        plan = CHOOSE_MIN.with_classification(cls, "x", 2)
+        assert set(plan.tids) == {1, 2}
+
+
+class TestChooseMax:
+    def test_mirror_of_min(self):
+        rows = rows_of(Bound(0, 10), Bound(2, 4), Bound(1, 3))
+        # max lo = 2; R = 3 -> threshold 5: tuples with hi > 5.
+        plan = CHOOSE_MAX.without_predicate(rows, "x", 3)
+        assert set(plan.tids) == {1}
+
+    def test_guarantee_worst_case(self):
+        rng = random.Random(23)
+        for _ in range(50):
+            rows = rows_of(
+                *[
+                    Bound(lo, lo + rng.uniform(0, 10))
+                    for lo in (rng.uniform(-20, 20) for _ in range(8))
+                ]
+            )
+            budget = rng.uniform(0, 12)
+            plan = CHOOSE_MAX.without_predicate(rows, "x", budget)
+            collapse(rows, plan.tids, {r.tid: r.bound("x").lo for r in rows})
+            assert MAX.bound_without_predicate(rows, "x").width <= budget + 1e-9
+
+    def test_with_classification(self):
+        cls = cls_of(plus=[Bound(5, 8)], maybe=[Bound(0, 10)])
+        # threshold = max_{T+} lo + R = 5 + 2 = 7: hi > 7 refreshes.
+        plan = CHOOSE_MAX.with_classification(cls, "x", 2)
+        assert set(plan.tids) == {1, 2}
+
+
+class TestChooseSum:
+    def test_uniform_cost_greedy_keeps_narrow(self):
+        rows = rows_of(Bound(0, 1), Bound(0, 5), Bound(0, 2))
+        plan = CHOOSE_SUM.without_predicate(rows, "x", 3)
+        # keep widths 1 + 2 = 3 <= 3; refresh the width-5 tuple.
+        assert set(plan.tids) == {2}
+
+    def test_cost_aware_keeps_expensive(self, cost_func=None):
+        rows = rows_of(Bound(0, 3), Bound(0, 3))
+        costs = {1: 100.0, 2: 1.0}
+        chooser = SumChooseRefresh(force_exact=True)
+        plan = chooser.without_predicate(rows, "x", 3, lambda r: costs[r.tid])
+        # Budget admits one kept tuple; keep the expensive one.
+        assert set(plan.tids) == {2}
+
+    def test_guarantee_worst_case(self):
+        rng = random.Random(29)
+        for _ in range(40):
+            rows = rows_of(
+                *[
+                    Bound(lo, lo + rng.uniform(0, 6))
+                    for lo in (rng.uniform(-10, 10) for _ in range(8))
+                ]
+            )
+            budget = rng.uniform(0, 15)
+            costs = {r.tid: float(rng.randint(1, 10)) for r in rows}
+            plan = CHOOSE_SUM.without_predicate(
+                rows, "x", budget, lambda r: costs[r.tid]
+            )
+            # Width after refresh is realization-independent for SUM.
+            collapse(rows, plan.tids, {r.tid: r.bound("x").lo for r in rows})
+            assert SUM.bound_without_predicate(rows, "x").width <= budget + 1e-9
+
+    def test_with_classification_extends_maybe_to_zero(self):
+        cls = cls_of(plus=[Bound(4, 5)], maybe=[Bound(3, 4)])
+        # T? weight is hi = 4 (zero-extended), T+ weight is 1.
+        chooser = SumChooseRefresh(force_exact=True)
+        plan = chooser.with_classification(cls, "x", 1.5)
+        assert set(plan.tids) == {2}
+
+    def test_minus_never_refreshed(self):
+        cls = cls_of(plus=[Bound(0, 10)], minus=[Bound(0, 100)])
+        plan = CHOOSE_SUM.with_classification(cls, "x", 0)
+        assert set(plan.tids) == {1}
+
+
+class TestChooseCount:
+    def test_no_predicate_never_refreshes(self):
+        rows = rows_of(Bound(0, 100))
+        plan = CHOOSE_COUNT.without_predicate(rows, None, 0)
+        assert not plan.tids
+
+    def test_refreshes_cheapest_maybes(self):
+        cls = cls_of(maybe=[Bound(0, 9)] * 4)
+        costs = {1: 5.0, 2: 1.0, 3: 3.0, 4: 2.0}
+        plan = CHOOSE_COUNT.with_classification(
+            cls, None, 1.5, lambda r: costs[r.tid]
+        )
+        # ceil(4 - 1.5) = 3 cheapest: tuples 2, 4, 3.
+        assert set(plan.tids) == {2, 3, 4}
+        assert plan.total_cost == 6.0
+
+    def test_integral_budget_edge(self):
+        cls = cls_of(maybe=[Bound(0, 9)] * 3)
+        plan = CHOOSE_COUNT.with_classification(cls, None, 3)
+        assert not plan.tids
+        plan = CHOOSE_COUNT.with_classification(cls, None, 2)
+        assert len(plan.tids) == 1
+
+    def test_infinite_budget(self):
+        cls = cls_of(maybe=[Bound(0, 9)] * 3)
+        plan = CHOOSE_COUNT.with_classification(cls, None, math.inf)
+        assert not plan.tids
+
+
+class TestChooseAvg:
+    def test_no_predicate_scales_budget_by_count(self):
+        rows = rows_of(Bound(0, 6), Bound(0, 6), Bound(0, 6))
+        chooser = AvgChooseRefresh(force_exact=True)
+        # R = 2 with count 3 -> SUM budget 6: keep one tuple.
+        plan = chooser.without_predicate(rows, "x", 2)
+        assert len(plan.tids) == 2
+
+    def test_empty_table(self):
+        plan = CHOOSE_AVG.without_predicate([], "x", 1)
+        assert not plan.tids
+
+    def test_guarantee_with_predicate_randomized(self):
+        """After refreshing the chosen set, the tight AVG bound meets R for
+        adversarial realizations of refreshed values and memberships."""
+        rng = random.Random(31)
+        for _ in range(30):
+            n_plus = rng.randint(1, 3)
+            n_maybe = rng.randint(0, 4)
+            plus = [
+                Bound(lo, lo + rng.uniform(0, 4))
+                for lo in (rng.uniform(0, 10) for _ in range(n_plus))
+            ]
+            maybe = [
+                Bound(lo, lo + rng.uniform(0, 4))
+                for lo in (rng.uniform(0, 10) for _ in range(n_maybe))
+            ]
+            cls = cls_of(plus=plus, maybe=maybe)
+            budget = rng.uniform(0.5, 5)
+            chooser = AvgChooseRefresh(force_exact=True)
+            plan = chooser.with_classification(cls, "x", budget)
+
+            # Adversarial realization: each refreshed T? tuple randomly
+            # stays or leaves; refreshed values at a random endpoint.
+            for trial in range(8):
+                plus_rows = [Bound(b.lo, b.hi) for b in plus]
+                maybe_rows = [Bound(b.lo, b.hi) for b in maybe]
+                new_cls = Classification()
+                tid = 0
+                for b in plus_rows:
+                    tid += 1
+                    if tid in plan.tids:
+                        value = b.lo if rng.random() < 0.5 else b.hi
+                        new_cls.plus.append(Row(tid, {"x": Bound.exact(value)}))
+                    else:
+                        new_cls.plus.append(Row(tid, {"x": b}))
+                for b in maybe_rows:
+                    tid += 1
+                    if tid in plan.tids:
+                        value = b.lo if rng.random() < 0.5 else b.hi
+                        if rng.random() < 0.5:
+                            new_cls.plus.append(Row(tid, {"x": Bound.exact(value)}))
+                        else:
+                            new_cls.minus.append(Row(tid, {"x": Bound.exact(value)}))
+                    else:
+                        new_cls.maybe.append(Row(tid, {"x": b}))
+                bound = AVG.bound_with_classification(new_cls, "x")
+                assert bound.width <= budget + 1e-6
+
+    def test_degenerate_no_plus_refreshes_all_maybes(self):
+        cls = cls_of(maybe=[Bound(0, 9), Bound(1, 2)])
+        plan = CHOOSE_AVG.with_classification(cls, "x", 1)
+        assert set(plan.tids) >= {1, 2}

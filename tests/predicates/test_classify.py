@@ -1,0 +1,122 @@
+"""Unit tests for T+/T?/T− classification and the bound-restriction
+refinement."""
+
+import pytest
+
+from repro.core.bound import Bound
+from repro.predicates.classify import (
+    Classification,
+    classify,
+    classify_trilean,
+    restrict_bound,
+)
+from repro.predicates.parser import parse_predicate
+from repro.storage.row import Row
+
+
+def rows_of(*bounds):
+    return [Row(i + 1, {"x": b}) for i, b in enumerate(bounds)]
+
+
+class TestClassify:
+    def test_three_way_split(self):
+        rows = rows_of(Bound(6, 9), Bound(3, 7), Bound(0, 2))
+        cls = classify(rows, parse_predicate("x > 5"))
+        assert [r.tid for r in cls.plus] == [1]
+        assert [r.tid for r in cls.maybe] == [2]
+        assert [r.tid for r in cls.minus] == [3]
+
+    def test_counts_and_union(self):
+        rows = rows_of(Bound(6, 9), Bound(3, 7), Bound(0, 2))
+        cls = classify(rows, parse_predicate("x > 5"))
+        assert cls.counts() == (1, 1, 1)
+        assert {r.tid for r in cls.plus_or_maybe} == {1, 2}
+
+    def test_label_of(self):
+        rows = rows_of(Bound(6, 9), Bound(3, 7), Bound(0, 2))
+        cls = classify(rows, parse_predicate("x > 5"))
+        assert cls.label_of(1) == "T+"
+        assert cls.label_of(2) == "T?"
+        assert cls.label_of(3) == "T-"
+        with pytest.raises(KeyError):
+            cls.label_of(99)
+
+    def test_agrees_with_trilean_route(self):
+        import random
+
+        rng = random.Random(19)
+        predicates = [
+            "x > 5",
+            "x < 5 AND x > 1",
+            "NOT x >= 4",
+            "x = 3",
+            "x != 3",
+            "x > 2 OR x < 1",
+        ]
+        for _ in range(20):
+            rows = rows_of(
+                *[
+                    Bound(lo, lo + rng.uniform(0, 6))
+                    for lo in (rng.uniform(-2, 8) for _ in range(10))
+                ]
+            )
+            for text in predicates:
+                p = parse_predicate(text)
+                a = classify(rows, p)
+                b = classify_trilean(rows, p)
+                assert [r.tid for r in a.plus] == [r.tid for r in b.plus], text
+                assert [r.tid for r in a.maybe] == [r.tid for r in b.maybe], text
+                assert [r.tid for r in a.minus] == [r.tid for r in b.minus], text
+
+    def test_exact_values_classify_two_ways_only(self):
+        rows = [Row(1, {"x": 7.0}), Row(2, {"x": 3.0})]
+        cls = classify(rows, parse_predicate("x > 5"))
+        assert cls.counts() == (1, 0, 1)
+
+
+class TestRestrictBound:
+    def test_greater_than(self):
+        p = parse_predicate("x > 10")
+        assert restrict_bound(Bound(3, 15), p, "x") == Bound(10, 15)
+
+    def test_less_than(self):
+        p = parse_predicate("x < 5")
+        assert restrict_bound(Bound(3, 15), p, "x") == Bound(3, 5)
+
+    def test_conjunction(self):
+        p = parse_predicate("x > 4 AND x < 9")
+        assert restrict_bound(Bound(0, 20), p, "x") == Bound(4, 9)
+
+    def test_equality_pins(self):
+        p = parse_predicate("x = 7")
+        assert restrict_bound(Bound(0, 20), p, "x") == Bound.exact(7)
+
+    def test_reversed_comparison_normalized(self):
+        p = parse_predicate("10 < x")
+        assert restrict_bound(Bound(3, 15), p, "x") == Bound(10, 15)
+
+    def test_other_column_untouched(self):
+        p = parse_predicate("y > 10")
+        assert restrict_bound(Bound(3, 15), p, "x") == Bound(3, 15)
+
+    def test_disjunction_untouched(self):
+        p = parse_predicate("x > 10 OR x < 2")
+        assert restrict_bound(Bound(3, 15), p, "x") == Bound(3, 15)
+
+    def test_never_widens_or_escapes(self):
+        import random
+
+        rng = random.Random(41)
+        predicates = ["x > 5", "x < 5", "x >= 2 AND x <= 8", "x = 4"]
+        for _ in range(30):
+            lo = rng.uniform(-5, 10)
+            bound = Bound(lo, lo + rng.uniform(0, 10))
+            for text in predicates:
+                shrunk = restrict_bound(bound, parse_predicate(text), "x")
+                assert bound.contains_bound(shrunk)
+
+    def test_disjoint_constraint_clamps_to_edge(self):
+        # Predicate excludes the whole bound: restriction degenerates to
+        # the nearest endpoint (the tuple is really in T-, harmless).
+        p = parse_predicate("x > 100")
+        assert restrict_bound(Bound(0, 5), p, "x") == Bound(5, 5)

@@ -1,0 +1,45 @@
+"""Shared hypothesis strategies for the property suites."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.bound import Bound
+from repro.storage.row import Row
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+widths = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+@st.composite
+def bounds(draw, lo=finite, width=widths):
+    low = draw(lo)
+    return Bound(low, low + draw(width))
+
+
+@st.composite
+def bounded_rows(draw, min_size=0, max_size=12, column="x"):
+    """Lists of rows with a single bounded column and sequential tids."""
+    items = draw(st.lists(bounds(), min_size=min_size, max_size=max_size))
+    return [Row(i + 1, {column: b}) for i, b in enumerate(items)]
+
+
+@st.composite
+def realization(draw, rows, column="x"):
+    """An exact value inside each row's bound."""
+    values = {}
+    for row in rows:
+        b = row.bound(column)
+        values[row.tid] = draw(st.floats(min_value=b.lo, max_value=b.hi))
+    return values
+
+
+costs = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def cost_maps(draw, rows):
+    return {row.tid: draw(costs) for row in rows}

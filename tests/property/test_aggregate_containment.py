@@ -1,0 +1,113 @@
+"""Property: every bounded aggregate contains the precise answer.
+
+For any rows with bounded values and ANY realization (an exact value inside
+each bound), the aggregate of the realization lies inside the bounded
+answer — with and without a selection predicate.  This is DESIGN.md
+invariant 1, the paper's core guarantee.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
+from repro.core.bound import Bound
+from repro.extensions.median import bounded_median, median_of
+from repro.predicates.ast import ColumnRef, Comparison, Literal
+from repro.predicates.classify import classify
+from repro.predicates.eval import evaluate_exact
+from repro.storage.row import Row
+
+from tests.property.strategies import bounded_rows
+
+
+realize = st.data()
+
+
+def _realized(rows, data):
+    out = []
+    for row in rows:
+        b = row.bound("x")
+        v = data.draw(st.floats(min_value=b.lo, max_value=b.hi), label=f"v{row.tid}")
+        out.append(Row(row.tid, {"x": v}))
+    return out
+
+
+@given(bounded_rows(min_size=1), st.data())
+def test_min_containment(rows, data):
+    answer = MIN.bound_without_predicate(rows, "x")
+    truth = min(r.number("x") for r in _realized(rows, data))
+    assert answer.lo - 1e-6 <= truth <= answer.hi + 1e-6
+
+
+@given(bounded_rows(min_size=1), st.data())
+def test_max_containment(rows, data):
+    answer = MAX.bound_without_predicate(rows, "x")
+    truth = max(r.number("x") for r in _realized(rows, data))
+    assert answer.lo - 1e-6 <= truth <= answer.hi + 1e-6
+
+
+@given(bounded_rows(), st.data())
+def test_sum_containment(rows, data):
+    answer = SUM.bound_without_predicate(rows, "x")
+    truth = sum(r.number("x") for r in _realized(rows, data))
+    assert answer.lo - 1e-3 <= truth <= answer.hi + 1e-3
+
+
+@given(bounded_rows(min_size=1), st.data())
+def test_avg_containment(rows, data):
+    answer = AVG.bound_without_predicate(rows, "x")
+    realized = _realized(rows, data)
+    truth = sum(r.number("x") for r in realized) / len(realized)
+    assert answer.lo - 1e-3 <= truth <= answer.hi + 1e-3
+
+
+@given(bounded_rows(min_size=1), st.data())
+def test_median_containment(rows, data):
+    answer = bounded_median(rows, "x")
+    truth = median_of([r.number("x") for r in _realized(rows, data)])
+    assert answer.lo - 1e-6 <= truth <= answer.hi + 1e-6
+
+
+thresholds = st.floats(min_value=-100, max_value=100, allow_nan=False)
+operators = st.sampled_from(["<", "<=", ">", ">=", "="])
+
+
+@settings(max_examples=60)
+@given(bounded_rows(min_size=1, max_size=8), thresholds, operators, st.data())
+def test_predicate_aggregates_containment(rows, threshold, op, data):
+    """With a predicate over the bounded column, the realized aggregate over
+    the tuples that actually satisfy it lies inside the bounded answer."""
+    predicate = Comparison(ColumnRef("x"), op, Literal(threshold))
+    classification = classify(rows, predicate)
+    realized = _realized(rows, data)
+    passing = [r for r in realized if evaluate_exact(predicate, r)]
+
+    count_answer = COUNT.bound_with_classification(classification, None)
+    assert count_answer.lo <= len(passing) <= count_answer.hi
+
+    sum_answer = SUM.bound_with_classification(classification, "x")
+    truth_sum = sum(r.number("x") for r in passing)
+    assert sum_answer.lo - 1e-3 <= truth_sum <= sum_answer.hi + 1e-3
+
+    if passing:
+        min_answer = MIN.bound_with_classification(classification, "x")
+        truth_min = min(r.number("x") for r in passing)
+        assert min_answer.lo - 1e-6 <= truth_min <= min_answer.hi + 1e-6
+
+        max_answer = MAX.bound_with_classification(classification, "x")
+        truth_max = max(r.number("x") for r in passing)
+        assert max_answer.lo - 1e-6 <= truth_max <= max_answer.hi + 1e-6
+
+        avg_answer = AVG.bound_with_classification(classification, "x")
+        truth_avg = truth_sum / len(passing)
+        assert avg_answer.lo - 1e-3 <= truth_avg <= avg_answer.hi + 1e-3
+
+
+@settings(max_examples=60)
+@given(bounded_rows(min_size=1, max_size=8), thresholds, operators)
+def test_classification_partitions(rows, threshold, op):
+    predicate = Comparison(ColumnRef("x"), op, Literal(threshold))
+    cls = classify(rows, predicate)
+    tids = sorted(
+        [r.tid for r in cls.plus] + [r.tid for r in cls.maybe] + [r.tid for r in cls.minus]
+    )
+    assert tids == [r.tid for r in rows]

@@ -1,0 +1,140 @@
+"""Property: CHOOSE_REFRESH plans guarantee the precision constraint.
+
+DESIGN.md invariant 2: after refreshing the chosen set, the recomputed
+bounded answer has width <= R for EVERY possible realization of the
+refreshed values within their prior bounds (and, for predicate queries,
+every consistent T? membership outcome).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
+from repro.core.bound import Bound
+from repro.core.refresh import (
+    CHOOSE_COUNT,
+    CHOOSE_MAX,
+    CHOOSE_MIN,
+    AvgChooseRefresh,
+    SumChooseRefresh,
+)
+from repro.predicates.ast import ColumnRef, Comparison, Literal
+from repro.predicates.classify import classify
+from repro.predicates.eval import evaluate_exact
+from repro.storage.row import Row
+
+from tests.property.strategies import bounded_rows
+
+budgets = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+thresholds = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def _refresh_at(rows, tids, data):
+    """Realize a refresh: chosen tuples collapse to a drawn exact value."""
+    out = []
+    for row in rows:
+        b = row.bound("x")
+        if row.tid in tids:
+            v = data.draw(
+                st.floats(min_value=b.lo, max_value=b.hi), label=f"r{row.tid}"
+            )
+            out.append(Row(row.tid, {"x": Bound.exact(v)}))
+        else:
+            out.append(row)
+    return out
+
+
+@given(bounded_rows(min_size=1, max_size=10), budgets, st.data())
+def test_min_guarantee(rows, budget, data):
+    plan = CHOOSE_MIN.without_predicate(rows, "x", budget)
+    refreshed = _refresh_at(rows, plan.tids, data)
+    assert MIN.bound_without_predicate(refreshed, "x").width <= budget + 1e-6
+
+
+@given(bounded_rows(min_size=1, max_size=10), budgets, st.data())
+def test_max_guarantee(rows, budget, data):
+    plan = CHOOSE_MAX.without_predicate(rows, "x", budget)
+    refreshed = _refresh_at(rows, plan.tids, data)
+    assert MAX.bound_without_predicate(refreshed, "x").width <= budget + 1e-6
+
+
+@settings(max_examples=60)
+@given(bounded_rows(max_size=10), budgets, st.data())
+def test_sum_guarantee(rows, budget, data):
+    chooser = SumChooseRefresh(epsilon=0.1)
+    plan = chooser.without_predicate(rows, "x", budget)
+    refreshed = _refresh_at(rows, plan.tids, data)
+    assert SUM.bound_without_predicate(refreshed, "x").width <= budget + 1e-6
+
+
+@settings(max_examples=60)
+@given(bounded_rows(min_size=1, max_size=10), budgets, st.data())
+def test_avg_guarantee_no_predicate(rows, budget, data):
+    chooser = AvgChooseRefresh(epsilon=0.1)
+    plan = chooser.without_predicate(rows, "x", budget)
+    refreshed = _refresh_at(rows, plan.tids, data)
+    assert AVG.bound_without_predicate(refreshed, "x").width <= budget + 1e-6
+
+
+@settings(max_examples=50)
+@given(bounded_rows(min_size=1, max_size=8), thresholds, budgets, st.data())
+def test_count_guarantee_with_predicate(rows, threshold, budget, data):
+    predicate = Comparison(ColumnRef("x"), ">", Literal(threshold))
+    cls = classify(rows, predicate)
+    plan = CHOOSE_COUNT.with_classification(cls, None, budget)
+    refreshed = _refresh_at(rows, plan.tids, data)
+    new_cls = classify(refreshed, predicate)
+    answer = COUNT.bound_with_classification(new_cls, None)
+    assert answer.width <= budget + 1e-6
+
+
+@settings(max_examples=50)
+@given(bounded_rows(min_size=1, max_size=8), thresholds, budgets, st.data())
+def test_min_guarantee_with_predicate(rows, threshold, budget, data):
+    predicate = Comparison(ColumnRef("x"), ">", Literal(threshold))
+    cls = classify(rows, predicate)
+    plan = CHOOSE_MIN.with_classification(cls, "x", budget)
+    refreshed = _refresh_at(rows, plan.tids, data)
+    new_cls = classify(refreshed, predicate)
+    answer = MIN.bound_with_classification(new_cls, "x")
+    # When T+ stays empty the answer may be half-infinite; the constraint
+    # guarantee applies when a guaranteed-passing tuple exists.
+    if new_cls.plus:
+        assert answer.width <= budget + 1e-6
+
+
+@settings(max_examples=50)
+@given(bounded_rows(min_size=1, max_size=8), thresholds, budgets, st.data())
+def test_sum_guarantee_with_predicate(rows, threshold, budget, data):
+    predicate = Comparison(ColumnRef("x"), ">", Literal(threshold))
+    cls = classify(rows, predicate)
+    chooser = SumChooseRefresh(epsilon=0.1)
+    plan = chooser.with_classification(cls, "x", budget)
+    refreshed = _refresh_at(rows, plan.tids, data)
+    new_cls = classify(refreshed, predicate)
+    answer = SUM.bound_with_classification(new_cls, "x")
+    assert answer.width <= budget + 1e-6
+
+
+@settings(max_examples=40)
+@given(bounded_rows(min_size=1, max_size=7), thresholds, st.data())
+def test_avg_guarantee_with_predicate(rows, threshold, data):
+    budget = data.draw(st.floats(min_value=0.5, max_value=50), label="budget")
+    predicate = Comparison(ColumnRef("x"), ">", Literal(threshold))
+    cls = classify(rows, predicate)
+    chooser = AvgChooseRefresh(epsilon=0.1)
+    plan = chooser.with_classification(cls, "x", budget)
+    refreshed = _refresh_at(rows, plan.tids, data)
+    new_cls = classify(refreshed, predicate)
+    answer = AVG.bound_with_classification(new_cls, "x")
+    if new_cls.plus or new_cls.maybe:
+        assert answer.width <= budget + 1e-5
+
+
+@settings(max_examples=40)
+@given(bounded_rows(min_size=1, max_size=9), budgets, st.data())
+def test_median_guarantee(rows, budget, data):
+    from repro.extensions.median import bounded_median, choose_refresh_median
+
+    plan = choose_refresh_median(rows, "x", budget)
+    refreshed = _refresh_at(rows, plan.tids, data)
+    assert bounded_median(refreshed, "x").width <= budget + 1e-6

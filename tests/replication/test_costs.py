@@ -1,0 +1,56 @@
+"""Unit tests for refresh cost models."""
+
+import pytest
+
+from repro.errors import TrappError
+from repro.replication.costs import (
+    ColumnCostModel,
+    PerSourceCostModel,
+    TableCostModel,
+    UniformCostModel,
+)
+from repro.storage.row import Row
+
+
+def row(**values):
+    return Row(1, values)
+
+
+class TestCostModels:
+    def test_uniform(self):
+        model = UniformCostModel(3.0)
+        assert model.cost_of(row(a=1)) == 3.0
+        assert UniformCostModel().cost_of(row(a=1)) == 1.0
+
+    def test_column(self):
+        model = ColumnCostModel("cost")
+        assert model.cost_of(row(cost=7.0)) == 7.0
+
+    def test_per_source(self):
+        model = PerSourceCostModel(
+            costs_by_source={"near": 1.0, "far": 9.0}, default_cost=4.0
+        )
+        assert model.cost_of(row(source="near")) == 1.0
+        assert model.cost_of(row(source="far")) == 9.0
+        assert model.cost_of(row(source="unknown")) == 4.0
+
+    def test_per_source_custom_extractor(self):
+        model = PerSourceCostModel(
+            costs_by_source={"n5": 2.0},
+            source_of=lambda r: f"n{int(r['to_node'])}",
+        )
+        assert model.cost_of(row(to_node=5)) == 2.0
+
+    def test_table(self):
+        model = TableCostModel({1: 5.0}, default_cost=2.0)
+        assert model.cost_of(row()) == 5.0
+        assert model.cost_of(Row(99, {})) == 2.0
+
+    def test_table_missing_without_default_raises(self):
+        model = TableCostModel({})
+        with pytest.raises(TrappError):
+            model.cost_of(row())
+
+    def test_as_func_adapter(self):
+        func = UniformCostModel(2.5).as_func()
+        assert func(row()) == 2.5

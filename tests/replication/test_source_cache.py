@@ -1,0 +1,179 @@
+"""Integration tests for the source/cache replication protocol (§3)."""
+
+import pytest
+
+from repro.bounds.width import FixedWidthPolicy
+from repro.core.bound import Bound
+from repro.errors import ReplicationProtocolError
+from repro.replication.messages import ObjectKey, RefreshReason
+from repro.replication.source import DataSource
+from repro.replication.cache import DataCache
+from repro.simulation.clock import Clock
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+from repro.workloads.netmon import paper_master_table
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def source(clock):
+    s = DataSource("s1", clock=clock.now)
+    s.add_table(paper_master_table())
+    return s
+
+
+@pytest.fixture
+def cache(clock, source):
+    c = DataCache("c1", clock=clock.now)
+    c.subscribe_table(source, "links")
+    return c
+
+
+class TestSubscription:
+    def test_cached_table_mirrors_master(self, source, cache):
+        cached = cache.table("links")
+        master = source.table("links")
+        assert len(cached) == len(master)
+        assert cached.tids() == master.tids()
+
+    def test_initial_bounds_are_exact(self, cache):
+        # At subscription time (t=0) bound functions have zero width.
+        for row in cache.table("links"):
+            assert row.bound("latency").is_exact
+
+    def test_exact_columns_copied_verbatim(self, source, cache):
+        for tid in source.table("links").tids():
+            assert cache.table("links").row(tid)["cost"] == (
+                source.table("links").row(tid)["cost"]
+            )
+
+    def test_double_subscription_rejected(self, source, cache):
+        with pytest.raises(ReplicationProtocolError):
+            cache.subscribe_table(source, "links")
+
+    def test_monitor_tracks_every_bounded_object(self, source, cache):
+        # 6 tuples * 3 bounded columns.
+        assert source.monitor.tracked_count() == 18
+
+
+class TestBoundWidening:
+    def test_bounds_widen_with_time(self, clock, cache):
+        clock.advance(4.0)
+        cache.sync_bounds()
+        row = cache.table("links").row(1)
+        bound = row.bound("latency")
+        assert bound.width > 0
+        assert bound.contains(3.0)  # the master value
+
+
+class TestQueryInitiatedRefresh:
+    def test_refresh_collapses_bounds(self, clock, source, cache):
+        clock.advance(10.0)
+        cache.sync_bounds()
+        assert cache.table("links").row(1).bound("latency").width > 0
+        cache.refresh(cache.table("links"), [1])
+        bound = cache.table("links").row(1).bound("latency")
+        assert bound.is_exact
+        assert bound.lo == 3.0
+        assert source.query_initiated_refreshes > 0
+
+    def test_refresh_unsubscribed_tuple_rejected(self, cache):
+        fake = Table("links", cache.table("links").schema)
+        fake.insert(cache.table("links").row(1).as_dict(), tid=999)
+        with pytest.raises(ReplicationProtocolError):
+            cache.refresh(fake, [999])
+
+    def test_refresh_counts(self, clock, source, cache):
+        clock.advance(5.0)
+        cache.refresh(cache.table("links"), [1, 2])
+        assert cache.refresh_requests_sent == 1  # one batch to one source
+        assert cache.refreshes_received == 6  # 2 tuples * 3 columns
+
+
+class TestValueInitiatedRefresh:
+    def test_update_outside_bound_triggers_refresh(self, clock, source, cache):
+        key = ObjectKey("links", 1, "latency")
+        # At t=0 bounds are exact, so any change escapes them.
+        refreshes = source.apply_update(key, 50.0)
+        assert len(refreshes) == 1
+        assert refreshes[0].reason is RefreshReason.VALUE_INITIATED
+        cache.sync_bounds()
+        assert cache.table("links").row(1).bound("latency").contains(50.0)
+
+    def test_update_inside_bound_is_silent(self, clock, source, cache):
+        key = ObjectKey("links", 1, "latency")
+        # Refresh with a wide fixed policy, then nudge within the bound.
+        source.monitor.track(
+            "c1",
+            key,
+            source.register("c1b", key, policy=FixedWidthPolicy(100.0)).bound_function,
+            FixedWidthPolicy(100.0),
+        )
+        clock.advance(1.0)
+        before = source.value_initiated_refreshes
+        source.apply_update(key, 3.1)
+        # The c1 entry was replaced by a wide bound: no refresh for it.
+        assert source.value_initiated_refreshes <= before + 1
+
+    def test_trapp_contract_master_always_in_bound(self, clock, source, cache):
+        """After any update, every cache bound contains the master value."""
+        import random
+
+        rng = random.Random(55)
+        key = ObjectKey("links", 2, "traffic")
+        for _ in range(30):
+            clock.advance(rng.uniform(0.1, 2.0))
+            new_value = rng.uniform(0, 300)
+            source.apply_update(key, new_value)
+            cache.sync_bounds()
+            assert cache.table("links").row(2).bound("traffic").contains(new_value)
+
+
+class TestCardinalityChanges:
+    def test_insert_propagates_immediately(self, source, cache):
+        row = {
+            "from_node": 6, "to_node": 1, "latency": 4.0,
+            "bandwidth": 55.0, "traffic": 100.0, "cost": 5.0,
+        }
+        change = source.insert_row("links", row)
+        assert change.is_insert
+        assert change.tid in cache.table("links")
+        assert len(cache.table("links")) == 7
+
+    def test_delete_propagates_immediately(self, source, cache):
+        source.delete_row("links", 1)
+        assert 1 not in cache.table("links")
+        assert len(cache.table("links")) == 5
+
+    def test_count_query_stays_exact_after_churn(self, source, cache):
+        from repro.core.aggregates import COUNT
+
+        source.insert_row(
+            "links",
+            {
+                "from_node": 6, "to_node": 1, "latency": 4.0,
+                "bandwidth": 55.0, "traffic": 100.0, "cost": 5.0,
+            },
+        )
+        source.delete_row("links", 2)
+        bound = COUNT.bound_without_predicate(cache.table("links").rows(), None)
+        assert bound == Bound.exact(6)
+
+
+class TestMultiCacheFanout:
+    def test_two_caches_track_independently(self, clock, source):
+        c1 = DataCache("m1", clock=clock.now)
+        c1.subscribe_table(source, "links")
+        c2 = DataCache("m2", clock=clock.now)
+        c2.subscribe_table(source, "links")
+        key = ObjectKey("links", 3, "bandwidth")
+        refreshes = source.apply_update(key, 500.0)
+        # Both caches held zero-width bounds: both get value refreshes.
+        assert len(refreshes) == 2
+        for c in (c1, c2):
+            c.sync_bounds()
+            assert c.table("links").row(3).bound("bandwidth").contains(500.0)

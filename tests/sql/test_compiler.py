@@ -1,0 +1,90 @@
+"""Unit tests for statement compilation against a catalog."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError, UnknownColumnError, UnknownTableError
+from repro.sql.compiler import JoinQueryPlan, QueryPlan, compile_statement
+from repro.sql.parser import parse_statement
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Schema
+from repro.workloads.netmon import LINKS_SCHEMA
+
+
+@pytest.fixture
+def catalog():
+    c = Catalog()
+    c.create_table("links", LINKS_SCHEMA)
+    c.create_table(
+        "nodes", Schema.of(id="exact", region="text", load="bounded")
+    )
+    return c
+
+
+class TestCompile:
+    def test_single_table(self, catalog):
+        plan = compile_statement(
+            parse_statement("SELECT AVG(latency) WITHIN 5 FROM links"), catalog
+        )
+        assert isinstance(plan, QueryPlan)
+        assert plan.table.name == "links"
+        assert plan.aggregate == "AVG"
+        assert plan.column == "latency"
+        assert plan.constraint.width == 5.0
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(UnknownTableError):
+            compile_statement(parse_statement("SELECT COUNT(*) FROM ghosts"), catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(UnknownColumnError):
+            compile_statement(
+                parse_statement("SELECT SUM(ghost) FROM links"), catalog
+            )
+
+    def test_unknown_predicate_column(self, catalog):
+        with pytest.raises(UnknownColumnError):
+            compile_statement(
+                parse_statement("SELECT COUNT(*) FROM links WHERE ghost > 1"),
+                catalog,
+            )
+
+    def test_text_column_not_aggregatable(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            compile_statement(
+                parse_statement("SELECT SUM(region) FROM nodes"), catalog
+            )
+
+    def test_non_count_requires_column(self, catalog):
+        # Grammar already enforces this; compiler double-checks AST inputs.
+        from repro.sql.ast import SelectStatement
+
+        stmt = SelectStatement(
+            aggregate="SUM", column=None, tables=("links",), within=5.0
+        )
+        with pytest.raises(SqlSyntaxError):
+            compile_statement(stmt, catalog)
+
+    def test_join_plan(self, catalog):
+        plan = compile_statement(
+            parse_statement(
+                "SELECT SUM(load) WITHIN 5 FROM links, nodes "
+                "WHERE to_node = id"
+            ),
+            catalog,
+        )
+        assert isinstance(plan, JoinQueryPlan)
+        assert plan.column == ("nodes", "load")
+        assert [t.name for t in plan.tables] == ["links", "nodes"]
+
+    def test_join_ambiguous_column(self, catalog):
+        catalog.create_table("nodes2", Schema.of(load="bounded"))
+        with pytest.raises(SqlSyntaxError):
+            compile_statement(
+                parse_statement("SELECT SUM(load) FROM nodes, nodes2"), catalog
+            )
+
+    def test_join_unknown_column(self, catalog):
+        with pytest.raises(UnknownColumnError):
+            compile_statement(
+                parse_statement("SELECT SUM(ghost) FROM links, nodes"), catalog
+            )

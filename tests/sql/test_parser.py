@@ -1,0 +1,101 @@
+"""Unit tests for the TRAPP SQL statement parser."""
+
+import math
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.predicates.ast import And, Comparison, TruePredicate
+from repro.sql.parser import parse_statement
+
+
+class TestParseStatement:
+    def test_full_form(self):
+        stmt = parse_statement(
+            "SELECT AVG(latency) WITHIN 5 FROM links WHERE traffic > 100"
+        )
+        assert stmt.aggregate == "AVG"
+        assert stmt.column == "latency"
+        assert stmt.tables == ("links",)
+        assert stmt.within == 5.0
+        assert isinstance(stmt.predicate, Comparison)
+
+    def test_within_omitted_defaults_to_infinity(self):
+        stmt = parse_statement("SELECT MIN(bandwidth) FROM links")
+        assert stmt.within == math.inf
+        assert isinstance(stmt.predicate, TruePredicate)
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) WITHIN 1 FROM links")
+        assert stmt.aggregate == "COUNT"
+        assert stmt.column is None
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT SUM(*) FROM links")
+
+    def test_qualified_target(self):
+        stmt = parse_statement("SELECT SUM(links.latency) FROM links")
+        assert stmt.column == "latency"
+
+    def test_case_insensitive_keywords(self):
+        stmt = parse_statement("select max(traffic) within 2 from links")
+        assert stmt.aggregate == "MAX"
+        assert stmt.within == 2.0
+
+    def test_compound_predicate(self):
+        stmt = parse_statement(
+            "SELECT MIN(traffic) WITHIN 10 FROM links "
+            "WHERE bandwidth > 50 AND latency < 10"
+        )
+        assert isinstance(stmt.predicate, And)
+
+    def test_join_tables(self):
+        stmt = parse_statement(
+            "SELECT SUM(latency) WITHIN 5 FROM links, nodes "
+            "WHERE links.to_node = nodes.id"
+        )
+        assert stmt.tables == ("links", "nodes")
+        assert stmt.is_join
+        with pytest.raises(ValueError):
+            stmt.table  # ambiguous for joins
+
+    def test_median_accepted(self):
+        stmt = parse_statement("SELECT MEDIAN(price) WITHIN 1 FROM stocks")
+        assert stmt.aggregate == "MEDIAN"
+
+    def test_trailing_semicolon(self):
+        stmt = parse_statement("SELECT COUNT(*) FROM links;")
+        assert stmt.aggregate == "COUNT"
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT PRODUCT(x) FROM t")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT SUM(x) WITHIN 5")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT SUM(x) FROM t EXTRA")
+
+    def test_negative_within_parses_then_fails_constraint(self):
+        # The parser accepts the number; the constraint layer rejects it.
+        from repro.errors import PrecisionConstraintError
+        from repro.core.constraints import AbsolutePrecision
+
+        stmt = parse_statement("SELECT SUM(x) WITHIN -3 FROM t")
+        with pytest.raises(PrecisionConstraintError):
+            AbsolutePrecision(stmt.within)
+
+    def test_str_roundtrip(self):
+        texts = [
+            "SELECT AVG(latency) WITHIN 5 FROM links WHERE traffic > 100",
+            "SELECT COUNT(*) FROM links",
+            "SELECT MIN(bandwidth) WITHIN 10 FROM links",
+        ]
+        for text in texts:
+            stmt = parse_statement(text)
+            again = parse_statement(str(stmt))
+            assert stmt == again

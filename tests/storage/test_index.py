@@ -1,0 +1,103 @@
+"""Unit tests for sorted indexes."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.bound import Bound
+from repro.storage.index import IndexSet, SortedIndex
+from repro.storage.row import Row
+
+
+def make_rows(values):
+    return [Row(i + 1, {"x": v}) for i, v in enumerate(values)]
+
+
+class TestSortedIndex:
+    def test_insert_and_range_queries(self):
+        index = SortedIndex("x", lambda r: r["x"])
+        for row in make_rows([5.0, 1.0, 3.0, 9.0]):
+            index.insert(row)
+        assert index.min_key() == 1.0
+        assert index.max_key() == 9.0
+        assert index.tids_below(4.0) == [2, 3]
+        assert index.tids_above(3.0) == [1, 4]
+        assert index.tids_above(3.0, strict=False) == [3, 1, 4]
+        assert index.tids_in_range(2.0, 6.0) == [3, 1]
+
+    def test_empty_conventions(self):
+        index = SortedIndex("x", lambda r: r["x"])
+        assert index.min_key() == math.inf
+        assert index.max_key() == -math.inf
+        assert index.tids_below(10) == []
+
+    def test_remove(self):
+        index = SortedIndex("x", lambda r: r["x"])
+        rows = make_rows([5.0, 1.0, 5.0])
+        for row in rows:
+            index.insert(row)
+        index.remove(1)
+        assert index.tids_above(2.0) == [3]
+        index.remove(99)  # unknown tid is a no-op
+        assert len(index) == 2
+
+    def test_update_rekeys(self):
+        index = SortedIndex("x", lambda r: r["x"])
+        row = Row(1, {"x": 5.0})
+        index.insert(row)
+        row.set("x", 100.0)
+        index.update(row)
+        assert index.max_key() == 100.0
+        assert index.tids_below(50) == []
+
+    def test_duplicate_keys_with_tid_tiebreak(self):
+        index = SortedIndex("x", lambda r: r["x"])
+        for row in make_rows([2.0, 2.0, 2.0]):
+            index.insert(row)
+        assert [t for _, t in index.ascending()] == [1, 2, 3]
+        index.remove(2)
+        assert [t for _, t in index.ascending()] == [1, 3]
+
+    def test_iteration_order(self):
+        index = SortedIndex("x", lambda r: r["x"])
+        for row in make_rows([3.0, 1.0, 2.0]):
+            index.insert(row)
+        assert [k for k, _ in index.ascending()] == [1.0, 2.0, 3.0]
+        assert [k for k, _ in index.descending()] == [3.0, 2.0, 1.0]
+
+    def test_matches_linear_scan_randomized(self):
+        rng = random.Random(2)
+        rows = make_rows([rng.uniform(0, 100) for _ in range(200)])
+        index = SortedIndex("x", lambda r: r["x"])
+        for row in rows:
+            index.insert(row)
+        for _ in range(20):
+            threshold = rng.uniform(0, 100)
+            expected = sorted(r.tid for r in rows if r["x"] < threshold)
+            assert sorted(index.tids_below(threshold)) == expected
+
+
+class TestIndexSet:
+    def test_lifecycle(self):
+        rows = make_rows([1.0, 2.0])
+        idx_set = IndexSet()
+        index = idx_set.create("by_x", lambda r: r["x"], rows)
+        assert "by_x" in idx_set
+        assert idx_set.get("by_x") is index
+        assert idx_set.names() == ["by_x"]
+        idx_set.drop("by_x")
+        assert idx_set.get("by_x") is None
+
+    def test_synchronization_hooks(self):
+        rows = make_rows([1.0, 2.0])
+        idx_set = IndexSet()
+        idx_set.create("by_x", lambda r: r["x"], rows)
+        new_row = Row(3, {"x": 0.5})
+        idx_set.on_insert(new_row)
+        assert idx_set.get("by_x").min_key() == 0.5
+        idx_set.on_delete(3)
+        assert idx_set.get("by_x").min_key() == 1.0
+        rows[0].set("x", 50.0)
+        idx_set.on_update(rows[0])
+        assert idx_set.get("by_x").max_key() == 50.0
