@@ -1,0 +1,221 @@
+"""Columnar vs row-at-a-time executor on a Figure 6-style workload (ISSUE 1).
+
+The paper's Figure 6 experiment runs bounded SUM queries over the volatile
+stock day while sweeping the precision constraint.  This benchmark scales
+that workload to 10k+ tickers and drives the *same* query mix through the
+executor twice — once over the columnar fast paths
+(``QueryExecutor(columnar=True)``, the default) and once over the
+row-at-a-time reference pipeline — asserting the columnar path is at
+least 3× faster end to end and that both return identical answers.
+
+The mix reflects how a TRAPP cache is actually hit: most queries are
+answerable from cached bounds alone (steps 1–2 of the pipeline never
+refresh), a predicate query exercises T+/T?/T− classification, and one
+tight-constraint query forces a CHOOSE_REFRESH round trip.
+
+Results are written to ``BENCH_columnar_executor.json`` at the repo root
+— the perf baseline later scaling PRs (batching, sharding, async) measure
+against.
+
+Environment knobs: ``BENCH_COLUMNAR_STOCKS`` overrides the table size
+(CI smoke runs use a few hundred), ``BENCH_COLUMNAR_REPEATS`` the
+best-of repeat count.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.tables import banner, print_table
+from repro.core.executor import QueryExecutor
+from repro.predicates.parser import parse_predicate
+from repro.replication.local import LocalRefresher
+from repro.workloads.stocks import (
+    stock_cache_table,
+    stock_master_table,
+    volatile_stock_day,
+)
+
+N_STOCKS = int(os.environ.get("BENCH_COLUMNAR_STOCKS", "10000"))
+REPEATS = int(os.environ.get("BENCH_COLUMNAR_REPEATS", "5"))
+#: The ISSUE 1 acceptance floor at full size; CI smoke runs shrink the
+#: table (where the vectorization edge is smallest) and noisy shared
+#: runners add jitter, so they set a lower floor via this knob.
+MIN_SPEEDUP = float(os.environ.get("BENCH_COLUMNAR_MIN_SPEEDUP", "3.0"))
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_columnar_executor.json"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A 10k-ticker volatile day (fewer ticks than Fig. 5/6: the bound
+    *shape* is what matters, and 10k × 390 random-walk steps would swamp
+    setup time)."""
+    days = volatile_stock_day(n_stocks=N_STOCKS, ticks=60)
+    cache = stock_cache_table(days)
+    master = stock_master_table(days)
+    median = sorted(day.close for day in days)[len(days) // 2]
+    total_width = sum(day.width for day in days)
+    return days, cache, master, median, total_width
+
+
+def _queries(cache, master, median, total_width):
+    """The benchmark mix: (name, callable(executor) -> BoundedAnswer)."""
+    above = parse_predicate(f"price > {median:.2f}")
+    band = parse_predicate(f"price > {median * 0.8:.2f} AND price < {median * 1.2:.2f}")
+    return [
+        # Cache-answerable, no predicate: pure step-1 array sweep.
+        ("SUM/no-pred/cached", lambda ex: ex.execute(
+            cache, "SUM", "price", total_width * 1.1)),
+        ("MIN/no-pred/cached", lambda ex: ex.execute(
+            cache, "MIN", "price", math.inf)),
+        ("AVG/no-pred/cached", lambda ex: ex.execute(
+            cache, "AVG", "price", math.inf)),
+        # Predicate queries: classification dominates the row path.
+        ("COUNT/pred/cached", lambda ex: ex.execute(
+            cache, "COUNT", None, float(len(cache)), above)),
+        ("SUM/pred/cached", lambda ex: ex.execute(
+            cache, "SUM", "price", math.inf, above)),
+        ("AVG/band-pred/cached", lambda ex: ex.execute(
+            cache, "AVG", "price", math.inf, band)),
+    ]
+
+
+def _time_queries(queries, executor, repeats=REPEATS):
+    """Best-of-``repeats`` wall time per query, plus the answers."""
+    times = {}
+    answers = {}
+    for name, run in queries:
+        best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            answers[name] = run(executor)
+            best = min(best, time.perf_counter() - start)
+        times[name] = best
+    return times, answers
+
+
+def _time_refresh_query(cache, master, repeats=REPEATS):
+    """One tight-constraint SUM per fresh cache copy (refresh mutates)."""
+    copies = [(cache.copy(), cache.copy()) for _ in range(repeats)]
+    best = {"columnar": math.inf, "row": math.inf}
+    answers = {}
+    for col_table, row_table in copies:
+        for key, table, columnar in (
+            ("columnar", col_table, True),
+            ("row", row_table, False),
+        ):
+            executor = QueryExecutor(
+                refresher=LocalRefresher(master), columnar=columnar
+            )
+            budget = table_initial_width(table) * 0.5
+            start = time.perf_counter()
+            answers[key] = executor.execute(table, "SUM", "price", budget)
+            best[key] = min(best[key], time.perf_counter() - start)
+    assert answers["columnar"].refreshed == answers["row"].refreshed
+    return best
+
+
+def table_initial_width(table):
+    return sum(row.bound("price").width for row in table.rows())
+
+
+def test_columnar_executor_speedup(workload):
+    days, cache, master, median, total_width = workload
+    queries = _queries(cache, master, median, total_width)
+
+    columnar = QueryExecutor(refresher=LocalRefresher(master))
+    row = QueryExecutor(refresher=LocalRefresher(master), columnar=False)
+
+    col_times, col_answers = _time_queries(queries, columnar)
+    row_times, row_answers = _time_queries(queries, row)
+    refresh_times = _time_refresh_query(cache, master, repeats=min(REPEATS, 3))
+
+    # Both paths must agree before their speeds are comparable.
+    for name in col_answers:
+        a, b = col_answers[name].bound, row_answers[name].bound
+        assert a.lo == pytest.approx(b.lo, rel=1e-9, abs=1e-9), name
+        assert a.hi == pytest.approx(b.hi, rel=1e-9, abs=1e-9), name
+
+    col_total = sum(col_times.values()) + refresh_times["columnar"]
+    row_total = sum(row_times.values()) + refresh_times["row"]
+    speedup = row_total / col_total
+
+    banner(f"Columnar vs row executor — {N_STOCKS} stocks, Fig. 6-style mix")
+    table_rows = [
+        (name, col_times[name] * 1e3, row_times[name] * 1e3,
+         row_times[name] / col_times[name])
+        for name, _ in queries
+    ]
+    table_rows.append(
+        ("SUM/no-pred/refresh", refresh_times["columnar"] * 1e3,
+         refresh_times["row"] * 1e3,
+         refresh_times["row"] / refresh_times["columnar"])
+    )
+    table_rows.append(("TOTAL", col_total * 1e3, row_total * 1e3, speedup))
+    print_table(["query", "columnar_ms", "row_ms", "speedup"], table_rows)
+
+    results = {
+        "benchmark": "columnar_executor",
+        "n_stocks": N_STOCKS,
+        "repeats": REPEATS,
+        "queries": {
+            name: {
+                "columnar_seconds": col_times[name],
+                "row_seconds": row_times[name],
+                "speedup": row_times[name] / col_times[name],
+            }
+            for name, _ in queries
+        },
+        "refresh_query": {
+            "columnar_seconds": refresh_times["columnar"],
+            "row_seconds": refresh_times["row"],
+            "speedup": refresh_times["row"] / refresh_times["columnar"],
+        },
+        "total_columnar_seconds": col_total,
+        "total_row_seconds": row_total,
+        "end_to_end_speedup": speedup,
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"columnar executor must be >= {MIN_SPEEDUP:g}x faster end to end, "
+        f"got {speedup:.2f}x"
+    )
+
+
+def test_classify_runs_at_most_once_per_query(workload, monkeypatch):
+    """Acceptance criterion: classify() is invoked at most once per execute."""
+    import repro.core.executor as executor_module
+    from repro.predicates.classify import classify as real_classify
+
+    days, cache, master, median, _ = workload
+    calls = {"n": 0}
+
+    def counting(rows, predicate):
+        calls["n"] += 1
+        return real_classify(rows, predicate)
+
+    monkeypatch.setattr(executor_module, "classify", counting)
+    predicate = parse_predicate(f"price > {median:.2f}")
+
+    for columnar in (True, False):
+        copy = cache.copy()
+        executor = QueryExecutor(
+            refresher=LocalRefresher(master), columnar=columnar
+        )
+        calls["n"] = 0
+        answer = executor.execute(
+            copy, "SUM", "price", table_initial_width(copy) * 0.25, predicate
+        )
+        assert answer.refreshed, "the query should have gone through step 2"
+        assert calls["n"] <= 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

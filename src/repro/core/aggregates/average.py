@@ -22,6 +22,11 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+try:  # Columnar fast paths need numpy; the executor skips them without.
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-less hosts
+    np = None  # type: ignore[assignment]
+
 from repro.core.aggregates.base import register
 from repro.core.aggregates.counting import COUNT
 from repro.core.aggregates.summing import SUM
@@ -127,6 +132,50 @@ class AvgAggregate:
         if column is None:
             raise TrappError("AVG requires an aggregation column")
         return tight_avg_bound(classification, column)
+
+    # -- columnar fast paths -------------------------------------------
+    def bound_without_predicate_columnar(self, store, column: str | None) -> Bound:
+        if column is None:
+            raise TrappError("AVG requires an aggregation column")
+        n = len(store)
+        if n == 0:
+            return Bound.unbounded()
+        lo, hi = store.endpoints(column)
+        return Bound(float(lo.sum()) / n, float(hi.sum()) / n)
+
+    def bound_with_classification_columnar(self, cc, column: str | None) -> Bound:
+        """Appendix E tight bound over endpoint arrays.
+
+        The sums and sorts are vectorized; the greedy endpoint sweeps stay
+        scalar loops because they typically terminate after a handful of
+        T? tuples.
+        """
+        if column is None:
+            raise TrappError("AVG requires an aggregation column")
+        if cc.n_plus == 0 and cc.n_maybe == 0:
+            return Bound.unbounded()
+        if cc.n_plus == 0:
+            return Bound(float(cc.maybe_lo.min()), float(cc.maybe_hi.max()))
+
+        s_l = float(cc.plus_lo.sum())
+        k_l = cc.n_plus
+        for lo in np.sort(cc.maybe_lo):
+            if lo < s_l / k_l:
+                s_l += float(lo)
+                k_l += 1
+            else:
+                break
+
+        s_h = float(cc.plus_hi.sum())
+        k_h = cc.n_plus
+        for hi in np.sort(cc.maybe_hi)[::-1]:
+            if hi > s_h / k_h:
+                s_h += float(hi)
+                k_h += 1
+            else:
+                break
+
+        return Bound(s_l / k_l, s_h / k_h)
 
 
 AVG = register(AvgAggregate())

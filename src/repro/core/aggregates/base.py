@@ -12,6 +12,14 @@ Each of the five standard aggregates (MIN, MAX, SUM, COUNT, AVG) provides:
 Evaluators are pure functions of the rows' current interval values; exact
 (already-refreshed) values participate as zero-width intervals, so a single
 code path covers cached, partially refreshed, and fully refreshed tables.
+
+The five standard aggregates additionally implement *columnar* fast paths
+(``bound_without_predicate_columnar`` over a table's lo/hi arrays, and
+``bound_with_classification_columnar`` over a
+:class:`~repro.predicates.batch.ColumnarClassification`).  These are
+optional: the executor probes for them with ``hasattr`` and falls back to
+the row loops, so extension aggregates (e.g. MEDIAN) need not provide
+them.
 """
 
 from __future__ import annotations

@@ -40,5 +40,12 @@ class CountAggregate:
         maybe = len(classification.maybe)
         return Bound(plus, plus + maybe)
 
+    # -- columnar fast paths -------------------------------------------
+    def bound_without_predicate_columnar(self, store, column: str | None) -> Bound:
+        return Bound.exact(len(store))
+
+    def bound_with_classification_columnar(self, cc, column: str | None) -> Bound:
+        return Bound(cc.n_plus, cc.n_plus + cc.n_maybe)
+
 
 COUNT = register(CountAggregate())

@@ -67,6 +67,21 @@ class MinAggregate:
         # because each T+ row contributes to both minima.
         return Bound(lo, hi)
 
+    # -- columnar fast paths -------------------------------------------
+    def bound_without_predicate_columnar(self, store, column: str | None) -> Bound:
+        column = _require_column(self.name, column)
+        lo, hi = store.endpoints(column)
+        return Bound(_min_of(lo), _min_of(hi))
+
+    def bound_with_classification_columnar(
+        self, cc, column: str | None
+    ) -> Bound:
+        _require_column(self.name, column)
+        return Bound(
+            min(_min_of(cc.plus_lo), _min_of(cc.maybe_lo)),
+            _min_of(cc.plus_hi),
+        )
+
 
 class MaxAggregate:
     """Bounded MAX (symmetric to MIN, Appendix C)."""
@@ -95,6 +110,31 @@ class MaxAggregate:
             default=-math.inf,
         )
         return Bound(lo, hi)
+
+    # -- columnar fast paths -------------------------------------------
+    def bound_without_predicate_columnar(self, store, column: str | None) -> Bound:
+        column = _require_column(self.name, column)
+        lo, hi = store.endpoints(column)
+        return Bound(_max_of(lo), _max_of(hi))
+
+    def bound_with_classification_columnar(
+        self, cc, column: str | None
+    ) -> Bound:
+        _require_column(self.name, column)
+        return Bound(
+            _max_of(cc.plus_lo),
+            max(_max_of(cc.plus_hi), _max_of(cc.maybe_hi)),
+        )
+
+
+def _min_of(values) -> float:
+    """``min`` with the paper's empty-set convention ``min ∅ = +inf``."""
+    return float(values.min()) if values.size else math.inf
+
+
+def _max_of(values) -> float:
+    """``max`` with the paper's empty-set convention ``max ∅ = -inf``."""
+    return float(values.max()) if values.size else -math.inf
 
 
 MIN = register(MinAggregate())

@@ -21,6 +21,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
+try:  # Columnar fast paths need numpy; the executor skips them without.
+    import numpy as np
+    from repro.predicates.batch import ColumnarClassification
+except ImportError:  # pragma: no cover - numpy-less hosts
+    np = None  # type: ignore[assignment]
+
 from repro.core.aggregates.base import register
 from repro.core.bound import Bound
 from repro.errors import TrappError
@@ -65,6 +71,22 @@ class SumAggregate:
             lo += b.lo
             hi += b.hi
         return Bound(lo, hi)
+
+    # -- columnar fast paths -------------------------------------------
+    def bound_without_predicate_columnar(self, store, column: str | None) -> Bound:
+        if column is None:
+            raise TrappError("SUM requires an aggregation column")
+        lo, hi = store.endpoints(column)
+        return Bound(float(lo.sum()), float(hi.sum()))
+
+    def bound_with_classification_columnar(
+        self, cc: ColumnarClassification, column: str | None
+    ) -> Bound:
+        if column is None:
+            raise TrappError("SUM requires an aggregation column")
+        lo = cc.plus_lo.sum() + np.minimum(cc.maybe_lo, 0.0).sum()
+        hi = cc.plus_hi.sum() + np.maximum(cc.maybe_hi, 0.0).sum()
+        return Bound(float(lo), float(hi))
 
 
 SUM = register(SumAggregate())

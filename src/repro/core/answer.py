@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.bound import Bound
+from repro.core.constraints import width_within
 
 __all__ = ["BoundedAnswer"]
 
@@ -50,8 +51,13 @@ class BoundedAnswer:
         return self.bound.lo
 
     def meets(self, max_width: float) -> bool:
-        """True iff the answer satisfies ``H_A - L_A <= max_width``."""
-        return self.width <= max_width + 1e-9
+        """True iff the answer satisfies ``H_A - L_A <= max_width``.
+
+        Uses the same :func:`~repro.core.constraints.width_within` slack
+        as the executor, so an answer the executor certified never
+        reports itself as violating its own constraint.
+        """
+        return width_within(self.width, max_width)
 
     def __str__(self) -> str:
         parts = [str(self.bound)]

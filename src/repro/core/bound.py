@@ -294,7 +294,7 @@ class Bound:
 
 
 def _fmt(x: float) -> str:
-    if x == int(x) and math.isfinite(x):
+    if math.isfinite(x) and x == int(x):
         return str(int(x))
     return f"{x:g}"
 

@@ -18,12 +18,40 @@ from repro.core.bound import Bound
 from repro.errors import PrecisionConstraintError
 
 __all__ = [
+    "WIDTH_TOLERANCE",
+    "width_within",
     "PrecisionConstraint",
     "AbsolutePrecision",
     "RelativePrecision",
     "EXACT",
     "UNCONSTRAINED",
 ]
+
+#: Relative slack applied to every width-vs-constraint comparison,
+#: absorbing the floating-point noise of endpoint accumulation.  One
+#: shared tolerance keeps the executor's early-exit and guarantee
+#: checks, answer/constraint satisfaction predicates, and the extension
+#: pipelines from ever disagreeing about whether a width meets a budget.
+WIDTH_TOLERANCE = 1e-6
+
+
+def width_within(width: float, max_width: float) -> bool:
+    """True when ``width`` satisfies the budget up to float slack.
+
+    The slack scales with the budget (``WIDTH_TOLERANCE * max_width``):
+    a microscopic budget is not drowned by an absolute epsilon, while a
+    Figure 6-scale budget tolerates the accumulation noise of summing
+    thousands of endpoints.  A zero budget demands an exactly zero width
+    — which refreshed (exact) tuples produce exactly.
+
+    Known tradeoff: the slack tracks the budget, not the data magnitude,
+    so a sub-1 budget over values many orders of magnitude larger can
+    trip the executor's post-refresh guarantee check on pure summation
+    noise.  That failure is loud (``ConstraintUnsatisfiableError``),
+    whereas an absolute slack silently under-enforces small budgets —
+    the loud direction is the one we keep.
+    """
+    return width <= max_width + WIDTH_TOLERANCE * abs(max_width)
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,7 +75,7 @@ class PrecisionConstraint:
         ``width <= 2 * min|a| * P`` over the answer interval).
         """
         reference = first_pass if first_pass is not None else answer
-        return answer.width <= self.resolve(reference) + 1e-9
+        return width_within(answer.width, self.resolve(reference))
 
 
 @dataclass(frozen=True, slots=True)

@@ -19,6 +19,26 @@ bounded columns go through T+/T?/T− classification (§6).  The Appendix D
 refinement — shrinking T? bounds when the predicate restricts the
 aggregation column itself — is applied for the answer computation when
 ``refine_bounds`` is enabled.
+
+Two performance properties hold on the hot path:
+
+* **Columnar fast paths.**  When the table carries a columnar mirror
+  (:class:`~repro.storage.columnar.ColumnStore`) and the aggregate
+  provides array evaluators, step 1 and step 3 run as NumPy sweeps over
+  the lo/hi endpoint arrays — classification via
+  :func:`repro.predicates.batch.classify_masks`, refinement via
+  :func:`repro.predicates.batch.restrict_endpoints` — and the "is this
+  column exact?" check reads an O(1) dirty counter instead of scanning
+  rows.  Row-level structures are materialized only when a refresh is
+  actually required (to drive the row-based CHOOSE_REFRESH optimizers).
+  ``QueryExecutor(columnar=False)`` forces the row-at-a-time pipeline.
+
+* **Classification once per query.**  :func:`classify` runs at most once
+  per :meth:`QueryExecutor.execute` call (and never on the columnar
+  path).  The initial bound, CHOOSE_REFRESH, and the final bound share
+  one partition; after a refresh only the refreshed T? tuples are
+  re-examined (a refresh can move tuples out of T?, never out of
+  T+/T−, since a collapsed value is one of its bound's realizations).
 """
 
 from __future__ import annotations
@@ -28,17 +48,41 @@ from typing import Iterable, Protocol, Sequence
 
 from repro.core.aggregates import get_aggregate
 from repro.core.answer import BoundedAnswer
-from repro.core.bound import Bound
-from repro.core.constraints import AbsolutePrecision, PrecisionConstraint
-from repro.core.refresh import CostFunc, get_choose_refresh, uniform_cost
+from repro.core.bound import Bound, Trilean
+from repro.core.constraints import (
+    WIDTH_TOLERANCE,
+    AbsolutePrecision,
+    PrecisionConstraint,
+    width_within,
+)
+from repro.core.refresh import CostFunc, RefreshPlan, get_choose_refresh, uniform_cost
 from repro.errors import ConstraintUnsatisfiableError, UnknownColumnError
 from repro.predicates.ast import Predicate, TruePredicate, columns_of
 from repro.predicates.classify import Classification, classify, restrict_bound
-from repro.predicates.eval import evaluate_exact
+from repro.predicates.eval import evaluate_exact, evaluate_trilean
 from repro.storage.row import Row
 from repro.storage.table import Table
 
-__all__ = ["RefreshProvider", "NullRefreshProvider", "QueryExecutor", "execute_query"]
+try:  # Vectorized fast paths; the executor runs row-at-a-time without.
+    from repro.predicates.batch import (
+        ColumnarClassification,
+        classification_from_masks,
+        classify_masks,
+    )
+except ImportError:  # pragma: no cover - numpy-less hosts
+    classify_masks = None  # type: ignore[assignment]
+
+__all__ = [
+    "WIDTH_TOLERANCE",
+    "RefreshProvider",
+    "NullRefreshProvider",
+    "QueryExecutor",
+    "execute_query",
+]
+
+# WIDTH_TOLERANCE / width_within (re-exported from repro.core.constraints)
+# govern both the step-1 early exit and the step-3 guarantee check, so the
+# two can never disagree about whether a width satisfies the constraint.
 
 
 class RefreshProvider(Protocol):
@@ -48,7 +92,12 @@ class RefreshProvider(Protocol):
         """Refresh the given tuples of ``table`` in place.
 
         After the call, every bounded column of each named tuple must hold
-        an exact value (zero-width bound or plain number).
+        an exact value (zero-width bound or plain number), and that value
+        must lie inside the previously cached bound — TRAPP's core
+        invariant (a bound always contains the master value).  The
+        executor's incremental post-refresh reclassification relies on
+        it: a collapse inside the old bound can move tuples out of T?,
+        never out of T+/T−.
         """
         ...
 
@@ -86,11 +135,16 @@ class QueryExecutor:
         epsilon: float | None = None,
         force_exact: bool = False,
         refine_bounds: bool = True,
+        columnar: bool = True,
     ) -> None:
         self.refresher = refresher if refresher is not None else NullRefreshProvider()
         self.epsilon = epsilon
         self.force_exact = force_exact
         self.refine_bounds = refine_bounds
+        #: Use the table's columnar mirror when available.  ``False``
+        #: forces the row-at-a-time reference pipeline (the two are
+        #: equivalence-tested property-style).
+        self.columnar = columnar
 
     # ------------------------------------------------------------------
     def execute(
@@ -111,16 +165,155 @@ class QueryExecutor:
         if spec.needs_column and column is None:
             raise UnknownColumnError("<missing>", table.name)
 
-        initial = self._compute_bound(table, spec, column, prepared)
+        if not prepared.touches_bounded:
+            return self._execute_unclassified(
+                table, spec, column, constraint, prepared, cost
+            )
+        if self._columnar_classified_ok(table, spec):
+            return self._execute_columnar_classified(
+                table, spec, column, constraint, prepared, cost
+            )
+        return self._execute_row_classified(
+            table, spec, column, constraint, prepared, cost
+        )
+
+    # ------------------------------------------------------------------
+    # Regime selection helpers
+    # ------------------------------------------------------------------
+    def _columnar_store(self, table: Table):
+        return table.columns if self.columnar else None
+
+    def _columnar_classified_ok(self, table: Table, spec) -> bool:
+        return (
+            classify_masks is not None
+            and self._columnar_store(table) is not None
+            and hasattr(spec, "bound_with_classification_columnar")
+        )
+
+    # ------------------------------------------------------------------
+    # §5 regime: no bounded-column predicate
+    # ------------------------------------------------------------------
+    def _execute_unclassified(
+        self,
+        table: Table,
+        spec,
+        column: str | None,
+        constraint: PrecisionConstraint,
+        prepared: _PreparedPredicate,
+        cost: CostFunc,
+    ) -> BoundedAnswer:
+        store = self._columnar_store(table)
+        use_columnar = (
+            store is not None
+            and isinstance(prepared.predicate, TruePredicate)
+            and hasattr(spec, "bound_without_predicate_columnar")
+        )
+        rows: list[Row] | None = None
+        if use_columnar:
+            initial = spec.bound_without_predicate_columnar(store, column)
+        else:
+            rows = self._rows_no_predicate(table, prepared)
+            initial = spec.bound_without_predicate(rows, column)
+
         max_width = constraint.resolve(initial)
-        if initial.width <= max_width + 1e-9:
+        if width_within(initial.width, max_width):
             return BoundedAnswer(bound=initial, initial_bound=initial)
 
-        plan = self._choose_refresh(table, spec, column, prepared, max_width, cost)
+        if rows is None:
+            rows = self._rows_no_predicate(table, prepared)
+        plan = self._chooser(spec).without_predicate(rows, column, max_width, cost)
         self.refresher.refresh(table, plan.tids)
 
-        final = self._compute_bound(table, spec, column, prepared)
-        if final.width > max_width + 1e-6:
+        # Membership is fixed (the predicate saw only exact columns), so
+        # the filtered row set — and the columnar whole-table sweep —
+        # remain valid; only the refreshed values changed in place.
+        if use_columnar:
+            final = spec.bound_without_predicate_columnar(store, column)
+        else:
+            final = spec.bound_without_predicate(rows, column)
+        return self._finish(final, max_width, plan, initial)
+
+    # ------------------------------------------------------------------
+    # §6 regime, columnar: masks + array aggregation, rows only on refresh
+    # ------------------------------------------------------------------
+    def _execute_columnar_classified(
+        self,
+        table: Table,
+        spec,
+        column: str | None,
+        constraint: PrecisionConstraint,
+        prepared: _PreparedPredicate,
+        cost: CostFunc,
+    ) -> BoundedAnswer:
+        store = table.columns
+        refine = self.refine_bounds and column is not None
+        certain, possible = classify_masks(store, prepared.predicate)
+        cc = ColumnarClassification.from_masks(
+            store, certain, possible, column, prepared.predicate, refine
+        )
+        initial = spec.bound_with_classification_columnar(cc, column)
+
+        max_width = constraint.resolve(initial)
+        if width_within(initial.width, max_width):
+            return BoundedAnswer(bound=initial, initial_bound=initial)
+
+        classification = classification_from_masks(table.rows(), certain, possible)
+        refined = self._refined_classification(classification, prepared, column)
+        plan = self._chooser(spec).with_classification(
+            refined, column, max_width, cost
+        )
+        self.refresher.refresh(table, plan.tids)
+
+        certain, possible = classify_masks(store, prepared.predicate)
+        cc = ColumnarClassification.from_masks(
+            store, certain, possible, column, prepared.predicate, refine
+        )
+        final = spec.bound_with_classification_columnar(cc, column)
+        return self._finish(final, max_width, plan, initial)
+
+    # ------------------------------------------------------------------
+    # §6 regime, row-at-a-time reference path: classify exactly once
+    # ------------------------------------------------------------------
+    def _execute_row_classified(
+        self,
+        table: Table,
+        spec,
+        column: str | None,
+        constraint: PrecisionConstraint,
+        prepared: _PreparedPredicate,
+        cost: CostFunc,
+    ) -> BoundedAnswer:
+        classification = classify(table.rows(), prepared.predicate)
+        refined = self._refined_classification(classification, prepared, column)
+        initial = spec.bound_with_classification(refined, column)
+
+        max_width = constraint.resolve(initial)
+        if width_within(initial.width, max_width):
+            return BoundedAnswer(bound=initial, initial_bound=initial)
+
+        plan = self._chooser(spec).with_classification(
+            refined, column, max_width, cost
+        )
+        self.refresher.refresh(table, plan.tids)
+
+        updated = self._reclassify_refreshed(classification, plan.tids, prepared)
+        refined = self._refined_classification(updated, prepared, column)
+        final = spec.bound_with_classification(refined, column)
+        return self._finish(final, max_width, plan, initial)
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+    def _chooser(self, spec):
+        return get_choose_refresh(
+            spec.name, epsilon=self.epsilon, force_exact=self.force_exact
+        )
+
+    @staticmethod
+    def _finish(
+        final: Bound, max_width: float, plan: RefreshPlan, initial: Bound
+    ) -> BoundedAnswer:
+        if not width_within(final.width, max_width):
             raise ConstraintUnsatisfiableError(
                 f"post-refresh answer {final} (width {final.width:g}) violates "
                 f"constraint {max_width:g}; this indicates an optimizer bug"
@@ -132,7 +325,6 @@ class QueryExecutor:
             initial_bound=initial,
         )
 
-    # ------------------------------------------------------------------
     def _prepare(self, table: Table, predicate: Predicate) -> _PreparedPredicate:
         touched = columns_of(predicate)
         for name in touched:
@@ -145,8 +337,12 @@ class QueryExecutor:
 
     @staticmethod
     def _column_exact(table: Table, column: str) -> bool:
-        """True when every current value in the column is exactly known."""
-        return all(row.is_exact(column) for row in table)
+        """True when every current value in the column is exactly known.
+
+        O(1) when the table has a columnar mirror (dirty counters
+        maintained on writes); a row scan otherwise.
+        """
+        return table.column_exact(column)
 
     # ------------------------------------------------------------------
     def _rows_no_predicate(
@@ -184,38 +380,37 @@ class QueryExecutor:
             minus=classification.minus,
         )
 
-    def _compute_bound(
+    def _reclassify_refreshed(
         self,
-        table: Table,
-        spec,
-        column: str | None,
+        classification: Classification,
+        refreshed: Iterable[int],
         prepared: _PreparedPredicate,
-    ) -> Bound:
-        if not prepared.touches_bounded:
-            rows = self._rows_no_predicate(table, prepared)
-            return spec.bound_without_predicate(rows, column)
-        classification = classify(table.rows(), prepared.predicate)
-        classification = self._refined_classification(classification, prepared, column)
-        return spec.bound_with_classification(classification, column)
+    ) -> Classification:
+        """Update a partition after the named tuples were refreshed.
 
-    def _choose_refresh(
-        self,
-        table: Table,
-        spec,
-        column: str | None,
-        prepared: _PreparedPredicate,
-        max_width: float,
-        cost: CostFunc,
-    ):
-        chooser = get_choose_refresh(
-            spec.name, epsilon=self.epsilon, force_exact=self.force_exact
-        )
-        if not prepared.touches_bounded:
-            rows = self._rows_no_predicate(table, prepared)
-            return chooser.without_predicate(rows, column, max_width, cost)
-        classification = classify(table.rows(), prepared.predicate)
-        classification = self._refined_classification(classification, prepared, column)
-        return chooser.with_classification(classification, column, max_width, cost)
+        A refresh collapses bounds onto values inside them, so T+ and T−
+        memberships survive; only refreshed T? tuples can become decided.
+        Re-examining just those keeps :func:`classify` at one invocation
+        per query.
+        """
+        refreshed = set(refreshed)
+        if not refreshed:
+            return classification
+        plus = list(classification.plus)
+        maybe: list[Row] = []
+        minus = list(classification.minus)
+        for row in classification.maybe:
+            if row.tid not in refreshed:
+                maybe.append(row)
+                continue
+            verdict = evaluate_trilean(prepared.predicate, row)
+            if verdict is Trilean.TRUE:
+                plus.append(row)
+            elif verdict is Trilean.FALSE:
+                minus.append(row)
+            else:  # provider left a bound wide; stay sound, keep it in T?
+                maybe.append(row)
+        return Classification(plus=plus, maybe=maybe, minus=minus)
 
 
 def execute_query(
@@ -227,7 +422,21 @@ def execute_query(
     cost: CostFunc = uniform_cost,
     refresher: RefreshProvider | None = None,
     epsilon: float | None = None,
+    force_exact: bool = False,
+    refine_bounds: bool = True,
+    columnar: bool = True,
 ) -> BoundedAnswer:
-    """One-shot convenience wrapper around :class:`QueryExecutor`."""
-    executor = QueryExecutor(refresher=refresher, epsilon=epsilon)
+    """One-shot convenience wrapper around :class:`QueryExecutor`.
+
+    Every executor option — including ``force_exact`` and
+    ``refine_bounds`` — is forwarded, so the wrapper answers exactly as a
+    hand-built executor would.
+    """
+    executor = QueryExecutor(
+        refresher=refresher,
+        epsilon=epsilon,
+        force_exact=force_exact,
+        refine_bounds=refine_bounds,
+        columnar=columnar,
+    )
     return executor.execute(table, aggregate, column, constraint, predicate, cost)

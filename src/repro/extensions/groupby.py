@@ -16,6 +16,7 @@ from typing import Hashable, Sequence
 
 from repro.core.aggregates import get_aggregate
 from repro.core.answer import BoundedAnswer
+from repro.core.constraints import width_within
 from repro.core.executor import NullRefreshProvider, RefreshProvider
 from repro.core.refresh import get_choose_refresh
 from repro.core.refresh.base import CostFunc, uniform_cost
@@ -79,7 +80,7 @@ def grouped_query(
         rows = groups[key]
         bounded_pred = _touches_bounded(table, predicate)
         initial = _bound(agg, rows, column, predicate, bounded_pred)
-        if initial.width <= max_width + 1e-9:
+        if width_within(initial.width, max_width):
             results.append(
                 GroupResult(key, BoundedAnswer(bound=initial, initial_bound=initial), len(rows))
             )

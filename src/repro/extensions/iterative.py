@@ -23,6 +23,7 @@ from typing import Callable, Iterator, Sequence
 from repro.core.aggregates import get_aggregate
 from repro.core.answer import BoundedAnswer
 from repro.core.bound import Bound
+from repro.core.constraints import width_within
 from repro.core.executor import RefreshProvider
 from repro.core.refresh.base import CostFunc, uniform_cost
 from repro.errors import ConstraintUnsatisfiableError
@@ -112,7 +113,7 @@ class IterativeRefreshExecutor:
         yield RefreshStep(None, bound, total_cost)
 
         for _ in range(len(table) + 1):
-            if bound.width <= max_width + 1e-9:
+            if width_within(bound.width, max_width):
                 return
             target = self._pick(table, spec.name, column, predicate, bound, max_width)
             if target is None:
@@ -124,7 +125,7 @@ class IterativeRefreshExecutor:
             self.refresher.refresh(table, [target.tid])
             bound = self._compute(table, spec, column, predicate)
             yield RefreshStep(target.tid, bound, total_cost)
-        if bound.width > max_width + 1e-9:
+        if not width_within(bound.width, max_width):
             raise ConstraintUnsatisfiableError(
                 f"answer {bound} still wider than {max_width:g} after "
                 f"{len(table)} refresh rounds; the refresher is not "

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.constraints import width_within
 from repro.core.bound import Bound
 from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost
 from repro.errors import TrappError
@@ -91,7 +92,7 @@ def choose_refresh_median(
     lows = [row.bound(column).lo for row in rows]
     highs = [row.bound(column).hi for row in rows]
     window = Bound(median_of(lows), median_of(highs))
-    if window.width <= max_width + 1e-9:
+    if width_within(window.width, max_width):
         return RefreshPlan.empty()
 
     chosen = [

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.constraints import width_within
 from repro.core.aggregates.base import register
 from repro.core.bound import Bound
 from repro.core.refresh import register_choose_refresh
@@ -142,7 +143,7 @@ class MedianChooseRefresh:
             raise TrappError("MEDIAN CHOOSE_REFRESH requires an aggregation column")
         spec = MEDIAN
         window = spec.bound_with_classification(classification, column)
-        if window.width <= max_width + 1e-9:
+        if width_within(window.width, max_width):
             return RefreshPlan.empty()
         chosen: dict[int, Row] = {row.tid: row for row in classification.maybe}
         for row in classification.plus_or_maybe:

@@ -33,6 +33,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.core.constraints import width_within
 from repro.core.bound import Bound
 from repro.core.executor import RefreshProvider
 from repro.errors import ConstraintUnsatisfiableError, TrappError
@@ -181,7 +182,7 @@ class PathQueryExecutor:
                 table, source, target,
                 self.from_column, self.to_column, self.latency_column,
             )
-            if answer.width <= max_width + 1e-9:
+            if width_within(answer.width, max_width):
                 return BoundedPathAnswer(
                     bound=answer.bound,
                     route=answer.route,

@@ -30,6 +30,7 @@ from typing import Callable, Sequence
 from repro.core.aggregates import get_aggregate
 from repro.core.answer import BoundedAnswer
 from repro.core.bound import Bound, Trilean
+from repro.core.constraints import width_within
 from repro.core.executor import RefreshProvider
 from repro.errors import ConstraintUnsatisfiableError
 from repro.joins.classify import JoinedTuple, classify_joined, join_rows
@@ -86,7 +87,7 @@ class JoinRefreshHeuristic:
             bound = spec.bound_with_classification(classification, agg_key)
             if initial is None:
                 initial = bound
-            if bound.width <= max_width + 1e-9:
+            if width_within(bound.width, max_width):
                 return BoundedAnswer(
                     bound=bound,
                     refreshed=frozenset(k.tid for k in refreshed),

@@ -1,4 +1,10 @@
-"""Predicate language: AST, parsing, evaluation, Possible/Certain, T± sets."""
+"""Predicate language: AST, parsing, evaluation, Possible/Certain, T± sets.
+
+Row-at-a-time classification lives in :mod:`repro.predicates.classify`;
+:mod:`repro.predicates.batch` provides the vectorized counterparts
+(``classify_masks``, ``restrict_endpoints``) over a table's columnar
+mirror.
+"""
 
 from repro.predicates.ast import (
     And,
@@ -21,7 +27,26 @@ from repro.predicates.eval import evaluate_exact, evaluate_trilean
 from repro.predicates.parser import parse_predicate
 from repro.predicates.transforms import certain, endpoint_sql, possible
 
-__all__ = [
+try:
+    from repro.predicates.batch import (
+        ColumnarClassification,
+        classification_from_masks,
+        classify_columnar,
+        classify_masks,
+        restrict_endpoints,
+    )
+
+    __all_batch__ = [
+        "ColumnarClassification",
+        "classification_from_masks",
+        "classify_columnar",
+        "classify_masks",
+        "restrict_endpoints",
+    ]
+except ImportError:  # pragma: no cover - numpy-less hosts
+    __all_batch__ = []
+
+__all__ = __all_batch__ + [
     "And",
     "ColumnRef",
     "Comparison",

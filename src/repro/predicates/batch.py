@@ -1,0 +1,275 @@
+"""Vectorized batch entry points for classification and refinement.
+
+These are array-at-a-time counterparts of :func:`repro.predicates.classify.
+classify` and :func:`~repro.predicates.classify.restrict_bound`, operating
+on a table's columnar mirror (:class:`~repro.storage.columnar.ColumnStore`)
+instead of row objects.  Semantics follow the three-valued evaluation of
+:func:`~repro.predicates.eval.evaluate_trilean` — equivalent to the
+symbolic endpoint route (both implement the paper's Figure 8 translation,
+including its one-directional ``Possible``-of-∧ / ``Certain``-of-∨
+approximations) — so a batch classification partitions tuples exactly as
+the row-at-a-time code does.
+
+The evaluator represents a three-valued result as a pair of boolean masks
+``(certain, possible)``: ``certain[i]`` ⟺ tuple *i* satisfies the
+predicate under every realization of its bounds, ``possible[i]`` ⟺ under
+at least one.  ``T+ = certain``, ``T? = possible ∧ ¬certain``,
+``T− = ¬possible``.  All masks are aligned with ``Table.rows()`` (tuple-id)
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.bound import Bound
+from repro.errors import PredicateError, PredicateTypeError
+from repro.predicates.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    Term,
+    TruePredicate,
+)
+from repro.predicates.classify import Classification
+from repro.storage.row import Row
+
+__all__ = [
+    "ColumnarClassification",
+    "classify_masks",
+    "classification_from_masks",
+    "classify_columnar",
+    "restrict_endpoints",
+]
+
+
+# ----------------------------------------------------------------------
+# Three-valued predicate evaluation over column arrays
+# ----------------------------------------------------------------------
+def classify_masks(store, predicate: Predicate) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate ``predicate`` over every tuple of a column store at once.
+
+    Returns ``(certain, possible)`` boolean arrays in tuple-id order.
+    """
+    n = len(store)
+    certain, possible = _eval(predicate, store)
+    return _as_mask(certain, n), _as_mask(possible, n)
+
+
+def _as_mask(value, n: int) -> np.ndarray:
+    array = np.asarray(value, dtype=bool)
+    if array.ndim == 0:
+        return np.full(n, bool(array))
+    return array
+
+
+def _eval(predicate: Predicate, store):
+    if isinstance(predicate, TruePredicate):
+        return True, True
+    if isinstance(predicate, Comparison):
+        return _eval_comparison(predicate, store)
+    if isinstance(predicate, Not):
+        certain, possible = _eval(predicate.operand, store)
+        return np.logical_not(possible), np.logical_not(certain)
+    if isinstance(predicate, (And, Or)):
+        cl, pl = _eval(predicate.left, store)
+        cr, pr = _eval(predicate.right, store)
+        if isinstance(predicate, And):
+            return np.logical_and(cl, cr), np.logical_and(pl, pr)
+        return np.logical_or(cl, cr), np.logical_or(pl, pr)
+    raise PredicateError(f"unknown predicate node {predicate!r}")
+
+
+def _term_arrays(term: Term, store):
+    """A term's value over all tuples: ``("num", lo, hi)`` or ``("str", v)``.
+
+    Components may be scalars (literals) or arrays (column references);
+    NumPy broadcasting unifies the two downstream.
+    """
+    if isinstance(term, Literal):
+        if isinstance(term.value, str):
+            return ("str", term.value)
+        v = float(term.value)
+        return ("num", v, v)
+    # ColumnRef: single-table rows never carry table-qualified keys, so the
+    # unqualified name is authoritative (mirrors eval.resolve_column).
+    if store.is_text(term.column):
+        return ("str", store.text_values(term.column))
+    lo, hi = store.endpoints(term.column)
+    if term.scale != 1.0 or term.offset != 0.0:
+        if term.scale >= 0:
+            lo, hi = term.scale * lo + term.offset, term.scale * hi + term.offset
+        else:
+            lo, hi = term.scale * hi + term.offset, term.scale * lo + term.offset
+    return ("num", lo, hi)
+
+
+def _eval_comparison(comparison: Comparison, store):
+    left = _term_arrays(comparison.left, store)
+    right = _term_arrays(comparison.right, store)
+    op = comparison.op
+    if left[0] == "str" or right[0] == "str":
+        if left[0] != right[0]:
+            raise PredicateTypeError("cannot compare string with numeric value")
+        if op == "=":
+            result = left[1] == right[1]
+        elif op == "!=":
+            result = left[1] != right[1]
+        else:
+            raise PredicateTypeError(f"operator {op!r} is not defined for strings")
+        return result, result
+
+    _, l_lo, l_hi = left
+    _, r_lo, r_hi = right
+    if op == "<":
+        return np.less(l_hi, r_lo), np.less(l_lo, r_hi)
+    if op == "<=":
+        return np.less_equal(l_hi, r_lo), np.less_equal(l_lo, r_hi)
+    if op == ">":
+        return np.less(r_hi, l_lo), np.less(r_lo, l_hi)
+    if op == ">=":
+        return np.less_equal(r_hi, l_lo), np.less_equal(r_lo, l_hi)
+    certain_eq = np.logical_and(
+        np.equal(l_lo, l_hi), np.logical_and(np.equal(r_lo, r_hi), np.equal(l_lo, r_lo))
+    )
+    possible_eq = np.logical_and(np.less_equal(l_lo, r_hi), np.less_equal(r_lo, l_hi))
+    if op == "=":
+        return certain_eq, possible_eq
+    if op == "!=":
+        return np.logical_not(possible_eq), np.logical_not(certain_eq)
+    raise PredicateError(f"unknown comparison operator {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Materializing row-level classifications from masks
+# ----------------------------------------------------------------------
+def classification_from_masks(
+    rows: Sequence[Row], certain: np.ndarray, possible: np.ndarray
+) -> Classification:
+    """Build a row-level :class:`Classification` from aligned masks.
+
+    ``rows`` must be in the same (tuple-id) order the masks were computed
+    in — i.e. ``Table.rows()``.
+    """
+    result = Classification()
+    for row, is_certain, is_possible in zip(rows, certain, possible):
+        if is_certain:
+            result.plus.append(row)
+        elif is_possible:
+            result.maybe.append(row)
+        else:
+            result.minus.append(row)
+    return result
+
+
+def classify_columnar(table, predicate: Predicate) -> Classification:
+    """Drop-in columnar replacement for :func:`classify` on one table."""
+    certain, possible = classify_masks(table.columns, predicate)
+    return classification_from_masks(table.rows(), certain, possible)
+
+
+# ----------------------------------------------------------------------
+# Vectorized Appendix D refinement
+# ----------------------------------------------------------------------
+def restrict_endpoints(
+    lo: np.ndarray, hi: np.ndarray, predicate: Predicate, column: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shrink many bounds at once to their predicate-consistent parts.
+
+    Array counterpart of :func:`~repro.predicates.classify.restrict_bound`:
+    only conjunctions of simple ``column OP constant`` comparisons are
+    exploited; any other structure leaves the endpoints unchanged (always
+    sound).  Returns new arrays; the inputs are not modified.
+    """
+    if isinstance(predicate, And):
+        lo, hi = restrict_endpoints(lo, hi, predicate.left, column)
+        return restrict_endpoints(lo, hi, predicate.right, column)
+    if isinstance(predicate, Comparison):
+        cmp = predicate.normalized()
+        left, right = cmp.left, cmp.right
+        if (
+            isinstance(left, ColumnRef)
+            and left.column == column
+            and left.scale == 1.0
+            and left.offset == 0.0
+            and isinstance(right, Literal)
+            and not isinstance(right.value, str)
+        ):
+            k = float(right.value)
+            if cmp.op in (">", ">="):
+                return np.minimum(np.maximum(lo, k), hi), hi
+            if cmp.op in ("<", "<="):
+                return lo, np.maximum(np.minimum(hi, k), lo)
+            if cmp.op == "=":
+                inside = np.logical_and(lo <= k, k <= hi)
+                return np.where(inside, k, lo), np.where(inside, k, hi)
+        return lo, hi
+    # Or / Not / TruePredicate: no sound single-interval restriction.
+    return lo, hi
+
+
+# ----------------------------------------------------------------------
+# Columnar classification summary consumed by the aggregate fast paths
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class ColumnarClassification:
+    """The T+/T?/T− partition reduced to the aggregation column's arrays.
+
+    ``plus_lo``/``plus_hi`` hold the T+ tuples' endpoints on the
+    aggregation column, ``maybe_lo``/``maybe_hi`` the T? tuples' —
+    post-refinement when the executor has Appendix D refinement enabled.
+    For COUNT (no aggregation column) the arrays are None and only the
+    partition sizes are meaningful.
+    """
+
+    n_plus: int
+    n_maybe: int
+    n_minus: int
+    plus_lo: np.ndarray | None = None
+    plus_hi: np.ndarray | None = None
+    maybe_lo: np.ndarray | None = None
+    maybe_hi: np.ndarray | None = None
+
+    @staticmethod
+    def from_masks(
+        store,
+        certain: np.ndarray,
+        possible: np.ndarray,
+        column: str | None,
+        predicate: Predicate | None = None,
+        refine: bool = False,
+    ) -> "ColumnarClassification":
+        """Slice the aggregation column by the T+/T? masks.
+
+        With ``refine`` set (and a predicate), T? endpoints are narrowed
+        via :func:`restrict_endpoints` before aggregation, mirroring the
+        executor's row-path refinement.
+        """
+        maybe_mask = np.logical_and(possible, np.logical_not(certain))
+        n_plus = int(np.count_nonzero(certain))
+        n_maybe = int(np.count_nonzero(maybe_mask))
+        n_minus = len(store) - n_plus - n_maybe
+        if column is None:
+            return ColumnarClassification(n_plus, n_maybe, n_minus)
+        lo, hi = store.endpoints(column)
+        maybe_lo, maybe_hi = lo[maybe_mask], hi[maybe_mask]
+        if refine and predicate is not None:
+            maybe_lo, maybe_hi = restrict_endpoints(
+                maybe_lo, maybe_hi, predicate, column
+            )
+        return ColumnarClassification(
+            n_plus,
+            n_maybe,
+            n_minus,
+            plus_lo=lo[certain],
+            plus_hi=hi[certain],
+            maybe_lo=maybe_lo,
+            maybe_hi=maybe_hi,
+        )

@@ -19,6 +19,11 @@ Two equivalent implementations are provided and cross-checked in tests:
 Both also expose the paper's §D refinement: when the selection predicate
 constrains the *aggregation column itself*, the bounds of ``T?`` tuples can
 be shrunk to the predicate-consistent sub-interval before aggregation.
+
+Array-at-a-time counterparts of both :func:`classify` and
+:func:`restrict_bound` live in :mod:`repro.predicates.batch`; they sweep a
+table's columnar mirror instead of looping over rows and are what the
+executor's fast paths use.
 """
 
 from __future__ import annotations

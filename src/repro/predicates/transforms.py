@@ -100,11 +100,19 @@ class EndpointRef:
 
 @dataclass(frozen=True, slots=True)
 class EndpointComparison:
-    """A two-valued comparison between interval endpoints."""
+    """A two-valued comparison between interval endpoints.
+
+    ``from_equality`` marks the ``<=``/``>=`` comparisons the Figure 8
+    translation of value-level ``=``/``!=`` produces.  Only those may
+    compare strings (text values are exact, so the lexicographic checks
+    conjoin to plain equality); a user-written order comparison on
+    strings stays rejected, matching the three-valued evaluator.
+    """
 
     left: EndpointRef
     op: str
     right: EndpointRef
+    from_equality: bool = False
 
     def __str__(self) -> str:
         return f"{self.left} {self.op} {self.right}"
@@ -167,8 +175,8 @@ def _possible_comparison(cmp: Comparison) -> EndpointPredicate:
         return EndpointComparison(_hi(x), ">=", _lo(y))
     if cmp.op == "=":
         return EndpointAnd(
-            EndpointComparison(_lo(x), "<=", _hi(y)),
-            EndpointComparison(_hi(x), ">=", _lo(y)),
+            EndpointComparison(_lo(x), "<=", _hi(y), from_equality=True),
+            EndpointComparison(_hi(x), ">=", _lo(y), from_equality=True),
         )
     if cmp.op == "!=":
         # Possible(x != y) = NOT Certain(x = y)
@@ -255,6 +263,15 @@ def evaluate_endpoint(predicate: EndpointPredicate, row: Row) -> bool:
                 return left == right
             if predicate.op == "!=":
                 return left != right
+            if predicate.from_equality:
+                # Text values are exact (lo == hi == the string), so the
+                # equality translation's lexicographic checks conjoin to
+                # plain equality.  User-written order comparisons on
+                # strings stay rejected, matching evaluate_trilean.
+                if predicate.op == "<=":
+                    return left <= right
+                if predicate.op == ">=":
+                    return left >= right
             raise PredicateTypeError(
                 f"operator {predicate.op!r} is not defined for strings"
             )

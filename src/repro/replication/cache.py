@@ -10,6 +10,12 @@ performs query-initiated refreshes through the replication protocol.
 Time handling: bound functions widen continuously, so the cache
 re-evaluates every tracked bound at the current clock reading before a
 query runs (:meth:`DataCache.sync_bounds`).
+
+All cache mutations go through ``Table.update_value`` / ``Row.set`` and
+therefore write through to each table's columnar mirror
+(:class:`~repro.storage.columnar.ColumnStore`), keeping the executor's
+vectorized fast paths and O(1) exactness counters in sync with the
+replication protocol.
 """
 
 from __future__ import annotations

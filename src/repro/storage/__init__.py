@@ -1,4 +1,10 @@
-"""In-memory relational storage substrate: schemas, rows, tables, indexes."""
+"""In-memory relational storage substrate: schemas, rows, tables, indexes.
+
+Tables additionally maintain a columnar mirror
+(:mod:`repro.storage.columnar`) — parallel lo/hi arrays per numeric
+column plus exactness counters — that backs the executor's vectorized
+fast paths.
+"""
 
 from repro.storage.catalog import Catalog
 from repro.storage.index import IndexSet, SortedIndex
@@ -6,8 +12,14 @@ from repro.storage.row import Row
 from repro.storage.schema import Column, ColumnKind, Schema
 from repro.storage.table import Table
 
+try:
+    from repro.storage.columnar import ColumnStore
+except ImportError:  # pragma: no cover - numpy-less hosts
+    ColumnStore = None  # type: ignore[assignment]
+
 __all__ = [
     "Catalog",
+    "ColumnStore",
     "Column",
     "ColumnKind",
     "IndexSet",

@@ -1,0 +1,254 @@
+"""Columnar backing store for :class:`~repro.storage.table.Table`.
+
+The TRAPP executor's hot loops — "is every value of this column exact?",
+"sum every tuple's ``[L_i, H_i]``", "partition all tuples into T+/T?/T−"
+— are per-row Python loops when driven through :class:`Row` objects.  A
+:class:`ColumnStore` keeps the same data a second time in struct-of-arrays
+form so those loops become NumPy array sweeps:
+
+* every numeric column (``EXACT`` and ``BOUNDED``) is a pair of parallel
+  ``lo``/``hi`` float64 arrays (an exact value has ``lo == hi``);
+* every ``TEXT`` column is an object array;
+* each bounded column carries a *dirty counter* — the number of tuples
+  whose bound is currently non-degenerate — maintained on every write, so
+  the executor's "column entirely exact?" check is O(1) instead of a scan.
+
+The row-oriented API is preserved: :class:`Row` objects handed out by a
+table remain the mutation interface, and every :meth:`Row.set` writes
+through to the column arrays (see ``Row._sink``), so call sites — the
+replication cache's ``sync_bounds``, refreshers, tests poking rows
+directly — stay correct without changes.
+
+Deletions swap the last slot into the hole to keep the arrays dense;
+query-side accessors therefore re-sort by tuple id (memoized per store
+version) so columnar results align with ``Table.rows()`` order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.bound import Bound
+from repro.errors import TrappError, UnknownColumnError
+from repro.storage.schema import ColumnKind, Schema
+
+__all__ = ["ColumnStore"]
+
+_INITIAL_CAPACITY = 16
+
+
+class ColumnStore:
+    """Struct-of-arrays mirror of one table's rows.
+
+    Mutations (:meth:`append`, :meth:`set`, :meth:`remove`) keep the
+    arrays, the per-column exactness counters, and a ``version`` stamp in
+    sync; read accessors (:meth:`endpoints`, :meth:`text_values`,
+    :meth:`sorted_tids`) return tuple-id-ordered snapshots memoized
+    against that stamp.
+    """
+
+    __slots__ = (
+        "schema",
+        "_numeric",
+        "_text_cols",
+        "_bounded",
+        "_lo",
+        "_hi",
+        "_text",
+        "_tids",
+        "_slot_of",
+        "_n",
+        "_non_exact",
+        "version",
+        "_memo_version",
+        "_memo_order",
+        "_memo_arrays",
+    )
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._numeric = tuple(c.name for c in schema if c.kind is not ColumnKind.TEXT)
+        self._text_cols = tuple(c.name for c in schema if c.kind is ColumnKind.TEXT)
+        self._bounded = frozenset(c.name for c in schema if c.is_bounded)
+        cap = _INITIAL_CAPACITY
+        self._lo = {name: np.empty(cap, dtype=np.float64) for name in self._numeric}
+        self._hi = {name: np.empty(cap, dtype=np.float64) for name in self._numeric}
+        self._text = {name: np.empty(cap, dtype=object) for name in self._text_cols}
+        self._tids = np.empty(cap, dtype=np.int64)
+        self._slot_of: dict[int, int] = {}
+        self._n = 0
+        self._non_exact: dict[str, int] = {name: 0 for name in self._bounded}
+        self.version = 0
+        self._memo_version = -1
+        self._memo_order: np.ndarray | None = None
+        self._memo_arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Size / membership
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._slot_of
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, tid: int, values: Mapping[str, Any]) -> None:
+        """Add one tuple's values (caller has already validated them)."""
+        if tid in self._slot_of:
+            raise TrappError(f"column store already holds tuple #{tid}")
+        if self._n == len(self._tids):
+            self._grow()
+        slot = self._n
+        for name in self._numeric:
+            lo, hi = _endpoints(values[name])
+            self._lo[name][slot] = lo
+            self._hi[name][slot] = hi
+            if name in self._bounded and lo < hi:
+                self._non_exact[name] += 1
+        for name in self._text_cols:
+            self._text[name][slot] = values[name]
+        self._tids[slot] = tid
+        self._slot_of[tid] = slot
+        self._n += 1
+        self.version += 1
+
+    def set(self, tid: int, column: str, value: Any) -> None:
+        """Overwrite one cell (the :meth:`Row.set` write-through path)."""
+        try:
+            slot = self._slot_of[tid]
+        except KeyError:
+            raise TrappError(f"column store holds no tuple #{tid}") from None
+        if column in self._text:
+            self._text[column][slot] = value
+        elif column in self._lo:
+            lo, hi = _endpoints(value)
+            if column in self._bounded:
+                was_wide = self._lo[column][slot] < self._hi[column][slot]
+                now_wide = lo < hi
+                self._non_exact[column] += int(now_wide) - int(was_wide)
+            self._lo[column][slot] = lo
+            self._hi[column][slot] = hi
+        else:
+            raise UnknownColumnError(column)
+        self.version += 1
+
+    def remove(self, tid: int) -> None:
+        """Drop one tuple, swapping the last slot into its place."""
+        try:
+            slot = self._slot_of.pop(tid)
+        except KeyError:
+            raise TrappError(f"column store holds no tuple #{tid}") from None
+        for name in self._bounded:
+            if self._lo[name][slot] < self._hi[name][slot]:
+                self._non_exact[name] -= 1
+        last = self._n - 1
+        if slot != last:
+            for name in self._numeric:
+                self._lo[name][slot] = self._lo[name][last]
+                self._hi[name][slot] = self._hi[name][last]
+            for name in self._text_cols:
+                self._text[name][slot] = self._text[name][last]
+            moved_tid = int(self._tids[last])
+            self._tids[slot] = moved_tid
+            self._slot_of[moved_tid] = slot
+        for name in self._text_cols:
+            self._text[name][last] = None  # release the reference
+        self._n -= 1
+        self.version += 1
+
+    def _grow(self) -> None:
+        cap = max(_INITIAL_CAPACITY, 2 * len(self._tids))
+        for name in self._numeric:
+            self._lo[name] = _resized(self._lo[name], cap)
+            self._hi[name] = _resized(self._hi[name], cap)
+        for name in self._text_cols:
+            self._text[name] = _resized(self._text[name], cap)
+        self._tids = _resized(self._tids, cap)
+
+    # ------------------------------------------------------------------
+    # O(1) exactness
+    # ------------------------------------------------------------------
+    def column_exact(self, column: str) -> bool:
+        """True when every current value of ``column`` is exactly known.
+
+        O(1): bounded columns answer from the dirty counter maintained on
+        writes; exact/text columns are exact by construction.  Vacuously
+        true for an empty store, matching the row-scan semantics.
+        """
+        count = self._non_exact.get(column)
+        if count is None:
+            self.schema[column]  # raise UnknownColumnError on bad names
+            return True
+        return count == 0
+
+    def non_exact_count(self, column: str) -> int:
+        """Number of tuples whose ``column`` bound is currently wide."""
+        return self._non_exact[column]
+
+    # ------------------------------------------------------------------
+    # Query-side snapshots (tuple-id order, memoized per version)
+    # ------------------------------------------------------------------
+    def _order(self) -> np.ndarray:
+        if self._memo_version != self.version:
+            self._memo_version = self.version
+            self._memo_arrays = {}
+            self._memo_order = np.argsort(self._tids[: self._n], kind="stable")
+        assert self._memo_order is not None
+        return self._memo_order
+
+    def sorted_tids(self) -> np.ndarray:
+        """All tuple ids, ascending (the order of ``Table.rows()``)."""
+        return self._tids[: self._n][self._order()]
+
+    def endpoints(self, column: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(lo, hi)`` arrays for a numeric column, in tuple-id order.
+
+        The arrays are snapshots: later mutations do not alter them.
+        """
+        cached = self._memo_arrays.get(column)
+        if cached is not None and self._memo_version == self.version:
+            return cached
+        try:
+            lo = self._lo[column]
+            hi = self._hi[column]
+        except KeyError:
+            raise UnknownColumnError(column) from None
+        order = self._order()
+        snapshot = (lo[: self._n][order], hi[: self._n][order])
+        self._memo_arrays[column] = snapshot
+        return snapshot
+
+    def text_values(self, column: str) -> np.ndarray:
+        """Object array of a TEXT column's values, in tuple-id order."""
+        try:
+            values = self._text[column]
+        except KeyError:
+            raise UnknownColumnError(column) from None
+        return values[: self._n][self._order()]
+
+    def is_text(self, column: str) -> bool:
+        return column in self._text
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnStore({self._n} rows, "
+            f"{len(self._numeric)} numeric + {len(self._text_cols)} text columns)"
+        )
+
+
+def _endpoints(value: Any) -> tuple[float, float]:
+    if isinstance(value, Bound):
+        return value.lo, value.hi
+    v = float(value)
+    return v, v
+
+
+def _resized(array: np.ndarray, capacity: int) -> np.ndarray:
+    grown = np.empty(capacity, dtype=array.dtype)
+    grown[: len(array)] = array
+    return grown

@@ -25,11 +25,16 @@ class Row:
     refresh arrives); queries treat them as read-only.
     """
 
-    __slots__ = ("tid", "_values")
+    __slots__ = ("tid", "_values", "_sink")
 
     def __init__(self, tid: int, values: Mapping[str, Any]) -> None:
         self.tid = tid
         self._values: dict[str, Any] = dict(values)
+        # Optional write-through target (the owning table's ColumnStore).
+        # Table.insert attaches it so direct row.set calls keep the
+        # columnar mirror and its exactness counters in sync; detached
+        # copies (clones, join outputs) leave it None.
+        self._sink = None
 
     # ------------------------------------------------------------------
     def __getitem__(self, column: str) -> Any:
@@ -93,10 +98,15 @@ class Row:
 
     # ------------------------------------------------------------------
     def set(self, column: str, value: Any) -> None:
-        """Overwrite one column value (cache refresh path)."""
+        """Overwrite one column value (cache refresh path).
+
+        Writes through to the owning table's columnar store, when any.
+        """
         if column not in self._values:
             raise UnknownColumnError(column)
         self._values[column] = value
+        if self._sink is not None:
+            self._sink.set(self.tid, column, value)
 
     def copy(self) -> "Row":
         """An independent copy sharing no mutable state."""

@@ -6,6 +6,14 @@ the *master* relation at a data source and the *cached* relation at a data
 cache are instances of this class; they differ only in whether bounded
 columns hold plain numbers (master) or :class:`~repro.core.bound.Bound`
 intervals (cache).
+
+Alongside the row dictionary, every table maintains a columnar mirror
+(:class:`~repro.storage.columnar.ColumnStore`, exposed as ``.columns``)
+holding parallel lo/hi arrays per numeric column plus per-column
+exactness counters.  All mutations — including direct :meth:`Row.set`
+calls on rows the table handed out — write through to it, and the query
+executor reads it for its vectorized fast paths.  When NumPy is missing,
+``.columns`` is ``None`` and everything falls back to the row loops.
 """
 
 from __future__ import annotations
@@ -17,6 +25,11 @@ from repro.errors import DuplicateKeyError, SchemaError, TrappError
 from repro.storage.index import IndexSet, SortedIndex
 from repro.storage.row import Row
 from repro.storage.schema import Schema
+
+try:  # The columnar mirror needs NumPy; tables degrade gracefully without.
+    from repro.storage.columnar import ColumnStore
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    ColumnStore = None  # type: ignore[assignment]
 
 __all__ = ["Table"]
 
@@ -30,6 +43,8 @@ class Table:
         self._rows: dict[int, Row] = {}
         self._next_tid = 1
         self.indexes = IndexSet()
+        #: Columnar mirror of the rows (None when NumPy is unavailable).
+        self.columns = ColumnStore(schema) if ColumnStore is not None else None
 
     # ------------------------------------------------------------------
     # Row access
@@ -72,6 +87,9 @@ class Table:
             raise DuplicateKeyError(f"table {self.name!r} already has tuple #{tid}")
         self._next_tid = max(self._next_tid, tid + 1)
         row = Row(tid, values)
+        if self.columns is not None:
+            self.columns.append(tid, values)
+            row._sink = self.columns
         self._rows[tid] = row
         self.indexes.on_insert(row)
         return row
@@ -82,7 +100,10 @@ class Table:
     def delete(self, tid: int) -> None:
         if tid not in self._rows:
             raise TrappError(f"table {self.name!r} has no tuple #{tid}")
-        del self._rows[tid]
+        row = self._rows.pop(tid)
+        row._sink = None  # later writes to the orphaned row stay local
+        if self.columns is not None:
+            self.columns.remove(tid)
         self.indexes.on_delete(tid)
 
     def update_value(self, tid: int, column: str, value: Any) -> None:
@@ -115,6 +136,16 @@ class Table:
     # ------------------------------------------------------------------
     # Convenience views
     # ------------------------------------------------------------------
+    def column_exact(self, column: str) -> bool:
+        """True when every current value of ``column`` is exactly known.
+
+        O(1) via the columnar store's dirty counters; falls back to a row
+        scan only when the store is unavailable.
+        """
+        if self.columns is not None:
+            return self.columns.column_exact(column)
+        return all(row.is_exact(column) for row in self._rows.values())
+
     def column_bounds(self, column: str) -> dict[int, Bound]:
         """Map tuple id to the column's value as a bound."""
         return {tid: row.bound(column) for tid, row in self._rows.items()}

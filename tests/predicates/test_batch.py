@@ -1,0 +1,157 @@
+"""Vectorized classification/refinement vs the row-at-a-time reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.bound import Bound
+from repro.errors import PredicateTypeError
+from repro.predicates.batch import (
+    classification_from_masks,
+    classify_columnar,
+    classify_masks,
+    restrict_endpoints,
+)
+from repro.predicates.classify import classify, restrict_bound
+from repro.predicates.parser import parse_predicate
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+PREDICATES = [
+    "x > 4",
+    "x >= 4",
+    "x < 4",
+    "x <= 4",
+    "x = 5",
+    "x != 5",
+    "x > 2 AND x < 8",
+    "x > 2 OR y < 1",
+    "NOT (x > 4)",
+    "NOT (x > 2 AND y < 5)",
+    "2 * x + 1 < 9",
+    "-1 * x < -4",
+    "x > y",
+    "x = y",
+    "tag = 'a'",
+    "tag != 'a'",
+    "tag = 'a' AND x > 4",
+    "cost > 3",
+    "cost > 3 OR x <= 1",
+]
+
+
+def make_table():
+    table = Table("t", Schema.of(x="bounded", y="bounded", cost="exact", tag="text"))
+    data = [
+        (Bound(0, 10), Bound(2, 3), 1.0, "a"),
+        (Bound(5, 5), Bound(0, 9), 2.0, "b"),
+        (Bound(4, 6), 4.0, 3.0, "a"),
+        (Bound(-2, 1), Bound(5, 5), 4.0, "c"),
+        (7.0, Bound(6, 8), 5.0, "a"),
+        (Bound(4, 4), Bound(4, 4), 6.0, "b"),
+    ]
+    for x, y, cost, tag in data:
+        table.insert({"x": x, "y": y, "cost": cost, "tag": tag})
+    return table
+
+
+def tids(rows):
+    return [row.tid for row in rows]
+
+
+class TestClassifyMasks:
+    @pytest.mark.parametrize("text", PREDICATES)
+    def test_matches_row_classify(self, text):
+        table = make_table()
+        predicate = parse_predicate(text)
+        reference = classify(table.rows(), predicate)
+        columnar = classify_columnar(table, predicate)
+        assert tids(columnar.plus) == tids(reference.plus), text
+        assert tids(columnar.maybe) == tids(reference.maybe), text
+        assert tids(columnar.minus) == tids(reference.minus), text
+
+    def test_true_predicate_all_plus(self):
+        table = make_table()
+        certain, possible = classify_masks(table.columns, parse_predicate("TRUE"))
+        assert certain.all() and possible.all()
+
+    def test_masks_follow_mutations(self):
+        table = make_table()
+        predicate = parse_predicate("x > 4")
+        certain, _ = classify_masks(table.columns, predicate)
+        assert not certain[0]
+        table.update_value(1, "x", 9.0)  # collapse tuple 1 above the cut
+        certain, _ = classify_masks(table.columns, predicate)
+        assert certain[0]
+
+    def test_string_number_comparison_rejected(self):
+        table = make_table()
+        with pytest.raises(PredicateTypeError):
+            classify_masks(table.columns, parse_predicate("tag = 3"))
+
+    def test_string_ordering_rejected(self):
+        table = make_table()
+        with pytest.raises(PredicateTypeError):
+            classify_masks(table.columns, parse_predicate("tag < 'b'"))
+
+    @pytest.mark.parametrize("text", ["tag <= 'b'", "tag >= 'b'", "tag < 'b'"])
+    def test_string_ordering_rejected_on_every_route(self, text):
+        """All three classification routes must agree that order
+        comparisons on strings are errors — only the =/!= translation's
+        internal <=/>= endpoint checks may touch strings."""
+        table = make_table()
+        predicate = parse_predicate(f"{text} AND x > 4")
+        with pytest.raises(PredicateTypeError):
+            classify(table.rows(), predicate)
+        with pytest.raises(PredicateTypeError):
+            classify_masks(table.columns, predicate)
+
+    def test_empty_table(self):
+        table = Table("t", Schema.of(x="bounded"))
+        certain, possible = classify_masks(table.columns, parse_predicate("x > 1"))
+        assert len(certain) == 0 and len(possible) == 0
+
+    def test_classification_from_masks_alignment(self):
+        table = make_table()
+        certain, possible = classify_masks(table.columns, parse_predicate("x > 4"))
+        built = classification_from_masks(table.rows(), certain, possible)
+        reference = classify(table.rows(), parse_predicate("x > 4"))
+        assert built.counts() == reference.counts()
+
+
+class TestRestrictEndpoints:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x > 4",
+            "x >= 4",
+            "x < 4",
+            "x <= 4",
+            "x = 5",
+            "x > 2 AND x < 8",
+            "x > 2 AND y < 5",
+            "x > 2 OR x < 1",  # no sound restriction
+            "NOT (x > 4)",  # no sound restriction
+            "y > 100",  # other column: untouched
+        ],
+    )
+    def test_matches_restrict_bound(self, text):
+        predicate = parse_predicate(text)
+        bounds = [
+            Bound(0, 10),
+            Bound(5, 5),
+            Bound(-3, 2),
+            Bound(4.5, 7.5),
+            Bound(8, 20),
+        ]
+        lo = np.array([b.lo for b in bounds])
+        hi = np.array([b.hi for b in bounds])
+        new_lo, new_hi = restrict_endpoints(lo, hi, predicate, "x")
+        for i, b in enumerate(bounds):
+            expected = restrict_bound(b, predicate, "x")
+            assert (new_lo[i], new_hi[i]) == (expected.lo, expected.hi), (text, b)
+
+    def test_inputs_not_mutated(self):
+        lo = np.array([0.0, 1.0])
+        hi = np.array([10.0, 2.0])
+        restrict_endpoints(lo, hi, parse_predicate("x > 5"), "x")
+        assert lo.tolist() == [0.0, 1.0] and hi.tolist() == [10.0, 2.0]

@@ -1,0 +1,199 @@
+"""Property: the columnar executor path is equivalent to the row path.
+
+Hypothesis generates tables (bounded, exact, and text columns, mixed
+exact/wide bounds), predicates over them, and aggregates; the executor
+must produce the same :class:`BoundedAnswer` whether it sweeps the
+columnar arrays or loops over rows.  MIN/MAX/COUNT answers are compared
+exactly (same extrema over the same sets); SUM/AVG tolerate the
+array-summation reordering at one part in 10^9.
+
+Classification itself (the T+/T?/T− partition and the Appendix D
+refinement) must agree *exactly* between the two paths, so those are
+asserted tuple-for-tuple.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bound import Bound
+from repro.core.executor import QueryExecutor
+from repro.errors import ConstraintUnsatisfiableError
+from repro.predicates.ast import And, ColumnRef, Comparison, Literal, Not, Or
+from repro.predicates.batch import classify_columnar, restrict_endpoints
+from repro.predicates.classify import classify, restrict_bound
+from repro.replication.local import LocalRefresher
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+SCHEMA = Schema.of(x="bounded", y="bounded", cost="exact", tag="text")
+
+values = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+widths = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+tags = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def cell(draw):
+    """A bounded-column value: exact number, exact bound, or wide bound."""
+    lo = draw(values)
+    kind = draw(st.integers(min_value=0, max_value=2))
+    if kind == 0:
+        return lo
+    if kind == 1:
+        return Bound.exact(lo)
+    return Bound(lo, lo + draw(widths))
+
+
+@st.composite
+def tables(draw, min_rows=0, max_rows=12):
+    cached = Table("t", SCHEMA)
+    master = Table("t", SCHEMA)
+    n = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    for _ in range(n):
+        x = draw(cell())
+        y = draw(cell())
+        cost = draw(st.floats(min_value=1.0, max_value=9.0, allow_nan=False))
+        tag = draw(tags)
+        cached.insert({"x": x, "y": y, "cost": cost, "tag": tag})
+        x_b = x if isinstance(x, Bound) else Bound.exact(x)
+        y_b = y if isinstance(y, Bound) else Bound.exact(y)
+        master.insert(
+            {
+                "x": draw(st.floats(min_value=x_b.lo, max_value=x_b.hi)),
+                "y": draw(st.floats(min_value=y_b.lo, max_value=y_b.hi)),
+                "cost": cost,
+                "tag": tag,
+            }
+        )
+    return cached, master
+
+
+@st.composite
+def comparisons(draw):
+    column = draw(st.sampled_from(["x", "y", "cost", "tag"]))
+    if column == "tag":
+        return Comparison(
+            ColumnRef("tag"), draw(st.sampled_from(["=", "!="])), Literal(draw(tags))
+        )
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+    if draw(st.booleans()) and column != "cost":
+        other = "y" if column == "x" else "x"
+        return Comparison(ColumnRef(column), op, ColumnRef(other))
+    return Comparison(ColumnRef(column), op, Literal(draw(values)))
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0 or draw(st.integers(min_value=0, max_value=2)) == 0:
+        return draw(comparisons())
+    combinator = draw(st.sampled_from(["and", "or", "not"]))
+    if combinator == "not":
+        return Not(draw(predicates(depth=depth - 1)))
+    left = draw(predicates(depth=depth - 1))
+    right = draw(predicates(depth=depth - 1))
+    return And(left, right) if combinator == "and" else Or(left, right)
+
+
+AGGREGATES = ["MIN", "MAX", "SUM", "COUNT", "AVG"]
+
+
+def assert_bounds_close(a: Bound, b: Bound, aggregate: str, context: str):
+    if aggregate in ("MIN", "MAX", "COUNT"):
+        assert a == b, f"{context}: {a} != {b}"
+    else:
+        assert a.lo == pytest.approx(b.lo, rel=1e-9, abs=1e-9), context
+        assert a.hi == pytest.approx(b.hi, rel=1e-9, abs=1e-9), context
+
+
+class TestClassificationEquivalence:
+    @given(data=tables(), predicate=predicates())
+    @settings(max_examples=150, deadline=None)
+    def test_partition_identical(self, data, predicate):
+        cached, _ = data
+        reference = classify(cached.rows(), predicate)
+        columnar = classify_columnar(cached, predicate)
+        for ref_rows, col_rows in (
+            (reference.plus, columnar.plus),
+            (reference.maybe, columnar.maybe),
+            (reference.minus, columnar.minus),
+        ):
+            assert [r.tid for r in ref_rows] == [r.tid for r in col_rows]
+
+    @given(
+        bounds=st.lists(
+            st.tuples(values, widths).map(lambda t: Bound(t[0], t[0] + t[1])),
+            min_size=1,
+            max_size=10,
+        ),
+        predicate=predicates(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_refinement_identical(self, bounds, predicate):
+        lo = np.array([b.lo for b in bounds])
+        hi = np.array([b.hi for b in bounds])
+        new_lo, new_hi = restrict_endpoints(lo, hi, predicate, "x")
+        for i, b in enumerate(bounds):
+            expected = restrict_bound(b, predicate, "x")
+            assert (new_lo[i], new_hi[i]) == (expected.lo, expected.hi)
+
+
+class TestExecutorEquivalence:
+    @given(
+        data=tables(),
+        predicate=st.one_of(st.none(), predicates()),
+        aggregate=st.sampled_from(AGGREGATES),
+        refine=st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_cached_answers_match(self, data, predicate, aggregate, refine):
+        """No-refresh regime: identical initial answers from both paths."""
+        cached, _ = data
+        column = None if aggregate == "COUNT" else "x"
+        row_exec = QueryExecutor(columnar=False, refine_bounds=refine)
+        col_exec = QueryExecutor(columnar=True, refine_bounds=refine)
+        a = col_exec.execute(cached, aggregate, column, math.inf, predicate)
+        b = row_exec.execute(cached, aggregate, column, math.inf, predicate)
+        assert_bounds_close(a.bound, b.bound, aggregate, f"{aggregate}, {predicate}")
+        assert a.refreshed == b.refreshed == frozenset()
+
+    @given(
+        data=tables(min_rows=1),
+        predicate=st.one_of(st.none(), predicates()),
+        aggregate=st.sampled_from(AGGREGATES),
+        budget=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_full_pipeline_matches(self, data, predicate, aggregate, budget):
+        """Refresh regime: same refresh plans and guaranteed final answers."""
+        cached, master = data
+        column = None if aggregate == "COUNT" else "x"
+        cached_row = cached.copy()
+
+        def run(columnar, table):
+            executor = QueryExecutor(
+                refresher=LocalRefresher(master), columnar=columnar
+            )
+            try:
+                return executor.execute(table, aggregate, column, budget, predicate)
+            except ConstraintUnsatisfiableError:
+                # e.g. an unbounded AVG whose predicate no tuple can ever
+                # satisfy; both paths must agree that it is unsatisfiable.
+                return None
+
+        a = run(True, cached)
+        b = run(False, cached_row)
+        assert (a is None) == (b is None)
+        if a is None:
+            return
+        assert a.refreshed == b.refreshed
+        assert a.refresh_cost == b.refresh_cost
+        assert_bounds_close(
+            a.initial_bound, b.initial_bound, aggregate, f"initial {aggregate}"
+        )
+        assert_bounds_close(a.bound, b.bound, aggregate, f"final {aggregate}")

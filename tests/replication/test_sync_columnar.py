@@ -1,0 +1,88 @@
+"""The replication cache keeps the columnar mirror in sync (§3 + ISSUE 1).
+
+``DataCache.sync_bounds`` and the refresh message handlers mutate cached
+rows through ``Table.update_value`` → ``Row.set``, which writes through to
+the table's :class:`~repro.storage.columnar.ColumnStore`.  These tests pin
+that invariant: after any cache activity, the arrays and the exactness
+counters agree with a fresh row scan.
+"""
+
+import pytest
+
+from repro.core.executor import QueryExecutor
+from repro.replication.cache import DataCache
+from repro.replication.source import DataSource
+from repro.simulation.clock import Clock
+from repro.workloads.netmon import paper_master_table
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def source(clock):
+    s = DataSource("s1", clock=clock.now)
+    s.add_table(paper_master_table())
+    return s
+
+
+@pytest.fixture
+def cache(clock, source):
+    c = DataCache("c1", clock=clock.now)
+    c.subscribe_table(source, "links")
+    return c
+
+
+def assert_store_consistent(table):
+    store = table.columns
+    rows = table.rows()
+    assert store.sorted_tids().tolist() == [row.tid for row in rows]
+    for column in table.schema:
+        if column.kind.value == "text":
+            assert store.text_values(column.name).tolist() == [
+                row[column.name] for row in rows
+            ]
+            continue
+        lo, hi = store.endpoints(column.name)
+        for i, row in enumerate(rows):
+            bound = row.bound(column.name)
+            assert (lo[i], hi[i]) == (bound.lo, bound.hi)
+        if column.is_bounded:
+            scan = sum(1 for row in rows if not row.is_exact(column.name))
+            assert store.non_exact_count(column.name) == scan
+
+
+class TestSyncBounds:
+    def test_subscription_populates_store(self, cache):
+        assert_store_consistent(cache.table("links"))
+
+    def test_sync_bounds_writes_through(self, clock, cache):
+        table = cache.table("links")
+        clock.advance(5.0)
+        cache.sync_bounds()
+        # Bound functions widen with time: the store must see wide bounds.
+        assert not table.column_exact("latency")
+        assert_store_consistent(table)
+
+    def test_query_refresh_recollapses_counters(self, clock, source, cache):
+        clock.advance(5.0)
+        cache.sync_bounds()
+        table = cache.table("links")
+        executor = QueryExecutor(refresher=cache)
+        answer = executor.execute(table, "SUM", "latency", 0.0)
+        assert answer.bound.is_exact
+        assert table.column_exact("latency")
+        assert_store_consistent(table)
+
+    def test_cardinality_changes_write_through(self, source, cache):
+        table = cache.table("links")
+        source.insert_row(
+            "links",
+            {"from_node": 9.0, "to_node": 10.0, "latency": 1.0,
+             "bandwidth": 2.0, "traffic": 0.5, "cost": 3.0},
+        )
+        source.delete_row("links", 2)
+        assert 2 not in table
+        assert_store_consistent(table)

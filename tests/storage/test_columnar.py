@@ -1,0 +1,176 @@
+"""ColumnStore: arrays, dirty counters, and Table/Row write-through."""
+
+import numpy as np
+import pytest
+
+from repro.core.bound import Bound
+from repro.errors import TrappError, UnknownColumnError
+from repro.storage.columnar import ColumnStore
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+def make_schema():
+    return Schema.of(x="bounded", y="bounded", cost="exact", tag="text")
+
+
+def make_table():
+    table = Table("t", make_schema())
+    table.insert({"x": Bound(0, 10), "y": 1.0, "cost": 2.0, "tag": "a"})
+    table.insert({"x": Bound(5, 5), "y": Bound(3, 7), "cost": 4.0, "tag": "b"})
+    table.insert({"x": 2.0, "y": Bound(0, 0), "cost": 6.0, "tag": "a"})
+    return table
+
+
+class TestStoreBasics:
+    def test_table_builds_store(self):
+        table = make_table()
+        assert isinstance(table.columns, ColumnStore)
+        assert len(table.columns) == 3
+
+    def test_endpoints_in_tid_order(self):
+        store = make_table().columns
+        lo, hi = store.endpoints("x")
+        assert lo.tolist() == [0.0, 5.0, 2.0]
+        assert hi.tolist() == [10.0, 5.0, 2.0]
+
+    def test_exact_column_endpoints_degenerate(self):
+        store = make_table().columns
+        lo, hi = store.endpoints("cost")
+        assert lo.tolist() == hi.tolist() == [2.0, 4.0, 6.0]
+
+    def test_text_values(self):
+        store = make_table().columns
+        assert store.text_values("tag").tolist() == ["a", "b", "a"]
+        assert store.is_text("tag") and not store.is_text("x")
+
+    def test_unknown_column_raises(self):
+        store = make_table().columns
+        with pytest.raises(UnknownColumnError):
+            store.endpoints("ghost")
+        with pytest.raises(UnknownColumnError):
+            store.column_exact("ghost")
+
+    def test_growth_beyond_initial_capacity(self):
+        table = Table("t", Schema.of(x="bounded"))
+        for i in range(100):
+            table.insert({"x": Bound(i, i + 1)})
+        lo, hi = table.columns.endpoints("x")
+        assert len(lo) == 100
+        assert lo[99] == 99.0 and hi[99] == 100.0
+
+
+class TestDirtyCounters:
+    def test_column_exact_is_counter_backed(self):
+        table = make_table()
+        assert not table.columns.column_exact("x")  # tuple 1 is wide
+        assert not table.columns.column_exact("y")
+        assert table.columns.non_exact_count("x") == 1
+        assert table.columns.non_exact_count("y") == 1
+
+    def test_exact_and_text_columns_always_exact(self):
+        table = make_table()
+        assert table.columns.column_exact("cost")
+        assert table.columns.column_exact("tag")
+
+    def test_refresh_clears_counter(self):
+        table = make_table()
+        table.update_value(1, "x", 4.0)
+        assert table.columns.column_exact("x")
+        assert table.columns.non_exact_count("x") == 0
+
+    def test_widening_raises_counter(self):
+        table = make_table()
+        table.update_value(2, "x", Bound(0, 1))
+        assert table.columns.non_exact_count("x") == 2
+
+    def test_delete_updates_counter(self):
+        table = make_table()
+        table.delete(1)
+        assert table.columns.column_exact("x")
+        assert not table.columns.column_exact("y")
+
+    def test_empty_store_vacuously_exact(self):
+        table = Table("t", Schema.of(x="bounded"))
+        assert table.columns.column_exact("x")
+        assert table.column_exact("x")
+
+
+class TestWriteThrough:
+    def test_table_update_value_writes_through(self):
+        table = make_table()
+        table.update_value(1, "x", Bound(1, 2))
+        lo, hi = table.columns.endpoints("x")
+        assert lo[0] == 1.0 and hi[0] == 2.0
+
+    def test_direct_row_set_writes_through(self):
+        table = make_table()
+        table.row(2).set("y", 9.0)
+        lo, hi = table.columns.endpoints("y")
+        assert lo[1] == 9.0 and hi[1] == 9.0
+        # tuple 2 held y's only wide bound; collapsing it makes y exact
+        assert table.columns.column_exact("y") is True
+
+    def test_detached_copy_does_not_write_through(self):
+        table = make_table()
+        clone = table.row(1).copy()
+        clone.set("x", 99.0)
+        lo, _ = table.columns.endpoints("x")
+        assert lo[0] == 0.0  # table storage untouched
+
+    def test_deleted_row_detached(self):
+        table = make_table()
+        row = table.row(3)
+        table.delete(3)
+        row.set("x", 123.0)  # must not corrupt the store
+        assert len(table.columns) == 2
+        lo, _ = table.columns.endpoints("x")
+        assert lo.tolist() == [0.0, 5.0]
+
+
+class TestDeletionAndOrder:
+    def test_swap_delete_keeps_tid_order(self):
+        table = make_table()
+        table.delete(2)
+        store = table.columns
+        assert store.sorted_tids().tolist() == [1, 3]
+        lo, hi = store.endpoints("x")
+        assert lo.tolist() == [0.0, 2.0]
+        assert store.text_values("tag").tolist() == ["a", "a"]
+
+    def test_reinsert_after_delete(self):
+        table = make_table()
+        table.delete(1)
+        table.insert({"x": Bound(7, 8), "y": 0.0, "cost": 1.0, "tag": "z"}, tid=1)
+        lo, hi = table.columns.endpoints("x")
+        assert lo.tolist() == [7.0, 5.0, 2.0]
+
+    def test_double_remove_raises(self):
+        table = make_table()
+        table.columns.remove(1)
+        with pytest.raises(TrappError):
+            table.columns.remove(1)
+
+    def test_snapshots_are_stable(self):
+        table = make_table()
+        lo, _ = table.columns.endpoints("x")
+        before = lo.copy()
+        table.update_value(1, "x", 5.0)
+        assert np.array_equal(lo, before)  # old snapshot unchanged
+        new_lo, _ = table.columns.endpoints("x")
+        assert new_lo[0] == 5.0
+
+
+class TestAgainstRowScan:
+    def test_matches_row_bounds(self):
+        table = make_table()
+        lo, hi = table.columns.endpoints("x")
+        for i, row in enumerate(table.rows()):
+            assert row.bound("x").lo == lo[i]
+            assert row.bound("x").hi == hi[i]
+
+    def test_column_exact_matches_row_scan(self):
+        table = make_table()
+        for column in ("x", "y", "cost"):
+            scan = all(row.is_exact(column) for row in table)
+            assert table.column_exact(column) == scan
