@@ -1,0 +1,260 @@
+"""Concurrent query service vs serial execution (ISSUE 2).
+
+The paper's §8.2/§8.3 observe that refresh cost should be amortized by
+batching requests to the same source; the service layer applies that
+*across queries*: all in-flight queries' refresh plans are merged per
+tick, deduplicated, and paid for once, and identical in-flight queries
+share one execution (single-flight) backed by a short-TTL result cache.
+
+Both runs see the **same arrival timeline**: one query arrives every
+``ARRIVAL_GAP`` simulated seconds, round-robin over 32 clients, and
+cached bounds widen with simulated time exactly as TRAPP bound functions
+prescribe.  The difference is the serving discipline:
+
+* **serial** — queries are processed one at a time at their arrival
+  instants (the pre-service repo behavior): each sees freshly-widened
+  bounds, plans its refresh in isolation, pays the full per-source batch
+  price (``setup + marginal · k``) and its own source round trip;
+* **concurrent** — each round's 32 queries (one per client, arrivals
+  within one batch window) are in flight together: overlapping refresh
+  plans coalesce in the scheduler into one amortized batch per source,
+  duplicates single-flight, and each tick pays one round trip.
+
+Source round trips are simulated at ``BENCH_SERVICE_DELAY`` seconds
+(default 2 ms) in both runs — serial sleeps per request, the scheduler
+per tick — so the wall-clock comparison reflects what coalescing buys,
+not just the cost-model arithmetic.
+
+Acceptance (full size): total refresh cost strictly below serial, and
+query throughput ≥ 3×.  Results land in ``BENCH_concurrent_service.json``.
+
+Environment knobs: ``BENCH_SERVICE_CLIENTS`` (32),
+``BENCH_SERVICE_QUERIES`` per client (6), ``BENCH_SERVICE_LINKS`` (240),
+``BENCH_SERVICE_DELAY`` (0.002), ``BENCH_SERVICE_MIN_SPEEDUP`` (3.0 —
+CI smoke runs shrink the workload and relax this floor).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.tables import banner, print_table
+from repro.core.refresh.base import RefreshPlan
+from repro.extensions.batching import BatchedCostModel
+from repro.replication.system import TrappSystem
+from repro.service import QueryService
+from repro.sql.compiler import compile_statement
+from repro.sql.parser import parse_statement
+from repro.workloads.netmon import build_master_table, generate_topology
+from repro.workloads.service import closed_loop_scripts
+
+CLIENTS = int(os.environ.get("BENCH_SERVICE_CLIENTS", "32"))
+QUERIES_PER_CLIENT = int(os.environ.get("BENCH_SERVICE_QUERIES", "6"))
+N_LINKS = int(os.environ.get("BENCH_SERVICE_LINKS", "240"))
+NETWORK_DELAY = float(os.environ.get("BENCH_SERVICE_DELAY", "0.002"))
+MIN_SPEEDUP = float(os.environ.get("BENCH_SERVICE_MIN_SPEEDUP", "3.0"))
+SEED = 20001107
+#: Simulated seconds between consecutive query arrivals (staleness accrual).
+ARRIVAL_GAP = 2.0
+BOUND_AGE = 100.0
+CACHE_ID = "monitor"
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_concurrent_service.json"
+)
+
+COST_MODEL = BatchedCostModel(setup=5.0, marginal=1.0)
+
+
+def build_system() -> TrappSystem:
+    """A deterministic deployment; built identically for both runs."""
+    rng = random.Random(SEED)
+    system = TrappSystem()
+    source = system.add_source("net")
+    n_nodes = max(2, N_LINKS // 3)
+    source.add_table(
+        build_master_table(generate_topology(n_nodes, N_LINKS, rng), rng)
+    )
+    cache = system.add_cache(CACHE_ID)
+    cache.subscribe_table(source, "links")
+    system.clock.advance(BOUND_AGE)
+    cache.sync_bounds()
+    return system
+
+
+def make_scripts(system: TrappSystem):
+    return closed_loop_scripts(
+        system.cache(CACHE_ID).table("links"),
+        "traffic",
+        n_clients=CLIENTS,
+        queries_per_client=QUERIES_PER_CLIENT,
+        seed=SEED,
+        overlap=0.8,
+    )
+
+
+def rounds_of(scripts) -> list[list[tuple[str, str]]]:
+    """Arrival order: round r = each client's r-th query, round-robin."""
+    return [
+        [(script.client_id, script.sqls[r]) for script in scripts]
+        for r in range(QUERIES_PER_CLIENT)
+    ]
+
+
+# ----------------------------------------------------------------------
+def run_serial(scripts) -> dict:
+    """One query at a time, each at its own arrival instant."""
+    system = build_system()
+    cache = system.cache(CACHE_ID)
+    executor = system.executor_for(CACHE_ID)
+    total_cost = 0.0
+    source_requests = 0
+    completed = 0
+    start = time.perf_counter()
+    for queries in rounds_of(scripts):
+        for _client_id, sql in queries:
+            system.clock.advance(ARRIVAL_GAP)
+            cache.sync_bounds()
+            plan = compile_statement(parse_statement(sql), cache.catalog)
+            steps = executor.execute_steps(
+                plan.table, plan.aggregate, plan.column, plan.constraint,
+                plan.predicate,
+                # The pre-service serial path never built rebatch metadata.
+                rebatch_metadata=False,
+            )
+            try:
+                request = next(steps)
+                while True:
+                    receipt = cache.refresh_batched(
+                        request.table,
+                        request.plan.tids,
+                        batch_cost=lambda sid, k: COST_MODEL.setup
+                        + COST_MODEL.marginal * k,
+                    )
+                    total_cost += receipt.total_cost
+                    source_requests += receipt.requests_sent
+                    if NETWORK_DELAY > 0:
+                        time.sleep(NETWORK_DELAY * receipt.requests_sent)
+                    request = steps.send(
+                        RefreshPlan(request.plan.tids, receipt.total_cost)
+                    )
+            except StopIteration:
+                completed += 1
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "queries": completed,
+        "qps": completed / seconds,
+        "refresh_cost": total_cost,
+        "source_requests": source_requests,
+    }
+
+
+async def _run_concurrent(scripts) -> dict:
+    system = build_system()
+    cache = system.cache(CACHE_ID)
+    service = QueryService(
+        system,
+        max_inflight=max(64, CLIENTS * 2),
+        max_inflight_per_client=2,
+        cost_model=COST_MODEL,
+        network_delay=NETWORK_DELAY,
+        result_ttl=1.0,
+    )
+    completed = 0
+    start = time.perf_counter()
+    for queries in rounds_of(scripts):
+        # The whole round's arrivals fall inside one batching window; the
+        # same total simulated time passes as in the serial run.
+        system.clock.advance(ARRIVAL_GAP * len(queries))
+        cache.sync_bounds()
+        results = await asyncio.gather(
+            *(
+                service.query(CACHE_ID, sql, client_id=client_id)
+                for client_id, sql in queries
+            )
+        )
+        completed += len(results)
+    seconds = time.perf_counter() - start
+    stats = service.stats()
+    return {
+        "seconds": seconds,
+        "queries": completed,
+        "qps": completed / seconds,
+        "refresh_cost": stats["scheduler"]["total_cost_paid"],
+        "source_requests": stats["scheduler"]["source_requests"],
+        "ticks": stats["scheduler"]["ticks"],
+        "tuples_requested": stats["scheduler"]["tuples_requested"],
+        "tuples_refreshed": stats["scheduler"]["tuples_refreshed"],
+        "result_cache_hits": stats["result_cache"]["hits"],
+        "singleflight_joins": stats["singleflight_joins"],
+    }
+
+
+def run_concurrent(scripts) -> dict:
+    return asyncio.run(_run_concurrent(scripts))
+
+
+# ----------------------------------------------------------------------
+def test_concurrent_service_coalescing_win():
+    scripts = make_scripts(build_system())
+    serial = run_serial(scripts)
+    concurrent = run_concurrent(scripts)
+
+    speedup = serial["seconds"] / concurrent["seconds"]
+    cost_ratio = concurrent["refresh_cost"] / serial["refresh_cost"]
+
+    banner(
+        f"Concurrent service vs serial — {CLIENTS} clients x "
+        f"{QUERIES_PER_CLIENT} queries, {N_LINKS} links"
+    )
+    print_table(
+        ["metric", "serial", "concurrent"],
+        [
+            ("wall seconds", serial["seconds"], concurrent["seconds"]),
+            ("queries/second", serial["qps"], concurrent["qps"]),
+            ("total refresh cost", serial["refresh_cost"], concurrent["refresh_cost"]),
+            ("source requests", serial["source_requests"], concurrent["source_requests"]),
+        ],
+    )
+    print(
+        f"throughput speedup {speedup:.2f}x, refresh cost ratio "
+        f"{cost_ratio:.3f} (ticks={concurrent['ticks']}, result cache "
+        f"hits={concurrent['result_cache_hits']}, single-flight "
+        f"joins={concurrent['singleflight_joins']})"
+    )
+
+    results = {
+        "benchmark": "concurrent_service",
+        "clients": CLIENTS,
+        "queries_per_client": QUERIES_PER_CLIENT,
+        "n_links": N_LINKS,
+        "network_delay_seconds": NETWORK_DELAY,
+        "arrival_gap_seconds": ARRIVAL_GAP,
+        "cost_model": {"setup": COST_MODEL.setup, "marginal": COST_MODEL.marginal},
+        "serial": serial,
+        "concurrent": concurrent,
+        "throughput_speedup": speedup,
+        "refresh_cost_ratio": cost_ratio,
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    assert concurrent["refresh_cost"] < serial["refresh_cost"], (
+        "coalescing must pay strictly less total refresh cost than the "
+        f"serial baseline ({concurrent['refresh_cost']:g} vs "
+        f"{serial['refresh_cost']:g})"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"concurrent service must be >= {MIN_SPEEDUP:g}x serial throughput, "
+        f"got {speedup:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -44,7 +44,7 @@ Two performance properties hold on the hot path:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Protocol, Sequence
+from typing import Callable, Generator, Iterable, Mapping, Protocol, Sequence
 
 from repro.core.aggregates import get_aggregate
 from repro.core.answer import BoundedAnswer
@@ -76,6 +76,8 @@ __all__ = [
     "WIDTH_TOLERANCE",
     "RefreshProvider",
     "NullRefreshProvider",
+    "PlannedRefresh",
+    "RefreshHook",
     "QueryExecutor",
     "execute_query",
 ]
@@ -126,6 +128,49 @@ class _PreparedPredicate:
     touches_bounded: bool
 
 
+@dataclass(slots=True)
+class PlannedRefresh:
+    """A refresh the optimizer chose, surfaced before it is applied.
+
+    This is what :meth:`QueryExecutor.execute_steps` yields (and what a
+    ``refresh_hook`` receives): everything an external scheduler needs to
+    merge the refresh with other in-flight queries' plans.  Whoever handles
+    it must refresh *at least* the tuples of an equivalent plan and answer
+    with the effective :class:`RefreshPlan` — the tuple ids actually
+    refreshed on this query's behalf plus the cost attributed to it.
+
+    ``rows``/``widths``/``budget_slack`` are the §8.2 rebatching metadata,
+    present only when the aggregate's answer width is a linear function of
+    the refreshed tuples' widths (SUM): ``widths`` maps each candidate
+    tuple id to the answer width its refresh removes, and ``budget_slack``
+    is how much width the chosen plan removes beyond what the constraint
+    requires.  A scheduler may hand these straight to
+    :func:`repro.extensions.batching.rebatch_plan` to swap expensive
+    tuples for cheap same-source ones without violating the constraint.
+    """
+
+    table: Table
+    plan: RefreshPlan
+    max_width: float
+    aggregate: str
+    rows: Sequence[Row] | None = None
+    widths: Mapping[int, float] | None = None
+    budget_slack: float | None = None
+
+    @property
+    def can_rebatch(self) -> bool:
+        return self.rows is not None and self.widths is not None
+
+
+#: Intercepts a planned refresh.  The hook must apply the refreshes itself
+#: (e.g. through a batching scheduler) and return the effective plan; a
+#: ``None`` return means "applied exactly as requested".
+RefreshHook = Callable[[PlannedRefresh], "RefreshPlan | None"]
+
+#: Type of the generator returned by :meth:`QueryExecutor.execute_steps`.
+ExecutionSteps = Generator[PlannedRefresh, RefreshPlan, BoundedAnswer]
+
+
 class QueryExecutor:
     """Executes bounded aggregation queries against one cached table."""
 
@@ -136,6 +181,7 @@ class QueryExecutor:
         force_exact: bool = False,
         refine_bounds: bool = True,
         columnar: bool = True,
+        refresh_hook: RefreshHook | None = None,
     ) -> None:
         self.refresher = refresher if refresher is not None else NullRefreshProvider()
         self.epsilon = epsilon
@@ -145,6 +191,11 @@ class QueryExecutor:
         #: forces the row-at-a-time reference pipeline (the two are
         #: equivalence-tested property-style).
         self.columnar = columnar
+        #: When set, planned refreshes are handed to this hook instead of
+        #: ``refresher.refresh`` — the entry point for schedulers that
+        #: batch refreshes across queries.  ``None`` keeps the classic
+        #: apply-immediately behavior.
+        self.refresh_hook = refresh_hook
 
     # ------------------------------------------------------------------
     def execute(
@@ -157,6 +208,39 @@ class QueryExecutor:
         cost: CostFunc = uniform_cost,
     ) -> BoundedAnswer:
         """Run the three-step pipeline and return a guaranteed answer."""
+        steps = self.execute_steps(
+            table, aggregate, column, constraint, predicate, cost,
+            # Building per-tuple rebatch metadata costs a row sweep; only
+            # a hook (an external scheduler) ever reads it.
+            rebatch_metadata=self.refresh_hook is not None,
+        )
+        try:
+            request = next(steps)
+            while True:
+                request = steps.send(self._apply_refresh(request))
+        except StopIteration as stop:
+            return stop.value
+
+    def execute_steps(
+        self,
+        table: Table,
+        aggregate: str,
+        column: str | None,
+        constraint: PrecisionConstraint | float,
+        predicate: Predicate | None = None,
+        cost: CostFunc = uniform_cost,
+        rebatch_metadata: bool = True,
+    ) -> ExecutionSteps:
+        """The three-step pipeline as a resumable generator.
+
+        Yields a :class:`PlannedRefresh` whenever step 2 decides a refresh
+        is needed, suspending the query at exactly the point where the
+        paper's architecture contacts the sources.  The driver (a plain
+        :meth:`execute` call, or a cross-query scheduler) applies the
+        refresh however it likes and sends back the effective
+        :class:`RefreshPlan`; the generator then runs step 3 and returns
+        the guaranteed :class:`BoundedAnswer` via ``StopIteration.value``.
+        """
         if isinstance(constraint, (int, float)):
             constraint = AbsolutePrecision(float(constraint))
         predicate = predicate if predicate is not None else TruePredicate()
@@ -166,16 +250,33 @@ class QueryExecutor:
             raise UnknownColumnError("<missing>", table.name)
 
         if not prepared.touches_bounded:
-            return self._execute_unclassified(
-                table, spec, column, constraint, prepared, cost
+            return (
+                yield from self._execute_unclassified(
+                    table, spec, column, constraint, prepared, cost,
+                    rebatch_metadata,
+                )
             )
         if self._columnar_classified_ok(table, spec):
-            return self._execute_columnar_classified(
-                table, spec, column, constraint, prepared, cost
+            return (
+                yield from self._execute_columnar_classified(
+                    table, spec, column, constraint, prepared, cost,
+                    rebatch_metadata,
+                )
             )
-        return self._execute_row_classified(
-            table, spec, column, constraint, prepared, cost
+        return (
+            yield from self._execute_row_classified(
+                table, spec, column, constraint, prepared, cost,
+                rebatch_metadata,
+            )
         )
+
+    def _apply_refresh(self, request: PlannedRefresh) -> RefreshPlan:
+        """Default driver for a planned refresh: hook, else apply now."""
+        if self.refresh_hook is not None:
+            outcome = self.refresh_hook(request)
+            return outcome if outcome is not None else request.plan
+        self.refresher.refresh(request.table, request.plan.tids)
+        return request.plan
 
     # ------------------------------------------------------------------
     # Regime selection helpers
@@ -201,6 +302,7 @@ class QueryExecutor:
         constraint: PrecisionConstraint,
         prepared: _PreparedPredicate,
         cost: CostFunc,
+        rebatch_metadata: bool,
     ) -> BoundedAnswer:
         store = self._columnar_store(table)
         use_columnar = (
@@ -222,7 +324,10 @@ class QueryExecutor:
         if rows is None:
             rows = self._rows_no_predicate(table, prepared)
         plan = self._chooser(spec).without_predicate(rows, column, max_width, cost)
-        self.refresher.refresh(table, plan.tids)
+        plan = yield self._planned_unclassified(
+            table, spec, plan, max_width, initial, rows, column,
+            rebatch_metadata,
+        )
 
         # Membership is fixed (the predicate saw only exact columns), so
         # the filtered row set — and the columnar whole-table sweep —
@@ -244,6 +349,7 @@ class QueryExecutor:
         constraint: PrecisionConstraint,
         prepared: _PreparedPredicate,
         cost: CostFunc,
+        rebatch_metadata: bool,
     ) -> BoundedAnswer:
         store = table.columns
         refine = self.refine_bounds and column is not None
@@ -262,7 +368,10 @@ class QueryExecutor:
         plan = self._chooser(spec).with_classification(
             refined, column, max_width, cost
         )
-        self.refresher.refresh(table, plan.tids)
+        plan = yield self._planned_classified(
+            table, spec, plan, max_width, initial, refined, column,
+            rebatch_metadata,
+        )
 
         certain, possible = classify_masks(store, prepared.predicate)
         cc = ColumnarClassification.from_masks(
@@ -282,6 +391,7 @@ class QueryExecutor:
         constraint: PrecisionConstraint,
         prepared: _PreparedPredicate,
         cost: CostFunc,
+        rebatch_metadata: bool,
     ) -> BoundedAnswer:
         classification = classify(table.rows(), prepared.predicate)
         refined = self._refined_classification(classification, prepared, column)
@@ -294,7 +404,10 @@ class QueryExecutor:
         plan = self._chooser(spec).with_classification(
             refined, column, max_width, cost
         )
-        self.refresher.refresh(table, plan.tids)
+        plan = yield self._planned_classified(
+            table, spec, plan, max_width, initial, refined, column,
+            rebatch_metadata,
+        )
 
         updated = self._reclassify_refreshed(classification, plan.tids, prepared)
         refined = self._refined_classification(updated, prepared, column)
@@ -307,6 +420,74 @@ class QueryExecutor:
     def _chooser(self, spec):
         return get_choose_refresh(
             spec.name, epsilon=self.epsilon, force_exact=self.force_exact
+        )
+
+    def _planned_unclassified(
+        self,
+        table: Table,
+        spec,
+        plan: RefreshPlan,
+        max_width: float,
+        initial: Bound,
+        rows: Sequence[Row],
+        column: str | None,
+        rebatch_metadata: bool,
+    ) -> PlannedRefresh:
+        if not rebatch_metadata or spec.name != "SUM" or column is None:
+            return PlannedRefresh(table, plan, max_width, spec.name)
+        widths = {row.tid: row.bound(column).width for row in rows}
+        return self._with_slack(table, spec, plan, max_width, initial, rows, widths)
+
+    def _planned_classified(
+        self,
+        table: Table,
+        spec,
+        plan: RefreshPlan,
+        max_width: float,
+        initial: Bound,
+        refined: Classification,
+        column: str | None,
+        rebatch_metadata: bool,
+    ) -> PlannedRefresh:
+        if not rebatch_metadata or spec.name != "SUM" or column is None:
+            return PlannedRefresh(table, plan, max_width, spec.name)
+        # §6.2 weights: refreshing a T+ tuple removes its full width;
+        # refreshing a T? tuple removes its bound extended to zero (the
+        # tuple may turn out to fail the predicate and contribute nothing).
+        rows = list(refined.plus) + list(refined.maybe)
+        widths = {row.tid: row.bound(column).width for row in refined.plus}
+        widths.update(
+            {
+                row.tid: row.bound(column).extend_to_zero().width
+                for row in refined.maybe
+            }
+        )
+        return self._with_slack(table, spec, plan, max_width, initial, rows, widths)
+
+    @staticmethod
+    def _with_slack(
+        table: Table,
+        spec,
+        plan: RefreshPlan,
+        max_width: float,
+        initial: Bound,
+        rows: Sequence[Row],
+        widths: dict[int, float],
+    ) -> PlannedRefresh:
+        # SUM's final width is the initial width minus the widths removed
+        # by the refreshed tuples, so the plan's slack over the constraint
+        # is exactly the width a rebatcher may give back.
+        removed = sum(widths.get(tid, 0.0) for tid in plan.tids)
+        required = initial.width - max_width
+        slack = max(0.0, removed - required)
+        return PlannedRefresh(
+            table,
+            plan,
+            max_width,
+            spec.name,
+            rows=rows,
+            widths=widths,
+            budget_slack=slack,
         )
 
     @staticmethod
@@ -425,6 +606,7 @@ def execute_query(
     force_exact: bool = False,
     refine_bounds: bool = True,
     columnar: bool = True,
+    refresh_hook: RefreshHook | None = None,
 ) -> BoundedAnswer:
     """One-shot convenience wrapper around :class:`QueryExecutor`.
 
@@ -438,5 +620,6 @@ def execute_query(
         force_exact=force_exact,
         refine_bounds=refine_bounds,
         columnar=columnar,
+        refresh_hook=refresh_hook,
     )
     return executor.execute(table, aggregate, column, constraint, predicate, cost)

@@ -99,3 +99,32 @@ class OptimizerError(TrappError):
 
 class SimulationError(TrappError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class ServiceError(TrappError):
+    """The concurrent query service rejected or failed a request."""
+
+
+class AdmissionError(ServiceError):
+    """Admission control rejected a query before execution (e.g. the
+    requested precision is tighter than the client's floor)."""
+
+
+class ServiceOverloadError(AdmissionError):
+    """A client exceeded its in-flight query allowance."""
+
+
+class WireProtocolError(ServiceError):
+    """A malformed message arrived on the NDJSON wire protocol."""
+
+
+class RemoteQueryError(ServiceError):
+    """The server reported a query failure over the wire.
+
+    ``kind`` carries the server-side exception class name so clients can
+    distinguish admission rejections from execution errors.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind

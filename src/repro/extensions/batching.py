@@ -66,6 +66,7 @@ def rebatch_plan(
     widths: Mapping[int, float],
     budget_slack: float,
     model: BatchedCostModel,
+    extra_contacted: "set[str] | None" = None,
 ) -> RefreshPlan:
     """Improve a batch plan by exploiting per-source amortization.
 
@@ -80,6 +81,13 @@ def rebatch_plan(
     pure marginal cost whenever doing so lets a further eviction succeed.
     The result never violates the constraint and never costs more than the
     input plan under the amortized model.
+
+    ``extra_contacted`` names sources whose setup is already paid *outside*
+    this plan — e.g. by other queries sharing the same refresh tick in the
+    concurrent service.  Their tuples join the absorption candidates, which
+    is what lets cross-query scheduling steer a plan onto sources the batch
+    contacts anyway (``model`` should then price those setups as sunk, as
+    the scheduler's tick-aware model does).
     """
     by_tid = {row.tid: row for row in all_rows}
     chosen = {tid for tid in plan.tids}
@@ -94,12 +102,12 @@ def rebatch_plan(
     best = set(chosen)
     best_cost = amortized_cost(best)
 
-    # Eviction pass: drop expensive tuples while the width requirement holds.
-    for tid in sorted(
-        chosen,
-        key=lambda t: model.setup + model.marginal,  # uniform marginal; order by width waste
-        reverse=True,
-    ):
+    # Eviction pass: drop tuples while the width requirement holds.
+    # Least width contribution first — those are the cheapest to give up
+    # feasibility-wise, letting the most evictions (each saving at least a
+    # marginal, sometimes a whole setup) go through.  Ordering also makes
+    # the greedy deterministic instead of set-iteration-dependent.
+    for tid in sorted(chosen, key=lambda t: widths.get(t, 0.0)):
         trial = best - {tid}
         if removed_width(trial) + 1e-12 >= required:
             cost = amortized_cost(trial)
@@ -110,6 +118,8 @@ def rebatch_plan(
     # Absorption pass: sources already contacted can contribute extra wide
     # tuples at marginal cost, potentially unlocking cross-source evictions.
     contacted = {model.source_of(by_tid[tid]) for tid in best}
+    if extra_contacted:
+        contacted |= set(extra_contacted)
     extras = [
         row
         for row in all_rows

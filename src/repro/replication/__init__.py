@@ -1,6 +1,10 @@
 """TRAPP replication architecture: sources, caches, protocol, costs."""
 
-from repro.replication.cache import DataCache
+from repro.replication.cache import (
+    BatchedRefreshReceipt,
+    DataCache,
+    SourceRefreshReceipt,
+)
 from repro.replication.costs import (
     ColumnCostModel,
     CostModel,
@@ -21,6 +25,8 @@ from repro.replication.source import DataSource, RefreshMonitor
 from repro.replication.system import TrappSystem
 
 __all__ = [
+    "BatchedRefreshReceipt",
+    "SourceRefreshReceipt",
     "DataCache",
     "DataSource",
     "LocalRefresher",

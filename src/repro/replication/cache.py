@@ -36,7 +36,12 @@ from repro.storage.catalog import Catalog
 from repro.storage.schema import Schema
 from repro.storage.table import Table
 
-__all__ = ["DataCache"]
+__all__ = ["DataCache", "SourceRefreshReceipt", "BatchedRefreshReceipt", "BatchCostFunc"]
+
+#: ``(source_id, n_tuples) -> cost`` — how much one batched round trip to a
+#: source costs.  The default charges 1 per tuple (the paper's uniform
+#: model); schedulers plug in §8.2 amortized models (setup + marginal·k).
+BatchCostFunc = Callable[[str, int], float]
 
 
 @dataclass(slots=True)
@@ -45,6 +50,44 @@ class _Subscription:
 
     source: DataSource
     bound_function: BoundFunction
+
+
+@dataclass(frozen=True, slots=True)
+class SourceRefreshReceipt:
+    """What one source was asked for in a batched refresh, and its price."""
+
+    source_id: str
+    tids: frozenset[int]
+    keys: tuple[ObjectKey, ...]
+    cost: float
+
+
+@dataclass(frozen=True, slots=True)
+class BatchedRefreshReceipt:
+    """Per-source accounting for one externally-batched refresh.
+
+    Returned by :meth:`DataCache.refresh_batched` so schedulers that merge
+    many queries' plans can see the cost *actually paid* per source —
+    which, under an amortized model, is less than the sum each query would
+    have paid alone.
+    """
+
+    per_source: tuple[SourceRefreshReceipt, ...]
+
+    @property
+    def total_cost(self) -> float:
+        return sum(receipt.cost for receipt in self.per_source)
+
+    @property
+    def tids(self) -> frozenset[int]:
+        out: set[int] = set()
+        for receipt in self.per_source:
+            out |= receipt.tids
+        return frozenset(out)
+
+    @property
+    def requests_sent(self) -> int:
+        return len(self.per_source)
 
 
 class DataCache:
@@ -128,10 +171,29 @@ class DataCache:
         Groups keys per source so each source receives one request (the
         batching extension can then amortize transfer costs).
         """
+        self.refresh_batched(table, tids)
+
+    def refresh_batched(
+        self,
+        table: Table,
+        tids: Iterable[int],
+        batch_cost: BatchCostFunc | None = None,
+    ) -> BatchedRefreshReceipt:
+        """Refresh an externally-batched set of tuples, with accounting.
+
+        This is the entry point for cross-query schedulers: ``tids`` may be
+        the merged plans of many concurrent queries.  Keys are grouped per
+        source, each source receives exactly one
+        :class:`~repro.replication.messages.RefreshRequest`, and the
+        returned receipt reports — per source — which tuples were refreshed
+        and the cost actually paid under ``batch_cost`` (default: 1 per
+        tuple, the uniform model).
+        """
         tids = sorted(set(tids))
         if not tids:
-            return
+            return BatchedRefreshReceipt(per_source=())
         by_source: dict[str, list[ObjectKey]] = {}
+        tids_by_source: dict[str, set[int]] = {}
         for tid in tids:
             for column in table.schema.bounded_columns:
                 key = ObjectKey(table.name, tid, column.name)
@@ -141,12 +203,46 @@ class DataCache:
                         f"cache {self.cache_id!r} holds no subscription for {key}"
                     )
                 by_source.setdefault(subscription.source.source_id, []).append(key)
+                tids_by_source.setdefault(subscription.source.source_id, set()).add(tid)
+        receipts: list[SourceRefreshReceipt] = []
         for source_id, keys in by_source.items():
             source = self._sources[source_id]
             request = RefreshRequest(cache_id=self.cache_id, keys=tuple(keys))
             self.refresh_requests_sent += 1
             response = source.handle_refresh_request(request)
             self._apply_refresh(response)
+            source_tids = frozenset(tids_by_source[source_id])
+            cost = (
+                batch_cost(source_id, len(source_tids))
+                if batch_cost is not None
+                else float(len(source_tids))
+            )
+            receipts.append(
+                SourceRefreshReceipt(
+                    source_id=source_id,
+                    tids=source_tids,
+                    keys=tuple(keys),
+                    cost=cost,
+                )
+            )
+        return BatchedRefreshReceipt(per_source=tuple(receipts))
+
+    def source_of_tuple(self, table: Table, tid: int) -> str:
+        """The source id serving a tuple's bounded columns.
+
+        Used by cross-query schedulers to group refresh candidates per
+        source without reaching into the subscription map.
+        """
+        for column in table.schema.bounded_columns:
+            subscription = self._subscriptions.get(
+                ObjectKey(table.name, tid, column.name)
+            )
+            if subscription is not None:
+                return subscription.source.source_id
+        raise ReplicationProtocolError(
+            f"cache {self.cache_id!r} holds no subscription for tuple "
+            f"#{tid} of table {table.name!r}"
+        )
 
     # ------------------------------------------------------------------
     # Incoming messages (value-initiated refreshes, cardinality changes)

@@ -43,6 +43,11 @@ class TrappSystem:
         self.epsilon = epsilon
         self._sources: dict[str, DataSource] = {}
         self._caches: dict[str, DataCache] = {}
+        # Executors are stateless across execute() calls, so one per
+        # (cache, epsilon) is reused for every query — the query service
+        # calls this path at high rate and must not pay a constructor
+        # (and regime re-probing) per query.
+        self._executors: dict[tuple[str, float | None], QueryExecutor] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -91,9 +96,7 @@ class TrappSystem:
         cache.sync_bounds()
         statement = parse_statement(sql)
         plan = compile_statement(statement, cache.catalog)
-        executor = QueryExecutor(
-            refresher=cache, epsilon=epsilon if epsilon is not None else self.epsilon
-        )
+        executor = self.executor_for(cache_id, epsilon)
         return executor.execute(
             table=plan.table,
             aggregate=plan.aggregate,
@@ -117,9 +120,7 @@ class TrappSystem:
         """Execute a query given pre-built AST pieces (no SQL text)."""
         cache = self.cache(cache_id)
         cache.sync_bounds()
-        executor = QueryExecutor(
-            refresher=cache, epsilon=epsilon if epsilon is not None else self.epsilon
-        )
+        executor = self.executor_for(cache_id, epsilon)
         return executor.execute(
             table=cache.table(table),
             aggregate=aggregate,
@@ -128,6 +129,24 @@ class TrappSystem:
             predicate=predicate,
             cost=self._resolve_cost(cost),
         )
+
+    # ------------------------------------------------------------------
+    def executor_for(
+        self, cache_id: str, epsilon: float | None = None
+    ) -> QueryExecutor:
+        """The shared, reusable executor for one cache.
+
+        Executors hold no per-query state, so the same instance safely
+        serves every query against a cache (including interleaved
+        ``execute_steps`` generators driven by the concurrent service).
+        """
+        effective = epsilon if epsilon is not None else self.epsilon
+        key = (cache_id, effective)
+        executor = self._executors.get(key)
+        if executor is None:
+            executor = QueryExecutor(refresher=self.cache(cache_id), epsilon=effective)
+            self._executors[key] = executor
+        return executor
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,36 @@
+"""The concurrent TRAPP query service (paper §8.2/§8.3 at serving scale).
+
+The paper's Figure 3 architecture assumes many users issuing bounded
+aggregate queries against shared caches; §8.2/§8.3 observe that refresh
+cost should be amortized by batching requests to the same source.  This
+package is the serving layer that realizes both observations:
+
+* :class:`RefreshScheduler` — collects the refresh plans of every
+  in-flight query per tick, deduplicates tuple ids, rebatches plans
+  toward already-contacted sources, and dispatches one amortized batch
+  per source, so N concurrent queries wanting the same hot tuples
+  trigger one refresh instead of N;
+* :class:`QueryService` — per-client sessions, admission control, and a
+  short-TTL bounded-answer result cache in front of the executor;
+* :func:`serve` / :class:`TrappClient` — a newline-delimited-JSON wire
+  protocol so multiple processes can issue TRAPP SQL concurrently.
+"""
+
+from repro.service.client import ClientAnswer, TrappClient
+from repro.service.results import ResultCache
+from repro.service.scheduler import RefreshScheduler, SchedulerStats
+from repro.service.server import TrappServer, serve
+from repro.service.service import ClientSession, QueryService, ServiceResult
+
+__all__ = [
+    "RefreshScheduler",
+    "SchedulerStats",
+    "ResultCache",
+    "QueryService",
+    "ClientSession",
+    "ServiceResult",
+    "TrappServer",
+    "serve",
+    "TrappClient",
+    "ClientAnswer",
+]

@@ -1,0 +1,177 @@
+"""The asyncio client for the query service's NDJSON protocol.
+
+:class:`TrappClient` multiplexes any number of concurrent requests over
+one connection: each request gets a fresh id, a background reader task
+resolves replies by id, and callers simply ``await client.query(...)``
+from as many tasks as they like.
+
+    client = await TrappClient.connect("127.0.0.1", 7474, client_id="c1")
+    answer = await client.query("monitor", "SELECT AVG(traffic) WITHIN 10 FROM links")
+    print(answer.lo, answer.hi, answer.cached)
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass
+
+from repro.core.bound import Bound
+from repro.core.constraints import width_within
+from repro.errors import RemoteQueryError, ServiceError
+from repro.service.protocol import MAX_LINE_BYTES, decode, encode
+
+__all__ = ["TrappClient", "ClientAnswer"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClientAnswer:
+    """A bounded answer as decoded from the wire."""
+
+    lo: float
+    hi: float
+    width: float
+    exact: bool
+    refreshed: tuple[int, ...]
+    refresh_cost: float
+    #: True when the server answered from its result cache.
+    cached: bool
+
+    @property
+    def bound(self) -> Bound:
+        return Bound(self.lo, self.hi)
+
+    def meets(self, max_width: float) -> bool:
+        return width_within(self.width, max_width)
+
+
+class TrappClient:
+    """One connection to a TRAPP query server; safe for concurrent use."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        client_id: str,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.client_id = client_id
+        self._next_id = 0
+        self._futures: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._failure: Exception | None = None
+        self._read_task = asyncio.create_task(self._read_loop())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, client_id: str = "anon"
+    ) -> "TrappClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES + 2
+        )
+        client = cls(reader, writer, client_id)
+        await client._request({"op": "hello", "client": client_id})
+        return client
+
+    async def __aenter__(self) -> "TrappClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def query(self, cache_id: str, sql: str) -> ClientAnswer:
+        """Execute TRAPP SQL against one cache; raises
+        :class:`RemoteQueryError` on a server-side failure."""
+        reply = await self._request(
+            {"op": "query", "cache": cache_id, "sql": sql}
+        )
+        result = reply["result"]
+        return ClientAnswer(
+            lo=float(result["lo"]),
+            hi=float(result["hi"]),
+            width=float(result["width"]),
+            exact=bool(result["exact"]),
+            refreshed=tuple(result["refreshed"]),
+            refresh_cost=float(result["refresh_cost"]),
+            cached=bool(result["cached"]),
+        )
+
+    async def ping(self) -> float:
+        """Round-trip liveness probe; returns the server's clock reading."""
+        reply = await self._request({"op": "ping"})
+        return float(reply["now"])
+
+    async def stats(self) -> dict:
+        """The server's serving/coalescing counters."""
+        reply = await self._request({"op": "stats"})
+        return reply["stats"]
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._read_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._read_task
+        with contextlib.suppress(Exception):
+            self._writer.close()
+            await self._writer.wait_closed()
+        self._fail_pending(ServiceError("connection closed"))
+
+    # ------------------------------------------------------------------
+    async def _request(self, message: dict) -> dict:
+        if self._failure is not None:
+            raise self._failure
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        try:
+            self._writer.write(encode({**message, "id": request_id}))
+            await self._writer.drain()
+            reply = await future
+        finally:
+            self._futures.pop(request_id, None)
+        if not reply.get("ok"):
+            error = reply.get("error") or {}
+            raise RemoteQueryError(
+                str(error.get("kind", "ServiceError")),
+                str(error.get("message", "unknown server error")),
+            )
+        return reply
+
+    async def _read_loop(self) -> None:
+        failure: Exception = ServiceError("server closed the connection")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                reply = decode(line)
+                future = self._futures.get(reply.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            failure = ServiceError(f"connection lost: {exc}")
+        finally:
+            # Terminal: without a reader, later requests could never be
+            # answered — fail them fast instead of hanging.
+            if not self._closed:
+                self._failure = failure
+            self._fail_pending(failure)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._futures.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._futures.clear()

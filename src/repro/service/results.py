@@ -1,0 +1,117 @@
+"""A short-TTL cache of bounded answers for repeat queries.
+
+A bounded answer stays *valid* as long as the cached bounds it was
+computed from have not widened past the query's constraint — over a short
+horizon, an answer computed for one client can serve an identical query
+from another client without touching the executor at all.  Entries are
+keyed on the full query identity ``(cache, table, aggregate, column,
+predicate, width)`` and are served only while young (``ttl``, measured on
+the system's clock so simulated-time tests stay deterministic) *and*
+still satisfying the requested constraint — a stale or too-wide entry is
+never returned.
+
+This is deliberately conservative: a bound that satisfied ``WITHIN R`` at
+time ``t`` is a *correct* answer at ``t + ttl`` only if its objects'
+bound growth over ``ttl`` is tolerated by the deployment.  The TTL
+defaults are therefore tiny, and the cache re-checks
+:meth:`~repro.core.answer.BoundedAnswer.meets` on every hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+from repro.core.answer import BoundedAnswer
+from repro.predicates.ast import Predicate
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """An LRU + TTL cache of :class:`BoundedAnswer` keyed by query identity."""
+
+    def __init__(
+        self,
+        ttl: float,
+        clock: Callable[[], float],
+        max_entries: int = 2048,
+    ) -> None:
+        self.ttl = ttl
+        self.clock = clock
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, tuple[BoundedAnswer, float]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_key(
+        cache_id: str,
+        table: str,
+        aggregate: str,
+        column: str | None,
+        predicate: Predicate | None,
+        max_width: float,
+        epsilon: float | None = None,
+    ) -> Hashable:
+        """The full identity of a shareable query.
+
+        ``epsilon`` is part of the identity because it changes which
+        tuples CHOOSE_REFRESH picks (and therefore the answer's refresh
+        metadata), even though any epsilon's answer meets the width.
+        """
+        predicate_key = str(predicate) if predicate is not None else ""
+        return (
+            cache_id, table, aggregate, column, predicate_key, max_width, epsilon,
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, max_width: float) -> BoundedAnswer | None:
+        """A still-valid cached answer for ``key``, or ``None``.
+
+        Valid means: younger than ``ttl`` *and* still no wider than the
+        requested constraint.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        answer, stored_at = entry
+        if self.clock() - stored_at > self.ttl:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        if not answer.meets(max_width):
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return answer
+
+    def put(self, key: Hashable, answer: BoundedAnswer) -> None:
+        self._entries[key] = (answer, self.clock())
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,309 @@
+"""Cross-query refresh coalescing (paper §8.2 applied across queries).
+
+Each in-flight query suspends at its refresh point
+(:meth:`~repro.core.executor.QueryExecutor.execute_steps` yields a
+:class:`~repro.core.executor.PlannedRefresh`) and submits the plan here.
+The scheduler buffers submissions for one *tick*, then:
+
+1. **rebatches** each plan that carries SUM metadata toward sources other
+   queries in the tick already pay setup for
+   (:func:`repro.extensions.batching.rebatch_plan` with a tick-aware cost
+   model whose sunk setups are free);
+2. **merges** the plans per (cache, table) and deduplicates tuple ids —
+   N queries wanting the same hot tuples trigger one refresh;
+3. dispatches one batched request per source through
+   :meth:`~repro.replication.cache.DataCache.refresh_batched`, paying the
+   amortized ``setup + marginal · k`` price once;
+4. **attributes** the cost actually paid back to the queries: each
+   source's setup is split evenly among the queries that used it, each
+   tuple's marginal cost evenly among the queries that requested it.
+
+Every query then resumes step 3 of its pipeline against the now-refreshed
+cache.  Refreshing the union of plans only ever *narrows* bounds beyond
+what each query planned for, so per-query precision guarantees survive
+coalescing unchanged (property-tested in
+``tests/service/test_concurrency_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.executor import PlannedRefresh
+from repro.core.refresh.base import RefreshPlan
+from repro.extensions.batching import BatchedCostModel, rebatch_plan
+from repro.replication.cache import DataCache
+from repro.storage.row import Row
+from repro.storage.table import Table
+
+__all__ = ["RefreshScheduler", "SchedulerStats"]
+
+
+@dataclass(slots=True)
+class SchedulerStats:
+    """Counters describing how much coalescing actually happened."""
+
+    ticks: int = 0
+    plans_submitted: int = 0
+    #: Tuple refreshes the queries asked for (pre-dedup, pre-rebatch).
+    tuples_requested: int = 0
+    #: Distinct tuples actually refreshed after merging.
+    tuples_refreshed: int = 0
+    source_requests: int = 0
+    total_cost_paid: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "ticks": self.ticks,
+            "plans_submitted": self.plans_submitted,
+            "tuples_requested": self.tuples_requested,
+            "tuples_refreshed": self.tuples_refreshed,
+            "source_requests": self.source_requests,
+            "total_cost_paid": self.total_cost_paid,
+        }
+
+
+@dataclass(slots=True)
+class _Pending:
+    """One query's suspended refresh: its plan and the future to resume it."""
+
+    cache: DataCache
+    request: PlannedRefresh
+    #: Effective tuple ids for this query (mutated by the rebatch pass).
+    tids: set[int]
+    future: "asyncio.Future[RefreshPlan]"
+
+
+class _TickCostModel(BatchedCostModel):
+    """Amortized costs as seen mid-tick: sunk setups are free.
+
+    Same pricing as :class:`BatchedCostModel`, except sources some other
+    query in the same tick already contacts charge no setup — which is
+    exactly what makes pulling tuples from those sources attractive
+    during cross-query rebatching.
+    """
+
+    def __init__(
+        self,
+        setup: float,
+        marginal: float,
+        source_of: Callable[[Row], str],
+        contacted: set[str],
+    ) -> None:
+        super().__init__(setup=setup, marginal=marginal, source_of=source_of)
+        self._contacted = contacted
+
+    def cost_of_set(self, rows: Iterable[Row]) -> float:
+        rows = list(rows)
+        sunk = {self.source_of(row) for row in rows} & self._contacted
+        return super().cost_of_set(rows) - self.setup * len(sunk)
+
+
+class RefreshScheduler:
+    """Coalesces the refresh plans of concurrent queries, tick by tick.
+
+    ``tick_interval`` is the coalescing window in seconds; ``0`` flushes
+    as soon as every currently-runnable query task has reached its refresh
+    point (one trip around the event loop), which keeps simulated-clock
+    tests deterministic.  ``cost_model`` enables §8.2 amortized accounting
+    and cross-query rebatching; without one, costs are uniform (1 per
+    tuple) and plans are only deduplicated.  ``network_delay`` simulates
+    one source round-trip time per tick (round trips to distinct sources
+    proceed in parallel), letting benchmarks measure the wall-clock value
+    of coalescing, not just the cost-model value.
+    """
+
+    def __init__(
+        self,
+        cost_model: BatchedCostModel | None = None,
+        tick_interval: float = 0.0,
+        rebatch: bool = True,
+        rebatch_limit: int = 64,
+        network_delay: float = 0.0,
+    ) -> None:
+        self.cost_model = cost_model
+        self.tick_interval = tick_interval
+        self.rebatch = rebatch and cost_model is not None
+        #: Plans larger than this skip the rebatch post-pass: rebatching
+        #: probes O(plan²) candidate sets for a payoff bounded by a few
+        #: setup costs, a bad trade once plans dwarf the setup/marginal
+        #: ratio.
+        self.rebatch_limit = rebatch_limit
+        self.network_delay = network_delay
+        self.stats = SchedulerStats()
+        self._pending: list[_Pending] = []
+        self._flush_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self, cache: DataCache, request: PlannedRefresh
+    ) -> RefreshPlan:
+        """Queue one query's planned refresh; resolves once it is applied.
+
+        Returns the effective plan for the submitting query: the tuple ids
+        refreshed on its behalf (possibly rebatched) and the share of the
+        batch cost attributed to it.
+        """
+        future: asyncio.Future[RefreshPlan] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending.append(
+            _Pending(cache, request, set(request.plan.tids), future)
+        )
+        self.stats.plans_submitted += 1
+        self.stats.tuples_requested += len(request.plan.tids)
+        if self._flush_task is None:
+            self._flush_task = asyncio.create_task(self._flush())
+        return await future
+
+    # ------------------------------------------------------------------
+    async def _flush(self) -> None:
+        try:
+            if self.tick_interval > 0:
+                await asyncio.sleep(self.tick_interval)
+            else:
+                # One trip around the event loop lets every already-started
+                # query task reach its submit point before the tick fires.
+                await asyncio.sleep(0)
+            while self._pending:
+                batch, self._pending = self._pending, []
+                await self._run_tick(batch)
+        finally:
+            self._flush_task = None
+
+    async def _run_tick(self, batch: list[_Pending]) -> None:
+        self.stats.ticks += 1
+        groups: dict[tuple[int, str], list[_Pending]] = {}
+        for pending in batch:
+            key = (id(pending.cache), pending.request.table.name)
+            groups.setdefault(key, []).append(pending)
+        if self.network_delay > 0:
+            await asyncio.sleep(self.network_delay)
+        for group in groups.values():
+            self._dispatch_group(group)
+
+    # ------------------------------------------------------------------
+    def _dispatch_group(self, pendings: list[_Pending]) -> None:
+        """Rebatch, merge, refresh, and settle one (cache, table) group."""
+        cache = pendings[0].cache
+        table = pendings[0].request.table
+        try:
+            if self.rebatch and self.cost_model is not None:
+                self._rebatch_group(cache, table, pendings, self.cost_model)
+
+            merged: set[int] = set()
+            requesters: dict[int, int] = {}
+            for pending in pendings:
+                merged |= pending.tids
+                for tid in pending.tids:
+                    requesters[tid] = requesters.get(tid, 0) + 1
+
+            receipt = cache.refresh_batched(
+                table, merged, batch_cost=self._batch_cost()
+            )
+            self.stats.tuples_refreshed += len(receipt.tids)
+            self.stats.source_requests += receipt.requests_sent
+            self.stats.total_cost_paid += receipt.total_cost
+
+            shares = self._attribute(receipt, pendings, requesters)
+            for pending, share in zip(pendings, shares):
+                # A waiter may have been cancelled (connection drop) while
+                # the batch executed; settling it would raise and poison
+                # the rest of the group.
+                if not pending.future.done():
+                    pending.future.set_result(
+                        RefreshPlan(frozenset(pending.tids), share)
+                    )
+        except Exception as exc:  # settle everyone; queries surface it
+            for pending in pendings:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+
+    def _batch_cost(self) -> Callable[[str, int], float] | None:
+        model = self.cost_model
+        if model is None:
+            return None
+        return lambda source_id, n_tuples: model.setup + model.marginal * n_tuples
+
+    def _rebatch_group(
+        self,
+        cache: DataCache,
+        table: Table,
+        pendings: list[_Pending],
+        model: BatchedCostModel,
+    ) -> None:
+        """§8.2 across queries: steer plans toward already-paid sources."""
+        # rebatch_plan probes O(plan²) candidate sets, each probe reading
+        # every member's source — memoize the subscription lookup once per
+        # tick so probes are dict reads.
+        source_by_tid: dict[int, str] = {}
+
+        def source_of_tid(tid: int) -> str:
+            source_id = source_by_tid.get(tid)
+            if source_id is None:
+                source_id = cache.source_of_tuple(table, tid)
+                source_by_tid[tid] = source_id
+            return source_id
+
+        def source_of(row: Row) -> str:
+            return source_of_tid(row.tid)
+
+        def sources_of(tids: set[int]) -> set[str]:
+            return {source_of_tid(tid) for tid in tids}
+
+        # Sources pinned by plans we cannot rebatch pay setup regardless.
+        contacted: set[str] = set()
+        for pending in pendings:
+            if not pending.request.can_rebatch:
+                contacted |= sources_of(pending.tids)
+        for pending in pendings:
+            request = pending.request
+            if (
+                request.can_rebatch
+                and 0 < len(pending.tids) <= self.rebatch_limit
+                and len(sources_of({row.tid for row in request.rows})) > 1
+            ):
+                tick_model = _TickCostModel(
+                    model.setup, model.marginal, source_of, set(contacted)
+                )
+                improved = rebatch_plan(
+                    RefreshPlan(frozenset(pending.tids), 0.0),
+                    request.rows,
+                    request.widths,
+                    request.budget_slack or 0.0,
+                    tick_model,
+                    extra_contacted=contacted,
+                )
+                pending.tids = set(improved.tids)
+            contacted |= sources_of(pending.tids)
+
+    def _attribute(
+        self, receipt, pendings: list[_Pending], requesters: dict[int, int]
+    ) -> list[float]:
+        """Split each source's paid cost fairly among its requesters.
+
+        Setup is divided evenly among the queries that touched the source;
+        each tuple's marginal cost evenly among the queries that requested
+        that tuple.  Shares sum exactly to the receipt's total (both are
+        ``setup + marginal · k`` per source).
+        """
+        model = self.cost_model
+        setup = model.setup if model is not None else 0.0
+        marginal = model.marginal if model is not None else 1.0
+        shares = [0.0] * len(pendings)
+        for source_receipt in receipt.per_source:
+            users = [
+                index
+                for index, pending in enumerate(pendings)
+                if pending.tids & source_receipt.tids
+            ]
+            if not users:  # pragma: no cover - merged set implies a user
+                continue
+            for index in users:
+                mine = pendings[index].tids & source_receipt.tids
+                shares[index] += setup / len(users) + sum(
+                    marginal / requesters[tid] for tid in mine
+                )
+        return shares

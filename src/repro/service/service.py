@@ -1,0 +1,336 @@
+"""The concurrent TRAPP query service.
+
+:class:`QueryService` wraps a :class:`~repro.replication.system.TrappSystem`
+with the serving layer the paper's Figure 3 assumes but never specifies:
+many clients issuing bounded aggregate queries against shared caches, one
+refresh pipeline.
+
+Per query the flow is:
+
+1. **admission** — a global in-flight ceiling (backpressure: excess
+   queries wait), a per-client in-flight allowance (excess queries are
+   rejected with :class:`~repro.errors.ServiceOverloadError`), and a
+   per-client *precision floor* — clients may not demand answers tighter
+   than their floor (:class:`~repro.errors.AdmissionError`), which caps
+   the refresh spend any one client can trigger;
+2. **result cache** — repeat queries whose cached bounded answer is young
+   and still satisfies the constraint are served without touching the
+   executor (:class:`~repro.service.results.ResultCache`);
+3. **execution** — the shared per-cache executor runs as a resumable
+   generator; at its refresh point the query suspends into the
+   :class:`~repro.service.scheduler.RefreshScheduler`, which merges it
+   with every other in-flight query's refresh before resuming step 3.
+
+Concurrency safety rests on two properties: query planning (step 1 +
+CHOOSE_REFRESH) runs synchronously between await points, so no other
+query can mutate the cache mid-plan; and coalesced refreshes only ever
+collapse *more* bounds than a query planned for, which never widens its
+answer.  ``sync_bounds`` is likewise skipped while any query sits
+suspended at its refresh point — it planned against the current
+materialization, and widening bounds under it could void its step-3
+guarantee.  (Under sustained refresh-heavy overlap this can defer
+re-syncing; bounding that staleness is a ROADMAP open item.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.core.answer import BoundedAnswer
+from repro.core.constraints import AbsolutePrecision
+from repro.core.refresh.base import CostFunc
+from repro.errors import AdmissionError, ServiceError, ServiceOverloadError
+from repro.extensions.batching import BatchedCostModel
+from repro.replication.costs import CostModel
+from repro.replication.system import TrappSystem
+from repro.service.results import ResultCache
+from repro.service.scheduler import RefreshScheduler
+from repro.sql.compiler import QueryPlan, compile_statement
+from repro.sql.parser import parse_statement
+
+__all__ = ["QueryService", "ClientSession", "ServiceResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceResult:
+    """A service reply: the bounded answer plus serving metadata."""
+
+    answer: BoundedAnswer
+    #: True when this query did not execute itself: the answer came from
+    #: the result cache, or from an identical query already in flight
+    #: (single-flight).  ``answer.refreshed``/``answer.refresh_cost`` then
+    #: describe the execution that produced the shared answer.
+    cached: bool
+    client_id: str
+
+
+class ClientSession:
+    """One client's view of the service, with its admission overrides."""
+
+    def __init__(
+        self,
+        service: "QueryService",
+        client_id: str,
+        precision_floor: float | None = None,
+        max_inflight: int | None = None,
+    ) -> None:
+        self.service = service
+        self.client_id = client_id
+        self.precision_floor = precision_floor
+        self.max_inflight = max_inflight
+
+    async def query(
+        self,
+        cache_id: str,
+        sql: str,
+        cost: CostFunc | CostModel | None = None,
+        epsilon: float | None = None,
+    ) -> ServiceResult:
+        return await self.service.query(
+            cache_id,
+            sql,
+            client_id=self.client_id,
+            cost=cost,
+            epsilon=epsilon,
+            precision_floor=self.precision_floor,
+            max_inflight=self.max_inflight,
+        )
+
+
+class QueryService:
+    """Admission control + result cache + coalesced refreshes over one system."""
+
+    def __init__(
+        self,
+        system: TrappSystem,
+        max_inflight: int = 64,
+        max_inflight_per_client: int = 8,
+        precision_floor: float = 0.0,
+        result_ttl: float = 1.0,
+        result_cache_size: int = 2048,
+        cost_model: BatchedCostModel | None = None,
+        tick_interval: float = 0.0,
+        rebatch: bool = True,
+        network_delay: float = 0.0,
+    ) -> None:
+        self.system = system
+        self.max_inflight_per_client = max_inflight_per_client
+        self.precision_floor = precision_floor
+        self.scheduler = RefreshScheduler(
+            cost_model=cost_model,
+            tick_interval=tick_interval,
+            rebatch=rebatch,
+            network_delay=network_delay,
+        )
+        self.results = ResultCache(
+            ttl=result_ttl, clock=system.clock.now, max_entries=result_cache_size
+        )
+        self._semaphore = asyncio.Semaphore(max_inflight)
+        self._inflight_by_client: dict[str, int] = {}
+        #: Queries currently suspended at a refresh tick, per cache — the
+        #: only state in which re-syncing bounds under them is unsafe.
+        self._suspended_by_cache: dict[str, int] = {}
+        #: Single-flight: identical queries already executing, by cache key.
+        self._inflight_results: dict = {}
+        self.queries_served = 0
+        self.queries_rejected = 0
+        self.singleflight_joins = 0
+
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        client_id: str,
+        precision_floor: float | None = None,
+        max_inflight: int | None = None,
+    ) -> ClientSession:
+        """A per-client handle carrying that client's admission settings."""
+        return ClientSession(self, client_id, precision_floor, max_inflight)
+
+    # ------------------------------------------------------------------
+    async def query(
+        self,
+        cache_id: str,
+        sql: str,
+        client_id: str = "anon",
+        cost: CostFunc | CostModel | None = None,
+        epsilon: float | None = None,
+        precision_floor: float | None = None,
+        max_inflight: int | None = None,
+    ) -> ServiceResult:
+        """Parse, admit, and execute one TRAPP SQL statement."""
+        cache = self.system.cache(cache_id)
+        statement = parse_statement(sql)
+        plan = compile_statement(statement, cache.catalog)
+        if not isinstance(plan, QueryPlan):
+            raise ServiceError(
+                "the concurrent service serves single-table queries only "
+                "(join refresh plans cannot be coalesced yet)"
+            )
+        self._admit(client_id, plan, precision_floor, max_inflight)
+
+        # A caller-supplied cost model has no stable identity to key on,
+        # so such queries neither read nor feed the shared answers.
+        shareable = cost is None
+        if not shareable:
+            answer = await self._execute(
+                cache_id, cache, plan, client_id, cost, epsilon
+            )
+            self.queries_served += 1
+            return ServiceResult(answer=answer, cached=False, client_id=client_id)
+
+        key = ResultCache.make_key(
+            cache_id,
+            plan.table.name,
+            plan.aggregate,
+            plan.column,
+            plan.predicate,
+            plan.constraint.width,
+            epsilon,
+        )
+        while True:
+            hit = self.results.get(key, plan.constraint.width)
+            if hit is not None:
+                self.queries_served += 1
+                return ServiceResult(answer=hit, cached=True, client_id=client_id)
+
+            # Single-flight: an identical query is already executing —
+            # await its answer instead of planning the same refresh again.
+            # (The shield keeps one cancelled follower from cancelling the
+            # shared future under the leader.)
+            leader = self._inflight_results.get(key)
+            if leader is None:
+                break
+            try:
+                answer = await asyncio.shield(leader)
+            except asyncio.CancelledError:
+                if leader.cancelled():
+                    # The leader (not us) was cancelled mid-flight; go
+                    # around and execute ourselves.
+                    continue
+                raise
+            self.singleflight_joins += 1
+            self.queries_served += 1
+            return ServiceResult(answer=answer, cached=True, client_id=client_id)
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        # Nobody may ever join before we finish; silence the "exception
+        # never retrieved" warning for that case.
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._inflight_results[key] = future
+        try:
+            answer = await self._execute(
+                cache_id, cache, plan, client_id, cost, epsilon
+            )
+        except BaseException as exc:
+            if not future.done():
+                # Our own cancellation must read as "leader gone", not as
+                # an error verdict on the query, so followers re-execute.
+                if isinstance(exc, asyncio.CancelledError):
+                    future.cancel()
+                else:
+                    future.set_exception(exc)
+            raise
+        finally:
+            self._inflight_results.pop(key, None)
+        if not future.done():
+            future.set_result(answer)
+        self.results.put(key, answer)
+        self.queries_served += 1
+        return ServiceResult(answer=answer, cached=False, client_id=client_id)
+
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        client_id: str,
+        plan: QueryPlan,
+        precision_floor: float | None,
+        max_inflight: int | None,
+    ) -> None:
+        floor = precision_floor if precision_floor is not None else self.precision_floor
+        if (
+            floor > 0
+            and isinstance(plan.constraint, AbsolutePrecision)
+            and plan.constraint.width < floor
+        ):
+            self.queries_rejected += 1
+            raise AdmissionError(
+                f"client {client_id!r} may not request precision tighter than "
+                f"WITHIN {floor:g} (asked for WITHIN {plan.constraint.width:g})"
+            )
+        allowance = (
+            max_inflight if max_inflight is not None else self.max_inflight_per_client
+        )
+        if self._inflight_by_client.get(client_id, 0) >= allowance:
+            self.queries_rejected += 1
+            raise ServiceOverloadError(
+                f"client {client_id!r} already has {allowance} queries in flight"
+            )
+
+    async def _execute(
+        self,
+        cache_id: str,
+        cache,
+        plan: QueryPlan,
+        client_id: str,
+        cost: CostFunc | CostModel | None,
+        epsilon: float | None,
+    ) -> BoundedAnswer:
+        self._inflight_by_client[client_id] = (
+            self._inflight_by_client.get(client_id, 0) + 1
+        )
+        try:
+            async with self._semaphore:
+                # Re-evaluating bound functions could widen a bound a
+                # suspended query already planned against, so hold off
+                # while any query on this cache awaits a refresh tick.
+                # Planning and recomputation run synchronously between
+                # awaits and are never exposed.
+                if self._suspended_by_cache.get(cache_id, 0) == 0:
+                    cache.sync_bounds()
+                executor = self.system.executor_for(cache_id, epsilon)
+                steps = executor.execute_steps(
+                    plan.table,
+                    plan.aggregate,
+                    plan.column,
+                    plan.constraint,
+                    plan.predicate,
+                    TrappSystem._resolve_cost(cost),
+                    # The per-tuple metadata sweep is only worth paying
+                    # when the scheduler will actually rebatch.
+                    rebatch_metadata=self.scheduler.rebatch,
+                )
+                try:
+                    request = next(steps)
+                    while True:
+                        self._suspended_by_cache[cache_id] = (
+                            self._suspended_by_cache.get(cache_id, 0) + 1
+                        )
+                        try:
+                            effective = await self.scheduler.submit(cache, request)
+                        finally:
+                            self._suspended_by_cache[cache_id] -= 1
+                            if self._suspended_by_cache[cache_id] <= 0:
+                                del self._suspended_by_cache[cache_id]
+                        request = steps.send(effective)
+                except StopIteration as stop:
+                    return stop.value
+        finally:
+            self._inflight_by_client[client_id] -= 1
+            # Drop zeroed entries: a long-running server sees unboundedly
+            # many distinct client ids.
+            if self._inflight_by_client[client_id] <= 0:
+                del self._inflight_by_client[client_id]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving counters: queries, cache behavior, coalescing effect."""
+        return {
+            "queries_served": self.queries_served,
+            "queries_rejected": self.queries_rejected,
+            "singleflight_joins": self.singleflight_joins,
+            "result_cache": self.results.stats(),
+            "scheduler": self.scheduler.stats.as_dict(),
+        }

@@ -12,6 +12,12 @@ from repro.workloads.netmon import (
     paper_master_table,
 )
 from repro.workloads.queries import QuerySpec, QueryWorkload
+from repro.workloads.service import (
+    ClientScript,
+    ClosedLoopResult,
+    closed_loop_scripts,
+    run_closed_loop,
+)
 from repro.workloads.stocks import (
     STOCKS_SCHEMA,
     StockDay,
@@ -39,4 +45,8 @@ __all__ = [
     "stock_costs",
     "QuerySpec",
     "QueryWorkload",
+    "ClientScript",
+    "ClosedLoopResult",
+    "closed_loop_scripts",
+    "run_closed_loop",
 ]

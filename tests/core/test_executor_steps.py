@@ -1,0 +1,146 @@
+"""The executor's resumable generator API and the refresh hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import PlannedRefresh, QueryExecutor
+from repro.core.refresh.base import RefreshPlan
+from repro.predicates.parser import parse_predicate
+from repro.replication.costs import ColumnCostModel
+from repro.replication.local import LocalRefresher
+
+
+def drive(steps, apply):
+    """Run an execute_steps generator with ``apply(request) -> plan``."""
+    try:
+        request = next(steps)
+        while True:
+            request = steps.send(apply(request))
+    except StopIteration as stop:
+        return stop.value
+
+
+# ----------------------------------------------------------------------
+def test_cache_answerable_query_never_yields(cached_links):
+    executor = QueryExecutor()
+    steps = executor.execute_steps(cached_links, "SUM", "traffic", 1000.0)
+    with pytest.raises(StopIteration) as stop:
+        next(steps)
+    answer = stop.value.value
+    assert answer.meets(1000.0)
+    assert not answer.refreshed
+
+
+def test_yielded_plan_carries_sum_rebatch_metadata(cached_links, master_links):
+    executor = QueryExecutor(refresher=LocalRefresher(master_links))
+    steps = executor.execute_steps(
+        cached_links, "SUM", "traffic", 10.0,
+        cost=ColumnCostModel("cost").as_func(),
+    )
+    request = next(steps)
+    assert isinstance(request, PlannedRefresh)
+    assert request.aggregate == "SUM"
+    assert request.max_width == 10.0
+    assert request.can_rebatch
+    assert set(request.plan.tids) <= set(request.widths)
+    # Widths are the knapsack weights: each tuple's current bound width.
+    for row in request.rows:
+        assert request.widths[row.tid] == pytest.approx(
+            row.bound("traffic").width
+        )
+    assert request.budget_slack >= 0.0
+    steps.close()
+
+
+def test_min_queries_carry_no_rebatch_metadata(cached_links, master_links):
+    executor = QueryExecutor(refresher=LocalRefresher(master_links))
+    steps = executor.execute_steps(cached_links, "MIN", "latency", 0.5)
+    request = next(steps)
+    assert not request.can_rebatch
+    steps.close()
+
+
+def test_driver_controls_the_refresh(cached_links, master_links):
+    """The generator driver applies the refresh and reports its cost."""
+    refresher = LocalRefresher(master_links)
+    executor = QueryExecutor()  # no refresher: the driver owns refreshes
+
+    def apply(request: PlannedRefresh) -> RefreshPlan:
+        refresher.refresh(request.table, request.plan.tids)
+        return RefreshPlan(request.plan.tids, 123.0)
+
+    steps = executor.execute_steps(cached_links, "SUM", "traffic", 10.0)
+    answer = drive(steps, apply)
+    assert answer.meets(10.0)
+    assert answer.refresh_cost == 123.0
+    assert answer.refreshed
+    assert len(answer.refreshed) == refresher.refresh_count
+
+
+def test_superset_refresh_keeps_guarantee(cached_links, master_links):
+    """Refreshing more than planned (a coalesced batch) stays sound,
+    including for the row path's incremental reclassification."""
+    predicate = parse_predicate("traffic > 100")
+    all_tids = {row.tid for row in cached_links.rows()}
+    for columnar in (True, False):
+        table = cached_links.copy()
+        refresher = LocalRefresher(master_links)
+        executor = QueryExecutor(columnar=columnar)
+
+        def apply(request: PlannedRefresh) -> RefreshPlan:
+            refresher.refresh(request.table, all_tids)  # the whole table
+            return RefreshPlan(frozenset(all_tids), 6.0)
+
+        steps = executor.execute_steps(table, "SUM", "traffic", 10.0, predicate)
+        answer = drive(steps, apply)
+        assert answer.meets(10.0)
+        assert answer.refreshed == frozenset(all_tids)
+        # With everything collapsed the answer is exact.
+        assert answer.is_exact
+
+
+def test_refresh_hook_intercepts_execute(cached_links, master_links):
+    refresher = LocalRefresher(master_links)
+    seen: list[PlannedRefresh] = []
+
+    def hook(request: PlannedRefresh) -> RefreshPlan:
+        seen.append(request)
+        refresher.refresh(request.table, request.plan.tids)
+        return RefreshPlan(request.plan.tids, 7.0)
+
+    executor = QueryExecutor(refresh_hook=hook)
+    answer = executor.execute(cached_links, "SUM", "traffic", 10.0)
+    assert len(seen) == 1
+    assert answer.refresh_cost == 7.0
+    assert answer.refreshed == seen[0].plan.tids
+
+
+def test_refresh_hook_none_return_means_as_requested(cached_links, master_links):
+    refresher = LocalRefresher(master_links)
+
+    def hook(request: PlannedRefresh):
+        refresher.refresh(request.table, request.plan.tids)
+        return None
+
+    executor = QueryExecutor(refresh_hook=hook)
+    answer = executor.execute(cached_links, "SUM", "traffic", 10.0)
+    assert answer.meets(10.0)
+    assert answer.refreshed
+    assert answer.refresh_cost == pytest.approx(float(len(answer.refreshed)))
+
+
+def test_execute_and_steps_agree(cached_links, master_links):
+    classic = QueryExecutor(refresher=LocalRefresher(master_links)).execute(
+        cached_links.copy(), "SUM", "traffic", 10.0
+    )
+    refresher = LocalRefresher(master_links)
+    steps = QueryExecutor().execute_steps(cached_links.copy(), "SUM", "traffic", 10.0)
+    stepped = drive(
+        steps,
+        lambda request: (
+            refresher.refresh(request.table, request.plan.tids) or request.plan
+        ),
+    )
+    assert classic.bound == stepped.bound
+    assert classic.refreshed == stepped.refreshed

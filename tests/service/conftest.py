@@ -1,0 +1,40 @@
+"""Shared builders for the service-layer tests.
+
+Deployments use the simulated clock: subscribing leaves zero-width
+bounds, so tests advance time (``age``) to widen them before querying —
+queries then exercise real refreshes through the scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.replication.system import TrappSystem
+from repro.workloads.netmon import build_master_table, generate_topology
+
+CACHE_ID = "monitor"
+
+
+def build_netmon_system(
+    n_links: int = 30, seed: int = 1, age: float = 100.0
+) -> TrappSystem:
+    rng = random.Random(seed)
+    system = TrappSystem()
+    source = system.add_source("net")
+    n_nodes = max(2, n_links // 3)
+    source.add_table(
+        build_master_table(generate_topology(n_nodes, n_links, rng), rng)
+    )
+    cache = system.add_cache(CACHE_ID)
+    cache.subscribe_table(source, "links")
+    if age > 0:
+        system.clock.advance(age)
+        cache.sync_bounds()
+    return system
+
+
+@pytest.fixture
+def netmon_system() -> TrappSystem:
+    return build_netmon_system()

@@ -1,0 +1,265 @@
+"""RefreshScheduler: per-tick coalescing, amortization, attribution."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.bound import Bound
+from repro.core.executor import PlannedRefresh
+from repro.core.refresh.base import RefreshPlan
+from repro.errors import ReplicationProtocolError
+from repro.extensions.batching import BatchedCostModel
+from repro.replication.cache import BatchedRefreshReceipt, SourceRefreshReceipt
+from repro.service.scheduler import RefreshScheduler
+from repro.storage.schema import Column, ColumnKind, Schema
+from repro.storage.table import Table
+
+from tests.service.conftest import CACHE_ID, build_netmon_system
+
+
+def make_table(n_rows: int, name: str = "t") -> Table:
+    schema = Schema(
+        [Column("x", ColumnKind.BOUNDED), Column("cost", ColumnKind.EXACT)],
+        name=name,
+    )
+    table = Table(name, schema)
+    for i in range(n_rows):
+        table.insert({"x": Bound(0.0, 10.0), "cost": 1.0})
+    return table
+
+
+class FakeCache:
+    """Records batched refreshes; sources assigned per tid via a mapping."""
+
+    def __init__(self, source_by_tid: dict[int, str]):
+        self.source_by_tid = source_by_tid
+        self.calls: list[frozenset[int]] = []
+
+    def source_of_tuple(self, table, tid: int) -> str:
+        return self.source_by_tid[tid]
+
+    def refresh_batched(self, table, tids, batch_cost=None):
+        tids = frozenset(tids)
+        self.calls.append(tids)
+        by_source: dict[str, set[int]] = {}
+        for tid in tids:
+            by_source.setdefault(self.source_by_tid[tid], set()).add(tid)
+        receipts = []
+        for source_id, source_tids in sorted(by_source.items()):
+            cost = (
+                batch_cost(source_id, len(source_tids))
+                if batch_cost is not None
+                else float(len(source_tids))
+            )
+            receipts.append(
+                SourceRefreshReceipt(
+                    source_id=source_id,
+                    tids=frozenset(source_tids),
+                    keys=(),
+                    cost=cost,
+                )
+            )
+        return BatchedRefreshReceipt(per_source=tuple(receipts))
+
+
+def planned(table: Table, tids: set[int], **kwargs) -> PlannedRefresh:
+    return PlannedRefresh(
+        table, RefreshPlan(frozenset(tids), float(len(tids))), 1.0, "SUM", **kwargs
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+def test_overlapping_plans_coalesce_to_one_refresh():
+    table = make_table(6)
+    cache = FakeCache({tid: "s1" for tid in range(1, 7)})
+    scheduler = RefreshScheduler(cost_model=BatchedCostModel(setup=5.0, marginal=1.0))
+
+    async def go():
+        return await asyncio.gather(
+            scheduler.submit(cache, planned(table, {1, 2, 3})),
+            scheduler.submit(cache, planned(table, {2, 3, 4})),
+            scheduler.submit(cache, planned(table, {3, 4, 5})),
+        )
+
+    plans = run(go())
+    # One deduplicated batch hit the cache.
+    assert cache.calls == [frozenset({1, 2, 3, 4, 5})]
+    assert scheduler.stats.ticks == 1
+    assert scheduler.stats.tuples_requested == 9
+    assert scheduler.stats.tuples_refreshed == 5
+    # Every query got its own tids back.
+    assert [set(p.tids) for p in plans] == [{1, 2, 3}, {2, 3, 4}, {3, 4, 5}]
+    # Attribution sums exactly to the amortized total: one setup + 5 marginal.
+    assert scheduler.stats.total_cost_paid == pytest.approx(10.0)
+    assert sum(p.total_cost for p in plans) == pytest.approx(10.0)
+    # A query sharing all its tuples pays less than it would alone (8.0).
+    assert all(p.total_cost < 8.0 for p in plans)
+
+
+def test_uniform_costs_without_model():
+    table = make_table(4)
+    cache = FakeCache({tid: "s1" for tid in range(1, 5)})
+    scheduler = RefreshScheduler()  # no cost model: 1 per tuple, no setup
+
+    async def go():
+        return await asyncio.gather(
+            scheduler.submit(cache, planned(table, {1, 2})),
+            scheduler.submit(cache, planned(table, {2, 3})),
+        )
+
+    plans = run(go())
+    assert scheduler.stats.total_cost_paid == pytest.approx(3.0)
+    assert sum(p.total_cost for p in plans) == pytest.approx(3.0)
+    # The shared tuple's unit cost is split evenly.
+    assert [p.total_cost for p in plans] == [pytest.approx(1.5), pytest.approx(1.5)]
+
+
+def test_multi_source_attribution_splits_setup_per_source():
+    table = make_table(4)
+    cache = FakeCache({1: "a", 2: "a", 3: "b", 4: "b"})
+    scheduler = RefreshScheduler(
+        cost_model=BatchedCostModel(setup=10.0, marginal=1.0), rebatch=False
+    )
+
+    async def go():
+        return await asyncio.gather(
+            scheduler.submit(cache, planned(table, {1, 2})),  # source a only
+            scheduler.submit(cache, planned(table, {3, 4})),  # source b only
+        )
+
+    plans = run(go())
+    # Two sources contacted once each: 2 setups + 4 marginals.
+    assert scheduler.stats.total_cost_paid == pytest.approx(24.0)
+    assert scheduler.stats.source_requests == 2
+    # No sharing: each query pays its own source's full price.
+    assert [p.total_cost for p in plans] == [pytest.approx(12.0), pytest.approx(12.0)]
+
+
+def test_separate_tables_dispatch_separately():
+    t1, t2 = make_table(3, "t1"), make_table(3, "t2")
+    cache = FakeCache({tid: "s1" for tid in range(1, 4)})
+    scheduler = RefreshScheduler()
+
+    async def go():
+        return await asyncio.gather(
+            scheduler.submit(cache, planned(t1, {1, 2})),
+            scheduler.submit(cache, planned(t2, {1, 2})),
+        )
+
+    run(go())
+    assert scheduler.stats.ticks == 1
+    assert len(cache.calls) == 2  # one batch per (cache, table)
+
+
+def test_sequential_submissions_form_sequential_ticks():
+    table = make_table(3)
+    cache = FakeCache({tid: "s1" for tid in range(1, 4)})
+    scheduler = RefreshScheduler()
+
+    async def go():
+        first = await scheduler.submit(cache, planned(table, {1}))
+        second = await scheduler.submit(cache, planned(table, {2}))
+        return first, second
+
+    run(go())
+    assert scheduler.stats.ticks == 2
+    assert cache.calls == [frozenset({1}), frozenset({2})]
+
+
+def test_cross_query_rebatch_steers_to_contacted_source():
+    """A SUM plan with slack swaps an isolated-source tuple for a cheap
+    tuple from a source another in-flight query already pays for."""
+    schema = Schema([Column("x", ColumnKind.BOUNDED)], name="t")
+    table = Table("t", schema)
+    for _ in range(4):
+        table.insert({"x": Bound(0.0, 10.0)})
+    # tid 1, 2 from source a; tid 3, 4 from source b.
+    cache = FakeCache({1: "a", 2: "a", 3: "b", 4: "b"})
+    scheduler = RefreshScheduler(cost_model=BatchedCostModel(setup=50.0, marginal=1.0))
+
+    rows = table.rows()
+    widths = {row.tid: 10.0 for row in rows}
+    # Query 1 (not rebatchable) pins source a.
+    fixed = planned(table, {1})
+    # Query 2 planned tid 3 (source b) but any single tuple satisfies it:
+    # slack 0 with equal widths means tid 2 (source a, setup already sunk)
+    # does the same job without a second setup.
+    flexible = PlannedRefresh(
+        table,
+        RefreshPlan(frozenset({3}), 1.0),
+        max_width=30.0,
+        aggregate="SUM",
+        rows=rows,
+        widths=widths,
+        budget_slack=0.0,
+    )
+
+    async def go():
+        return await asyncio.gather(
+            scheduler.submit(cache, fixed),
+            scheduler.submit(cache, flexible),
+        )
+
+    plans = run(go())
+    assert set(plans[0].tids) == {1}
+    # The flexible plan abandons source b entirely for the sunk-setup
+    # source — and lands on the very tuple the fixed query refreshes, so
+    # the merged batch is one tuple from one source.
+    assert set(plans[1].tids) == {1}
+    assert scheduler.stats.source_requests == 1
+    assert scheduler.stats.total_cost_paid == pytest.approx(51.0)
+    assert sum(p.total_cost for p in plans) == pytest.approx(51.0)
+
+
+def test_failure_settles_every_waiter():
+    table = make_table(2)
+
+    class ExplodingCache(FakeCache):
+        def refresh_batched(self, table, tids, batch_cost=None):
+            raise ReplicationProtocolError("source is gone")
+
+    cache = ExplodingCache({1: "s1", 2: "s1"})
+    scheduler = RefreshScheduler()
+
+    async def go():
+        return await asyncio.gather(
+            scheduler.submit(cache, planned(table, {1})),
+            scheduler.submit(cache, planned(table, {2})),
+            return_exceptions=True,
+        )
+
+    results = run(go())
+    assert all(isinstance(r, ReplicationProtocolError) for r in results)
+
+
+# ----------------------------------------------------------------------
+def test_real_cache_roundtrip_collapses_bounds():
+    """End to end against a real replication cache: coalesced refreshes
+    flow through the protocol and collapse the cached bounds."""
+    system = build_netmon_system(n_links=12)
+    cache = system.cache(CACHE_ID)
+    table = cache.table("links")
+    scheduler = RefreshScheduler(cost_model=BatchedCostModel(setup=5.0, marginal=1.0))
+    tids = [row.tid for row in table.rows()][:6]
+    assert all(table.row(tid).bound("traffic").width > 0 for tid in tids)
+
+    async def go():
+        return await asyncio.gather(
+            scheduler.submit(
+                cache, planned(table, set(tids[:4]))
+            ),
+            scheduler.submit(
+                cache, planned(table, set(tids[2:]))
+            ),
+        )
+
+    run(go())
+    for tid in tids:
+        assert table.row(tid).bound("traffic").width == 0.0
+    assert cache.refresh_requests_sent == 1
