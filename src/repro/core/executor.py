@@ -29,9 +29,15 @@ Two performance properties hold on the hot path:
   :func:`repro.predicates.batch.classify_masks`, refinement via
   :func:`repro.predicates.batch.restrict_endpoints` — and the "is this
   column exact?" check reads an O(1) dirty counter instead of scanning
-  rows.  Row-level structures are materialized only when a refresh is
-  actually required (to drive the row-based CHOOSE_REFRESH optimizers).
-  ``QueryExecutor(columnar=False)`` forces the row-at-a-time pipeline.
+  rows.  Step 2 is vector-native too: CHOOSE_REFRESH candidates are
+  harvested straight from the column arrays
+  (:func:`repro.storage.columnar.harvest_candidates`, backed by the
+  store's epoch-cached sorted-width orderings) and solved without
+  per-tuple Python objects whenever the cost function is vectorizable
+  (:func:`repro.core.refresh.base.vector_cost_of`); rows materialize
+  only for §8.2 rebatch metadata when a scheduler hook asks for it.
+  ``QueryExecutor(columnar=False)`` forces the row-at-a-time pipeline
+  and ``vector_planner=False`` just the object-based planner.
 
 * **Classification once per query.**  :func:`classify` runs at most once
   per :meth:`QueryExecutor.execute` call (and never on the columnar
@@ -182,6 +188,7 @@ class QueryExecutor:
         refine_bounds: bool = True,
         columnar: bool = True,
         refresh_hook: RefreshHook | None = None,
+        vector_planner: bool = True,
     ) -> None:
         self.refresher = refresher if refresher is not None else NullRefreshProvider()
         self.epsilon = epsilon
@@ -196,6 +203,12 @@ class QueryExecutor:
         #: batch refreshes across queries.  ``None`` keeps the classic
         #: apply-immediately behavior.
         self.refresh_hook = refresh_hook
+        #: Run CHOOSE_REFRESH over candidate vectors harvested from the
+        #: columnar mirror (no per-tuple KnapsackItem/Row objects) when
+        #: the chooser and cost function support it.  ``False`` forces
+        #: the object-based planner — the pre-vectorization reference
+        #: path, kept for equivalence tests and benchmarks.
+        self.vector_planner = vector_planner
 
     # ------------------------------------------------------------------
     def execute(
@@ -321,13 +334,43 @@ class QueryExecutor:
         if width_within(initial.width, max_width):
             return BoundedAnswer(bound=initial, initial_bound=initial)
 
-        if rows is None:
-            rows = self._rows_no_predicate(table, prepared)
-        plan = self._chooser(spec).without_predicate(rows, column, max_width, cost)
-        plan = yield self._planned_unclassified(
-            table, spec, plan, max_width, initial, rows, column,
-            rebatch_metadata,
-        )
+        chooser = self._chooser(spec)
+        plan = None
+        if (
+            use_columnar
+            and self.vector_planner
+            and hasattr(chooser, "without_predicate_columnar")
+        ):
+            vectorized = chooser.without_predicate_columnar(
+                store, column, max_width, cost
+            )
+            if vectorized is not None:
+                plan, candidates = vectorized
+                planned = self._planned_vector(
+                    table, spec, plan, max_width, initial, candidates,
+                    column, rebatch_metadata,
+                )
+        if plan is None:
+            if rows is None:
+                rows = self._rows_no_predicate(table, prepared)
+            kwargs = {}
+            if spec.name == "SUM" and column is not None and isinstance(
+                prepared.predicate, TruePredicate
+            ):
+                # The §5.2 uniform-cost greedy walks the table's width
+                # endpoint index instead of sorting, when one exists
+                # (the row path's counterpart of the columnar planner
+                # cache; index keys ascend because every mutation goes
+                # through Table.update_value).
+                index = table.indexes.get(f"{column}__width")
+                if index is not None:
+                    kwargs["width_order"] = index.ascending()
+            plan = chooser.without_predicate(rows, column, max_width, cost, **kwargs)
+            planned = self._planned_unclassified(
+                table, spec, plan, max_width, initial, rows, column,
+                rebatch_metadata,
+            )
+        plan = yield planned
 
         # Membership is fixed (the predicate saw only exact columns), so
         # the filtered row set — and the columnar whole-table sweep —
@@ -363,15 +406,30 @@ class QueryExecutor:
         if width_within(initial.width, max_width):
             return BoundedAnswer(bound=initial, initial_bound=initial)
 
-        classification = classification_from_masks(table.rows(), certain, possible)
-        refined = self._refined_classification(classification, prepared, column)
-        plan = self._chooser(spec).with_classification(
-            refined, column, max_width, cost
-        )
-        plan = yield self._planned_classified(
-            table, spec, plan, max_width, initial, refined, column,
-            rebatch_metadata,
-        )
+        chooser = self._chooser(spec)
+        plan = None
+        if self.vector_planner and hasattr(chooser, "with_classification_columnar"):
+            vectorized = chooser.with_classification_columnar(
+                store, certain, possible, column, max_width, cost,
+                predicate=prepared.predicate if refine else None,
+            )
+            if vectorized is not None:
+                plan, candidates = vectorized
+                planned = self._planned_vector(
+                    table, spec, plan, max_width, initial, candidates,
+                    column, rebatch_metadata,
+                )
+        if plan is None:
+            classification = classification_from_masks(
+                table.rows(), certain, possible
+            )
+            refined = self._refined_classification(classification, prepared, column)
+            plan = chooser.with_classification(refined, column, max_width, cost)
+            planned = self._planned_classified(
+                table, spec, plan, max_width, initial, refined, column,
+                rebatch_metadata,
+            )
+        plan = yield planned
 
         certain, possible = classify_masks(store, prepared.predicate)
         cc = ColumnarClassification.from_masks(
@@ -462,6 +520,38 @@ class QueryExecutor:
                 for row in refined.maybe
             }
         )
+        return self._with_slack(table, spec, plan, max_width, initial, rows, widths)
+
+    def _planned_vector(
+        self,
+        table: Table,
+        spec,
+        plan: RefreshPlan,
+        max_width: float,
+        initial: Bound,
+        candidates,
+        column: str | None,
+        rebatch_metadata: bool,
+    ) -> PlannedRefresh:
+        """Rebatch metadata from harvested candidate vectors.
+
+        The vector planner never materializes rows; when a scheduler hook
+        needs §8.2 metadata the candidate vectors already hold every
+        (tid, width) pair, so rows are resolved by id — one dict lookup
+        each — instead of re-running classification and refinement.
+        """
+        if (
+            not rebatch_metadata
+            or spec.name != "SUM"
+            or column is None
+            or candidates is None
+        ):
+            return PlannedRefresh(table, plan, max_width, spec.name)
+        widths = {
+            int(tid): float(width)
+            for tid, width in zip(candidates.tids, candidates.widths)
+        }
+        rows = [table.row(tid) for tid in widths]
         return self._with_slack(table, spec, plan, max_width, initial, rows, widths)
 
     @staticmethod
@@ -607,6 +697,7 @@ def execute_query(
     refine_bounds: bool = True,
     columnar: bool = True,
     refresh_hook: RefreshHook | None = None,
+    vector_planner: bool = True,
 ) -> BoundedAnswer:
     """One-shot convenience wrapper around :class:`QueryExecutor`.
 
@@ -621,5 +712,6 @@ def execute_query(
         refine_bounds=refine_bounds,
         columnar=columnar,
         refresh_hook=refresh_hook,
+        vector_planner=vector_planner,
     )
     return executor.execute(table, aggregate, column, constraint, predicate, cost)

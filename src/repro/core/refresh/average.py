@@ -75,6 +75,23 @@ class AvgChooseRefresh:
         # AVG width = SUM width / COUNT, so budget SUM at R * COUNT (§5.4).
         return self._sum.without_predicate(rows, column, max_width * count, cost)
 
+    def without_predicate_columnar(
+        self,
+        store,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ):
+        """Vector counterpart of the §5.4 reduction to SUM."""
+        if column is None:
+            raise TrappError("AVG CHOOSE_REFRESH requires an aggregation column")
+        count = len(store)
+        if count == 0:
+            return RefreshPlan.empty(), None
+        return self._sum.without_predicate_columnar(
+            store, column, max_width * count, cost
+        )
+
     # ------------------------------------------------------------------
     def with_classification(
         self,

@@ -21,7 +21,15 @@ from typing import Callable, Iterable, Protocol, Sequence
 from repro.predicates.classify import Classification
 from repro.storage.row import Row
 
-__all__ = ["CostFunc", "RefreshPlan", "uniform_cost", "cost_from_column", "ChooseRefresh"]
+__all__ = [
+    "CostFunc",
+    "RefreshPlan",
+    "uniform_cost",
+    "cost_from_column",
+    "vector_cost_of",
+    "resolve_columnar_costs",
+    "ChooseRefresh",
+]
 
 CostFunc = Callable[[Row], float]
 
@@ -31,6 +39,11 @@ def uniform_cost(row: Row) -> float:
     return 1.0
 
 
+#: Vector-planner tag: the columnar CHOOSE_REFRESH paths can evaluate this
+#: cost function over a whole candidate set without touching Row objects.
+uniform_cost.vector_cost = ("uniform", 1.0)  # type: ignore[attr-defined]
+
+
 def cost_from_column(column: str) -> CostFunc:
     """Read each tuple's refresh cost from one of its own (exact) columns,
     as in the paper's Figure 2 sample table."""
@@ -38,7 +51,48 @@ def cost_from_column(column: str) -> CostFunc:
     def cost(row: Row) -> float:
         return float(row.number(column))
 
+    cost.vector_cost = ("column", column)  # type: ignore[attr-defined]
     return cost
+
+
+def vector_cost_of(cost: CostFunc) -> tuple[str, object] | None:
+    """How to evaluate ``cost`` columnar-side, if at all.
+
+    Returns ``("uniform", value)`` for constant costs, ``("column",
+    name)`` for costs stored in a table column, or ``None`` for opaque
+    callables — the signal to fall back to the row-at-a-time planner.
+    Cost functions opt in by carrying a ``vector_cost`` attribute
+    (:func:`uniform_cost`, :func:`cost_from_column`, and the
+    :mod:`repro.replication.costs` models set it).
+    """
+    tag = getattr(cost, "vector_cost", None)
+    if tag is None:
+        return None
+    kind, arg = tag
+    if kind == "uniform":
+        return ("uniform", float(arg))
+    if kind == "column":
+        return ("column", str(arg))
+    return None
+
+
+def resolve_columnar_costs(store, cost: CostFunc):
+    """Tid-ordered NumPy cost vector for a tagged cost function, or ``None``.
+
+    The one fallback contract every columnar chooser shares: ``None`` —
+    fall back to the row path — when the cost callable is untagged, the
+    store is missing, the host has no NumPy, or the tagged cost column
+    cannot be read exactly (see
+    :func:`repro.storage.columnar.cost_vector`).
+    """
+    kind = vector_cost_of(cost)
+    if kind is None or store is None:
+        return None
+    try:
+        from repro.storage.columnar import cost_vector
+    except ImportError:  # pragma: no cover - numpy-less hosts
+        return None
+    return cost_vector(store, kind)
 
 
 @dataclass(frozen=True, slots=True)

@@ -15,7 +15,12 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost
+from repro.core.refresh.base import (
+    CostFunc,
+    RefreshPlan,
+    resolve_columnar_costs,
+    uniform_cost,
+)
 from repro.predicates.classify import Classification
 from repro.storage.row import Row
 
@@ -53,6 +58,52 @@ class CountChooseRefresh:
             return RefreshPlan.empty()
         cheapest = sorted(classification.maybe, key=lambda row: (cost(row), row.tid))
         return RefreshPlan.of(cheapest[:needed], cost)
+
+    # ------------------------------------------------------------------
+    def without_predicate_columnar(
+        self,
+        store,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ):
+        """Vector counterpart: COUNT without a predicate is always exact."""
+        return RefreshPlan.empty(), None
+
+    def with_classification_columnar(
+        self,
+        store,
+        certain,
+        possible,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+        predicate=None,
+    ):
+        """Pick the cheapest T? tuples straight off the column arrays."""
+        costs = resolve_columnar_costs(store, cost)
+        if costs is None:
+            return None
+        import numpy as np
+
+        maybe = np.logical_and(possible, np.logical_not(certain))
+        uncertain = int(np.count_nonzero(maybe))
+        if math.isinf(max_width):
+            needed = 0
+        else:
+            needed = max(0, math.ceil(uncertain - max_width - 1e-9))
+        if needed == 0:
+            return RefreshPlan.empty(), None
+        tids = store.sorted_tids()[maybe]
+        maybe_costs = costs[maybe]
+        pick = np.lexsort((tids, maybe_costs))[:needed]
+        return (
+            RefreshPlan(
+                frozenset(int(t) for t in tids[pick]),
+                float(maybe_costs[pick].sum()),
+            ),
+            None,
+        )
 
 
 CHOOSE_COUNT = CountChooseRefresh()

@@ -23,7 +23,12 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost
+from repro.core.refresh.base import (
+    CostFunc,
+    RefreshPlan,
+    resolve_columnar_costs,
+    uniform_cost,
+)
 from repro.errors import TrappError
 from repro.predicates.classify import Classification
 from repro.storage.row import Row
@@ -36,6 +41,27 @@ def _require_column(name: str, column: str | None) -> str:
     if column is None:
         raise TrappError(f"{name} CHOOSE_REFRESH requires an aggregation column")
     return column
+
+
+def _columnar_inputs(store, cost: CostFunc, column: str):
+    """``(np, costs, lo, hi)`` for a vector plan, or ``None`` to fall back."""
+    costs = resolve_columnar_costs(store, cost)
+    if costs is None:
+        return None
+    import numpy as np  # resolve_columnar_costs proved it importable
+
+    lo, hi = store.endpoints(column)
+    return np, costs, lo, hi
+
+
+def _threshold_plan(np, store, costs, chosen_mask) -> tuple[RefreshPlan, None]:
+    tids = store.sorted_tids()[chosen_mask]
+    return (
+        RefreshPlan(
+            frozenset(int(t) for t in tids), float(costs[chosen_mask].sum())
+        ),
+        None,
+    )
 
 
 class MinChooseRefresh:
@@ -75,6 +101,61 @@ class MinChooseRefresh:
             if row.bound(column).lo < threshold
         ]
         return RefreshPlan.of(chosen, cost)
+
+    # ------------------------------------------------------------------
+    def without_predicate_columnar(
+        self,
+        store,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ):
+        """Appendix B's forced set as one array sweep (no row objects)."""
+        column = _require_column(self.name, column)
+        inputs = _columnar_inputs(store, cost, column)
+        if inputs is None:
+            return None
+        np, costs, lo, hi = inputs
+        min_hi = float(hi.min()) if len(hi) else math.inf
+        threshold = min_hi - max_width
+        if math.isnan(threshold):  # inf budget against an empty/unbounded table
+            chosen = np.zeros(len(lo), dtype=bool)
+        else:
+            chosen = lo < threshold
+        return _threshold_plan(np, store, costs, chosen)
+
+    def with_classification_columnar(
+        self,
+        store,
+        certain,
+        possible,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+        predicate=None,
+    ):
+        """§6.1 threshold over T+ ∪ T?, Appendix-D-refined T? bounds."""
+        column = _require_column(self.name, column)
+        inputs = _columnar_inputs(store, cost, column)
+        if inputs is None:
+            return None
+        np, costs, lo, hi = inputs
+        min_hi_plus = (
+            float(hi[certain].min()) if np.any(certain) else math.inf
+        )
+        threshold = min_hi_plus - max_width
+        maybe = np.logical_and(possible, np.logical_not(certain))
+        maybe_lo = lo[maybe]
+        if predicate is not None and len(maybe_lo):
+            from repro.predicates.batch import restrict_endpoints
+
+            maybe_lo, _ = restrict_endpoints(maybe_lo, hi[maybe], predicate, column)
+        if math.isnan(threshold):
+            chosen = np.zeros(len(lo), dtype=bool)
+        else:
+            chosen = np.logical_and(certain, lo < threshold)
+            chosen[np.flatnonzero(maybe)[maybe_lo < threshold]] = True
+        return _threshold_plan(np, store, costs, chosen)
 
     def without_predicate_indexed(
         self,
@@ -138,6 +219,60 @@ class MaxChooseRefresh:
             if row.bound(column).hi > threshold
         ]
         return RefreshPlan.of(chosen, cost)
+
+    # ------------------------------------------------------------------
+    def without_predicate_columnar(
+        self,
+        store,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ):
+        """Appendix C's forced set as one array sweep (MIN's mirror)."""
+        column = _require_column(self.name, column)
+        inputs = _columnar_inputs(store, cost, column)
+        if inputs is None:
+            return None
+        np, costs, lo, hi = inputs
+        max_lo = float(lo.max()) if len(lo) else -math.inf
+        threshold = max_lo + max_width
+        if math.isnan(threshold):
+            chosen = np.zeros(len(lo), dtype=bool)
+        else:
+            chosen = hi > threshold
+        return _threshold_plan(np, store, costs, chosen)
+
+    def with_classification_columnar(
+        self,
+        store,
+        certain,
+        possible,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+        predicate=None,
+    ):
+        column = _require_column(self.name, column)
+        inputs = _columnar_inputs(store, cost, column)
+        if inputs is None:
+            return None
+        np, costs, lo, hi = inputs
+        max_lo_plus = (
+            float(lo[certain].max()) if np.any(certain) else -math.inf
+        )
+        threshold = max_lo_plus + max_width
+        maybe = np.logical_and(possible, np.logical_not(certain))
+        maybe_hi = hi[maybe]
+        if predicate is not None and len(maybe_hi):
+            from repro.predicates.batch import restrict_endpoints
+
+            _, maybe_hi = restrict_endpoints(lo[maybe], maybe_hi, predicate, column)
+        if math.isnan(threshold):
+            chosen = np.zeros(len(lo), dtype=bool)
+        else:
+            chosen = np.logical_and(certain, hi > threshold)
+            chosen[np.flatnonzero(maybe)[maybe_hi > threshold]] = True
+        return _threshold_plan(np, store, costs, chosen)
 
     def without_predicate_indexed(
         self,

@@ -15,23 +15,45 @@ Solver selection: the exact DP runs when every cost is integral and the
 instance is small; otherwise the Ibarra–Kim ε-approximation is used (the
 paper's choice, ε tunable).  The uniform-cost special case short-circuits
 to the ascending-width greedy, which is optimal there (§5.2).
+
+Two planner pipelines implement that selection:
+
+* the **row path** (:meth:`SumChooseRefresh.without_predicate` /
+  :meth:`~SumChooseRefresh.with_classification`) builds one
+  :class:`KnapsackItem` per row — the reference implementation, also the
+  fallback for opaque cost callables.  Its uniform branch accepts a
+  pre-sorted width ordering (``width_order``, e.g. the table's
+  ``<column>__width`` endpoint index) to skip the per-call sort.
+* the **vector path** (:meth:`~SumChooseRefresh.without_predicate_columnar`
+  / :meth:`~SumChooseRefresh.with_classification_columnar`) harvests
+  candidate vectors straight from the table's
+  :class:`~repro.storage.columnar.ColumnStore` — no per-tuple objects —
+  answers the uniform-cost case with one sort-free ascending walk of
+  the store's cached width ordering (the row greedy's own arithmetic,
+  so plans are bit-identical), and hands everything else to
+  :func:`repro.core.knapsack.solve_vector`.  Plans are equal-cost with
+  the row path (exact/uniform branches) or carry the same (1 − ε)
+  certificate (approximation branch, early exit enabled).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from repro.core.bound import Bound
 from repro.core.knapsack import (
     KnapsackItem,
     solve_exact_dp,
     solve_greedy_uniform,
     solve_ibarra_kim,
+    solve_vector,
 )
-from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost
+from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost, vector_cost_of
 from repro.errors import TrappError
 from repro.predicates.classify import Classification
 from repro.storage.row import Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.columnar import CandidateVectors, ColumnStore
 
 __all__ = ["SumChooseRefresh", "CHOOSE_SUM"]
 
@@ -70,6 +92,7 @@ class SumChooseRefresh:
         column: str | None,
         max_width: float,
         cost: CostFunc = uniform_cost,
+        width_order=None,
     ) -> RefreshPlan:
         if column is None:
             raise TrappError("SUM CHOOSE_REFRESH requires an aggregation column")
@@ -77,7 +100,7 @@ class SumChooseRefresh:
             (row, KnapsackItem(row.tid, row.bound(column).width, cost(row)))
             for row in rows
         ]
-        return self._solve(items, max_width, cost)
+        return self._solve(items, max_width, cost, width_order=width_order)
 
     def with_classification(
         self,
@@ -100,11 +123,127 @@ class SumChooseRefresh:
         return self._solve(items, max_width, cost)
 
     # ------------------------------------------------------------------
+    # Vector path: plan straight off the columnar mirror
+    # ------------------------------------------------------------------
+    def without_predicate_columnar(
+        self,
+        store: "ColumnStore",
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+    ) -> "tuple[RefreshPlan, CandidateVectors] | None":
+        """§5 planning over the whole table, no row objects.
+
+        Returns ``(plan, candidates)``, or ``None`` when the cost
+        function cannot be vectorized (caller falls back to the row
+        path).  The candidate vectors are returned so the executor can
+        assemble §8.2 rebatch metadata without another sweep.
+        """
+        if column is None:
+            raise TrappError("SUM CHOOSE_REFRESH requires an aggregation column")
+        cv = self._harvest(store, column, cost)
+        if cv is None:
+            return None
+        return self._solve_columnar(cv, max_width), cv
+
+    def with_classification_columnar(
+        self,
+        store: "ColumnStore",
+        certain,
+        possible,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+        predicate=None,
+    ) -> "tuple[RefreshPlan, CandidateVectors] | None":
+        """§6.2 planning from classification masks, no row objects.
+
+        ``predicate`` (when given) applies the Appendix D refinement to
+        T? bounds before extending them to zero, mirroring the
+        executor's row-path `_refined_classification`.
+        """
+        if column is None:
+            raise TrappError("SUM CHOOSE_REFRESH requires an aggregation column")
+        cv = self._harvest(
+            store, column, cost, certain=certain, possible=possible,
+            predicate=predicate,
+        )
+        if cv is None:
+            return None
+        return self._solve_columnar(cv, max_width), cv
+
+    def _harvest(
+        self, store, column, cost, certain=None, possible=None, predicate=None
+    ):
+        kind = vector_cost_of(cost)
+        if kind is None or store is None:
+            return None
+        try:
+            from repro.storage.columnar import harvest_candidates
+        except ImportError:  # pragma: no cover - numpy-less hosts
+            return None
+        if kind[0] == "column":
+            return harvest_candidates(
+                store, column, certain=certain, possible=possible,
+                predicate=predicate, cost_column=kind[1],
+            )
+        return harvest_candidates(
+            store, column, certain=certain, possible=possible,
+            predicate=predicate, cost_value=kind[1],
+        )
+
+    def _solve_columnar(self, cv: "CandidateVectors", capacity: float) -> RefreshPlan:
+        """Solver selection over candidate vectors (mirrors ``_solve``)."""
+        if len(cv) == 0:
+            return RefreshPlan.empty()
+        if not self.force_approx and cv.cost_min == cv.cost_max:
+            # Uniform costs: the kept set is the longest sorted-width
+            # prefix fitting the budget (§5.2 greedy).  The cut uses the
+            # row path's own arithmetic — ``w <= remaining; remaining -=
+            # w`` over the same (width, tid) ordering — so the two
+            # planners return bit-identical plans on any data, not just
+            # when prefix sums and sequential subtraction round alike.
+            import numpy as np
+
+            remaining = capacity
+            cut = 0
+            for width in np.asarray(cv.widths)[cv.order].tolist():
+                if width <= remaining:
+                    remaining -= width
+                    cut += 1
+                else:
+                    break  # ascending: nothing later fits either
+            refresh = cv.order[cut:]
+            return RefreshPlan(
+                frozenset(int(t) for t in cv.tids[refresh]),
+                cv.cost_min * len(refresh),
+            )
+        weights, costs, order = cv.solver_vectors()
+        solution = solve_vector(
+            weights,
+            costs,
+            capacity,
+            epsilon=self.epsilon,
+            force_exact=self.force_exact,
+            force_approx=self.force_approx,
+            order=order,
+            integral=cv.costs_integral,
+            profit_total=cv.cost_total if cv.costs_integral else None,
+            exact_profit_limit=_EXACT_DP_PROFIT_LIMIT,
+        )
+        tids = cv.tids
+        return RefreshPlan(
+            frozenset(int(tids[k]) for k in solution.refresh),
+            solution.refresh_profit,
+        )
+
+    # ------------------------------------------------------------------
     def _solve(
         self,
         items: list[tuple[Row, KnapsackItem]],
         capacity: float,
         cost: CostFunc,
+        width_order=None,
     ) -> RefreshPlan:
         knapsack_items = [item for _, item in items]
         costs = {item.item_id: item.profit for item in knapsack_items}
@@ -112,7 +251,9 @@ class SumChooseRefresh:
         if self.force_approx:
             solution = solve_ibarra_kim(knapsack_items, capacity, self.epsilon)
         elif self._is_uniform(costs):
-            solution = solve_greedy_uniform(knapsack_items, capacity)
+            solution = solve_greedy_uniform(
+                knapsack_items, capacity, sorted_widths=width_order
+            )
         elif self.force_exact or self._exact_feasible(costs):
             solution = solve_exact_dp(knapsack_items, capacity)
         else:

@@ -101,13 +101,19 @@ def rebatch_plan(
     required = removed_width(chosen) - budget_slack
     best = set(chosen)
     best_cost = amortized_cost(best)
+    # One ascending-width ordering serves every greedy pass below (the
+    # planner's sorted-width orderings applied to rebatching): filtering
+    # it by membership replaces the per-probe re-sort the absorption loop
+    # used to pay, and keeps every pass deterministic.
+    ascending = sorted(by_tid, key=lambda t: (widths.get(t, 0.0), t))
 
     # Eviction pass: drop tuples while the width requirement holds.
     # Least width contribution first — those are the cheapest to give up
     # feasibility-wise, letting the most evictions (each saving at least a
-    # marginal, sometimes a whole setup) go through.  Ordering also makes
-    # the greedy deterministic instead of set-iteration-dependent.
-    for tid in sorted(chosen, key=lambda t: widths.get(t, 0.0)):
+    # marginal, sometimes a whole setup) go through.
+    for tid in ascending:
+        if tid not in chosen:
+            continue
         trial = best - {tid}
         if removed_width(trial) + 1e-12 >= required:
             cost = amortized_cost(trial)
@@ -131,9 +137,8 @@ def rebatch_plan(
     for extra in extras:
         trial = best | {extra.tid}
         # Try to pay for the absorption by evicting somewhere else.
-        improved = False
-        for tid in sorted(trial, key=lambda t: widths.get(t, 0.0)):
-            if tid == extra.tid:
+        for tid in ascending:
+            if tid == extra.tid or tid not in trial:
                 continue
             candidate = trial - {tid}
             if removed_width(candidate) + 1e-12 >= required:
@@ -141,9 +146,6 @@ def rebatch_plan(
                 if cost < best_cost:
                     best = candidate
                     best_cost = cost
-                    improved = True
                     break
-        if not improved:
-            continue
 
     return RefreshPlan(frozenset(best), best_cost)

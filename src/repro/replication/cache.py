@@ -153,14 +153,22 @@ class DataCache:
 
         Bound functions widen as time passes; queries must see the bound at
         query time, not at last-message time.
+
+        Unchanged bounds are skipped: rewriting a cell with the value it
+        already holds would churn every index and bump the columnar
+        store's version, invalidating the planner's epoch-cached
+        sorted-width orderings — under the service's repeated
+        sync-per-query discipline that skip is what lets CHOOSE_REFRESH
+        reuse orderings across queries while the clock stands still.
         """
         now = self.clock()
         for key, subscription in self._subscriptions.items():
             table = self.catalog.table(key.table)
-            if key.tid in table:
-                table.update_value(
-                    key.tid, key.column, subscription.bound_function.at(now)
-                )
+            if key.tid not in table:
+                continue
+            evaluated = subscription.bound_function.at(now)
+            if table.row(key.tid)[key.column] != evaluated:
+                table.update_value(key.tid, key.column, evaluated)
 
     # ------------------------------------------------------------------
     # RefreshProvider protocol (query-initiated refreshes)

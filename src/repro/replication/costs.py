@@ -49,6 +49,12 @@ class UniformCostModel(CostModel):
     def cost_of(self, row: Row) -> float:
         return self.cost
 
+    def as_func(self) -> CostFunc:
+        func = self.cost_of
+        wrapper = lambda row: func(row)  # noqa: E731 - taggable wrapper
+        wrapper.vector_cost = ("uniform", self.cost)
+        return wrapper
+
 
 @dataclass(slots=True)
 class ColumnCostModel(CostModel):
@@ -62,6 +68,12 @@ class ColumnCostModel(CostModel):
 
     def cost_of(self, row: Row) -> float:
         return float(row.number(self.column))
+
+    def as_func(self) -> CostFunc:
+        func = self.cost_of
+        wrapper = lambda row: func(row)  # noqa: E731 - taggable wrapper
+        wrapper.vector_cost = ("column", self.column)
+        return wrapper
 
 
 @dataclass(slots=True)

@@ -38,9 +38,18 @@ __all__ = ["TrappSystem"]
 class TrappSystem:
     """A complete TRAPP deployment: clock, sources, caches, query API."""
 
-    def __init__(self, clock: Clock | None = None, epsilon: float | None = None):
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        epsilon: float | None = None,
+        vector_planner: bool = True,
+    ):
         self.clock = clock if clock is not None else Clock()
         self.epsilon = epsilon
+        #: Forwarded to every executor: plan CHOOSE_REFRESH over columnar
+        #: candidate vectors (``False`` = object-based reference planner,
+        #: kept for A/B benchmarks).
+        self.vector_planner = vector_planner
         self._sources: dict[str, DataSource] = {}
         self._caches: dict[str, DataCache] = {}
         # Executors are stateless across execute() calls, so one per
@@ -144,7 +153,11 @@ class TrappSystem:
         key = (cache_id, effective)
         executor = self._executors.get(key)
         if executor is None:
-            executor = QueryExecutor(refresher=self.cache(cache_id), epsilon=effective)
+            executor = QueryExecutor(
+                refresher=self.cache(cache_id),
+                epsilon=effective,
+                vector_planner=self.vector_planner,
+            )
             self._executors[key] = executor
         return executor
 

@@ -53,6 +53,9 @@ class SchedulerStats:
     tuples_refreshed: int = 0
     source_requests: int = 0
     total_cost_paid: float = 0.0
+    #: Adaptive-tick adjustments (0 unless ``adaptive_tick`` is on).
+    tick_grows: int = 0
+    tick_shrinks: int = 0
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -62,6 +65,8 @@ class SchedulerStats:
             "tuples_refreshed": self.tuples_refreshed,
             "source_requests": self.source_requests,
             "total_cost_paid": self.total_cost_paid,
+            "tick_grows": self.tick_grows,
+            "tick_shrinks": self.tick_shrinks,
         }
 
 
@@ -115,6 +120,9 @@ class RefreshScheduler:
     of coalescing, not just the cost-model value.
     """
 
+    #: Smallest non-zero window the adaptive controller grows from.
+    TICK_QUANTUM = 0.001
+
     def __init__(
         self,
         cost_model: BatchedCostModel | None = None,
@@ -122,6 +130,9 @@ class RefreshScheduler:
         rebatch: bool = True,
         rebatch_limit: int = 64,
         network_delay: float = 0.0,
+        adaptive_tick: bool = False,
+        tick_min: float = 0.0,
+        tick_max: float = 0.05,
     ) -> None:
         self.cost_model = cost_model
         self.tick_interval = tick_interval
@@ -132,6 +143,14 @@ class RefreshScheduler:
         #: ratio.
         self.rebatch_limit = rebatch_limit
         self.network_delay = network_delay
+        #: Group-commit style window sizing: a tick that coalesced plans
+        #: doubles the window (batching pays — wait for more company, up
+        #: to ``tick_max``); a tick that fired for a lone plan halves it
+        #: (nobody to coalesce with — stop taxing latency, down to
+        #: ``tick_min``).
+        self.adaptive_tick = adaptive_tick
+        self.tick_min = tick_min
+        self.tick_max = tick_max
         self.stats = SchedulerStats()
         self._pending: list[_Pending] = []
         self._flush_task: asyncio.Task | None = None
@@ -183,6 +202,38 @@ class RefreshScheduler:
             await asyncio.sleep(self.network_delay)
         for group in groups.values():
             self._dispatch_group(group)
+        self._adapt_tick(len(batch))
+
+    def _adapt_tick(self, plans_in_tick: int) -> None:
+        """Resize the coalescing window after a tick (group-commit style).
+
+        Load (≥ 2 plans met in the window, or more already queued behind
+        it) grows the window so the next tick amortizes further; an idle
+        tick — one lone plan that waited for nobody — shrinks it back
+        toward ``tick_min`` so light traffic isn't taxed with latency.
+        """
+        if not self.adaptive_tick:
+            return
+        loaded = plans_in_tick + len(self._pending) >= 2
+        if loaded:
+            # Growth is capped at tick_max, but an operator-configured
+            # interval already above the cap is left alone — load must
+            # never *shrink* the window.
+            grown = max(self.tick_interval * 2, self.TICK_QUANTUM)
+            grown = min(grown, self.tick_max)
+            if grown > self.tick_interval:
+                self.stats.tick_grows += 1
+                self.tick_interval = grown
+        else:
+            shrunk = max(self.tick_interval / 2, self.tick_min)
+            if shrunk < self.TICK_QUANTUM:
+                shrunk = self.tick_min
+            # An idle tick may only lower the window — a tick_min above
+            # the current interval must not add latency here.
+            shrunk = min(shrunk, self.tick_interval)
+            if shrunk < self.tick_interval:
+                self.stats.tick_shrinks += 1
+                self.tick_interval = shrunk
 
     # ------------------------------------------------------------------
     def _dispatch_group(self, pendings: list[_Pending]) -> None:

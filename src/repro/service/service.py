@@ -113,6 +113,9 @@ class QueryService:
         tick_interval: float = 0.0,
         rebatch: bool = True,
         network_delay: float = 0.0,
+        adaptive_tick: bool = False,
+        tick_min: float = 0.0,
+        tick_max: float = 0.05,
     ) -> None:
         self.system = system
         self.max_inflight_per_client = max_inflight_per_client
@@ -122,6 +125,9 @@ class QueryService:
             tick_interval=tick_interval,
             rebatch=rebatch,
             network_delay=network_delay,
+            adaptive_tick=adaptive_tick,
+            tick_min=tick_min,
+            tick_max=tick_max,
         )
         self.results = ResultCache(
             ttl=result_ttl, clock=system.clock.now, max_entries=result_cache_size

@@ -22,10 +22,30 @@ directly — stay correct without changes.
 Deletions swap the last slot into the hole to keep the arrays dense;
 query-side accessors therefore re-sort by tuple id (memoized per store
 version) so columnar results align with ``Table.rows()`` order.
+
+Two planner-facing entry points live here as well (ISSUE 3):
+
+* :meth:`ColumnStore.width_order` — an **incremental planner cache** of
+  ascending-(width, tid) orderings per bounded column, epoch-versioned
+  against the store's mutation counter and maintained write-through:
+  unmutated stores hand back the same ordering object, a few dirty
+  tuples are repaired in place (mask + merge-insert), and only bulk
+  churn triggers a full argsort.  Repeated service queries and the
+  refresh scheduler's per-tick rebatching stop re-sorting ``n`` tuples
+  per query.
+* :func:`harvest_candidates` — emits the CHOOSE_REFRESH candidate set
+  (tuple ids, knapsack weights, refresh costs, and the sorted-width
+  order) as parallel vectors straight from the column arrays, with
+  **no per-row Python objects**; its
+  :meth:`~CandidateVectors.solver_vectors` handoff is flat stdlib
+  ``array('q')``/``array('d')`` storage consumed by
+  :func:`repro.core.knapsack.solve_vector`.
 """
 
 from __future__ import annotations
 
+from array import array
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 import numpy as np
@@ -34,9 +54,31 @@ from repro.core.bound import Bound
 from repro.errors import TrappError, UnknownColumnError
 from repro.storage.schema import ColumnKind, Schema
 
-__all__ = ["ColumnStore"]
+__all__ = ["ColumnStore", "CandidateVectors", "harvest_candidates", "cost_vector"]
 
 _INITIAL_CAPACITY = 16
+
+#: Dirty-tuple count (relative floor) beyond which repairing a cached
+#: width ordering in place stops beating a fresh stable argsort.
+_REPAIR_FLOOR = 32
+
+
+@dataclass(slots=True)
+class _WidthOrder:
+    """One column's cached ascending-(width, tid) ordering.
+
+    ``epoch`` is the store version the arrays were valid at; ``dirty``
+    collects tuple ids rewritten since then (write-through from
+    :meth:`ColumnStore.set`), and ``stale`` flags structural changes
+    (append/remove) that force a full rebuild.
+    """
+
+    epoch: int
+    tids: np.ndarray  # tuple ids, ascending by (width, tid)
+    widths: np.ndarray  # the matching widths, ascending
+    positions: np.ndarray  # index of each ordered tid in tuple-id order
+    dirty: set[int] = field(default_factory=set)
+    stale: bool = False
 
 
 class ColumnStore:
@@ -65,6 +107,7 @@ class ColumnStore:
         "_memo_version",
         "_memo_order",
         "_memo_arrays",
+        "_width_orders",
     )
 
     def __init__(self, schema: Schema) -> None:
@@ -84,6 +127,7 @@ class ColumnStore:
         self._memo_version = -1
         self._memo_order: np.ndarray | None = None
         self._memo_arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._width_orders: dict[str, _WidthOrder] = {}
 
     # ------------------------------------------------------------------
     # Size / membership
@@ -116,6 +160,8 @@ class ColumnStore:
         self._slot_of[tid] = slot
         self._n += 1
         self.version += 1
+        for order in self._width_orders.values():
+            order.stale = True
 
     def set(self, tid: int, column: str, value: Any) -> None:
         """Overwrite one cell (the :meth:`Row.set` write-through path)."""
@@ -133,6 +179,9 @@ class ColumnStore:
                 self._non_exact[column] += int(now_wide) - int(was_wide)
             self._lo[column][slot] = lo
             self._hi[column][slot] = hi
+            order = self._width_orders.get(column)
+            if order is not None:
+                order.dirty.add(tid)
         else:
             raise UnknownColumnError(column)
         self.version += 1
@@ -160,6 +209,8 @@ class ColumnStore:
             self._text[name][last] = None  # release the reference
         self._n -= 1
         self.version += 1
+        for order in self._width_orders.values():
+            order.stale = True
 
     def _grow(self) -> None:
         cap = max(_INITIAL_CAPACITY, 2 * len(self._tids))
@@ -234,11 +285,249 @@ class ColumnStore:
     def is_text(self, column: str) -> bool:
         return column in self._text
 
+    # ------------------------------------------------------------------
+    # Incremental planner cache: sorted-width orderings per column
+    # ------------------------------------------------------------------
+    def width_order(self, column: str) -> _WidthOrder:
+        """The ascending-(width, tid) ordering of a numeric column.
+
+        Epoch-versioned against the store: while no mutation happened the
+        same object is handed back untouched; after writes to a few
+        tuples the cached ordering is *repaired* (dirty entries masked
+        out, re-inserted at their new ranks) instead of re-sorted; only
+        structural churn (insert/delete) or bulk rewrites fall back to a
+        full stable argsort.  This is what lets CHOOSE_REFRESH's
+        uniform-cost path run sort-free per query instead of paying
+        ``O(n log n)``: the sort is amortized across the write stream.
+        """
+        if column not in self._lo:
+            self.schema[column]  # raise UnknownColumnError on bad names
+            raise TrappError(f"column {column!r} is not numeric; no width order")
+        order = self._width_orders.get(column)
+        if order is not None and order.epoch == self.version:
+            return order
+        if order is not None and not order.stale and not order.dirty:
+            # The version moved, but only other columns were written:
+            # this ordering is still exact — re-stamp and reuse it.
+            order.epoch = self.version
+            return order
+        if (
+            order is not None
+            and not order.stale
+            and len(order.dirty) <= max(_REPAIR_FLOOR, self._n // 8)
+        ):
+            rebuilt = self._repair_width_order(column, order)
+        else:
+            rebuilt = self._build_width_order(column)
+        self._width_orders[column] = rebuilt
+        return rebuilt
+
+    def _build_width_order(self, column: str) -> _WidthOrder:
+        lo, hi = self.endpoints(column)
+        widths = hi - lo
+        positions = np.argsort(widths, kind="stable")  # ties keep tid order
+        return _WidthOrder(
+            epoch=self.version,
+            tids=self.sorted_tids()[positions],
+            widths=widths[positions],
+            positions=positions,
+        )
+
+    def _repair_width_order(self, column: str, order: _WidthOrder) -> _WidthOrder:
+        """Splice a few rewritten tuples back into a cached ordering."""
+        dirty = np.fromiter(order.dirty, dtype=np.int64, count=len(order.dirty))
+        keep = ~np.isin(order.tids, dirty)
+        base_tids = order.tids[keep]
+        base_widths = order.widths[keep]
+        slots = np.fromiter(
+            (self._slot_of[int(t)] for t in dirty), dtype=np.int64, count=len(dirty)
+        )
+        new_widths = self._hi[column][slots] - self._lo[column][slots]
+        resort = np.lexsort((dirty, new_widths))
+        dirty, new_widths = dirty[resort], new_widths[resort]
+        at = np.searchsorted(base_widths, new_widths, side="left")
+        # Equal-width runs must stay tid-ascending (the invariant a fresh
+        # stable argsort produces, and what makes repaired and rebuilt
+        # orderings choose identical uniform-cost plans): within a tie,
+        # place each dirty tuple after the surviving smaller tids.
+        right = np.searchsorted(base_widths, new_widths, side="right")
+        for k in np.flatnonzero(right > at):
+            run = base_tids[at[k]:right[k]]  # ascending by the invariant
+            at[k] += int(np.searchsorted(run, dirty[k]))
+        tids = np.insert(base_tids, at, dirty)
+        widths = np.insert(base_widths, at, new_widths)
+        return _WidthOrder(
+            epoch=self.version,
+            tids=tids,
+            widths=widths,
+            positions=np.searchsorted(self.sorted_tids(), tids),
+        )
+
     def __repr__(self) -> str:
         return (
             f"ColumnStore({self._n} rows, "
             f"{len(self._numeric)} numeric + {len(self._text_cols)} text columns)"
         )
+
+
+@dataclass(slots=True)
+class CandidateVectors:
+    """Parallel CHOOSE_REFRESH candidate vectors (no per-row objects).
+
+    Position ``k`` across ``tids``/``widths``/``costs`` describes one
+    candidate tuple: its id, its knapsack weight (bound width — T?
+    candidates pre-extended to zero, post-refinement), and its refresh
+    cost.  ``order`` lists positions ascending by (width, tid), so the
+    uniform-cost planner is one ascending walk with no sort;
+    ``cost_min``/``cost_max``/``costs_integral``/``cost_total`` drive
+    solver selection without per-call re-scans.
+    """
+
+    tids: np.ndarray
+    widths: np.ndarray
+    costs: np.ndarray
+    order: np.ndarray
+    cost_min: float
+    cost_max: float
+    cost_total: float
+    costs_integral: bool
+
+    def __len__(self) -> int:
+        return len(self.tids)
+
+    def solver_vectors(self) -> tuple["array", "array", "array"]:
+        """``(weights, costs, order)`` as flat stdlib arrays.
+
+        The handoff to :func:`repro.core.knapsack.solve_vector`: ``'d'``
+        doubles for weights/costs, ``'q'`` int64 for the order — plain
+        buffers whose items index as Python floats/ints, which is what a
+        pure-Python DP loop wants (NumPy scalar boxing is slower).
+        """
+        return (
+            _flat_d(self.widths),
+            _flat_d(self.costs),
+            _flat_q(self.order),
+        )
+
+
+def harvest_candidates(
+    store: ColumnStore,
+    column: str,
+    *,
+    certain: np.ndarray | None = None,
+    possible: np.ndarray | None = None,
+    predicate=None,
+    cost_column: str | None = None,
+    cost_value: float = 1.0,
+) -> CandidateVectors | None:
+    """Emit one query's refresh candidates as parallel vectors.
+
+    Without masks the candidate set is the whole table (§5 regime) and
+    the sorted-width ordering comes straight from the store's incremental
+    planner cache.  With ``certain``/``possible`` masks (tuple-id order,
+    from :func:`repro.predicates.batch.classify_masks`) candidates are
+    T+ ∪ T? and each T? weight is its bound — optionally Appendix-D
+    restricted by ``predicate`` — extended to zero (§6.2).
+
+    Costs are ``cost_value`` everywhere, or read from ``cost_column``
+    (which must be a numeric, currently-exact column — the row-path
+    contract of :func:`repro.core.refresh.base.cost_from_column`);
+    ``None`` is returned when that contract fails so callers can fall
+    back to the row-at-a-time path.
+    """
+    if store.is_text(column):
+        return None
+    costs_from: np.ndarray | None = None
+    if cost_column is not None:
+        if store.is_text(cost_column) or not store.column_exact(cost_column):
+            return None
+        costs_from = store.endpoints(cost_column)[0]
+
+    if certain is None and possible is None:
+        order_cache = store.width_order(column)
+        lo, hi = store.endpoints(column)
+        tids = store.sorted_tids()
+        widths = hi - lo
+        order = order_cache.positions
+        costs = (
+            costs_from
+            if costs_from is not None
+            else np.full(len(tids), float(cost_value))
+        )
+    else:
+        assert certain is not None and possible is not None
+        maybe_mask = np.logical_and(possible, np.logical_not(certain))
+        all_tids = store.sorted_tids()
+        lo, hi = store.endpoints(column)
+        maybe_lo, maybe_hi = lo[maybe_mask], hi[maybe_mask]
+        if predicate is not None and len(maybe_lo):
+            from repro.predicates.batch import restrict_endpoints
+
+            maybe_lo, maybe_hi = restrict_endpoints(
+                maybe_lo, maybe_hi, predicate, column
+            )
+        tids = np.concatenate([all_tids[certain], all_tids[maybe_mask]])
+        widths = np.concatenate(
+            [
+                hi[certain] - lo[certain],
+                np.maximum(maybe_hi, 0.0) - np.minimum(maybe_lo, 0.0),
+            ]
+        )
+        if costs_from is not None:
+            costs = np.concatenate([costs_from[certain], costs_from[maybe_mask]])
+        else:
+            costs = np.full(len(tids), float(cost_value))
+        order = np.lexsort((tids, widths))
+
+    if len(costs):
+        cost_min = float(costs.min())
+        cost_max = float(costs.max())
+        rounded = np.rint(costs)
+        costs_integral = bool(np.all(np.abs(costs - rounded) <= 1e-9))
+        cost_total = float(rounded.sum()) if costs_integral else float(costs.sum())
+    else:
+        cost_min = cost_max = cost_total = 0.0
+        costs_integral = True
+    return CandidateVectors(
+        tids=tids,
+        widths=widths,
+        costs=costs,
+        order=order,
+        cost_min=cost_min,
+        cost_max=cost_max,
+        cost_total=cost_total,
+        costs_integral=costs_integral,
+    )
+
+
+def cost_vector(store: ColumnStore, kind: tuple[str, object] | None) -> np.ndarray | None:
+    """Per-tuple refresh costs in tuple-id order for a tagged cost kind.
+
+    ``kind`` comes from :func:`repro.core.refresh.base.vector_cost_of`;
+    ``None`` (opaque callable, text column, or a cost column that is not
+    currently exact — the row path would raise on reading it anyway)
+    means the caller must fall back to row-at-a-time costing.
+    """
+    if kind is None:
+        return None
+    if kind[0] == "uniform":
+        return np.full(len(store), float(kind[1]))
+    column = str(kind[1])
+    if store.is_text(column) or not store.column_exact(column):
+        return None
+    return store.endpoints(column)[0]
+
+
+def _flat_d(values: np.ndarray) -> "array":
+    out = array("d")
+    out.frombytes(np.ascontiguousarray(values, dtype=np.float64).tobytes())
+    return out
+
+
+def _flat_q(values: np.ndarray) -> "array":
+    out = array("q")
+    out.frombytes(np.ascontiguousarray(values, dtype=np.int64).tobytes())
+    return out
 
 
 def _endpoints(value: Any) -> tuple[float, float]:

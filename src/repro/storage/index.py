@@ -114,6 +114,24 @@ class SortedIndex:
         """Iterate ``(key, tid)`` in increasing key order."""
         return iter(zip(self._keys, self._tids))
 
+    def prefix_within(self, budget: float) -> tuple[list[int], float]:
+        """The longest ascending-key prefix whose keys sum to ≤ ``budget``.
+
+        Over a ``<column>__width`` index this is exactly the §5.2
+        uniform-cost CHOOSE_REFRESH *kept* set — the lightest tuples that
+        together still fit the precision budget — selected in ``O(k)``
+        without visiting the other ``n − k`` entries.  Returns the tuple
+        ids and their key total.
+        """
+        kept: list[int] = []
+        total = 0.0
+        for key, tid in zip(self._keys, self._tids):
+            if total + key > budget:
+                break
+            total += key
+            kept.append(tid)
+        return kept, total
+
     def descending(self) -> Iterator[tuple[float, int]]:
         """Iterate ``(key, tid)`` in decreasing key order."""
         return iter(zip(reversed(self._keys), reversed(self._tids)))

@@ -133,6 +133,21 @@ class Table:
         self.create_index(f"{column}__hi", lambda r, c=column: r.bound(c).hi)
         self.create_index(f"{column}__width", lambda r, c=column: r.bound(c).width)
 
+    def width_index(self, column: str) -> SortedIndex:
+        """The ``<column>__width`` endpoint index, for the planner's
+        uniform-cost walk (``solve_greedy_uniform(sorted_widths=...)``).
+
+        Raises :class:`TrappError` when :meth:`create_endpoint_indexes`
+        has not been called for the column.
+        """
+        index = self.indexes.get(f"{column}__width")
+        if index is None:
+            raise TrappError(
+                f"table {self.name!r} has no width index on {column!r}; "
+                "call create_endpoint_indexes first"
+            )
+        return index
+
     # ------------------------------------------------------------------
     # Convenience views
     # ------------------------------------------------------------------

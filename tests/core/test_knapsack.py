@@ -1,6 +1,7 @@
 """Unit tests for the 0/1 knapsack solvers."""
 
 import random
+import tracemalloc
 
 import pytest
 
@@ -12,6 +13,7 @@ from repro.core.knapsack import (
     solve_greedy_ratio,
     solve_greedy_uniform,
     solve_ibarra_kim,
+    solve_vector,
 )
 from repro.errors import OptimizerError
 
@@ -166,3 +168,161 @@ class TestSolutionHelper:
         solution = KnapsackSolution.of(items, {2})
         assert solution.total_weight == 4
         assert solution.total_profit == 5
+
+
+class TestExactDPMemory:
+    """ISSUE 3 satellite: the DP must not allocate an n × (P+1) matrix.
+
+    The first implementation reconstructed plans from a list-of-lists
+    ``take`` matrix: at n = 600 items of profit 167 (total profit ~100k,
+    the exact-DP ceiling) that is ~6·10⁷ boolean slots ≈ 480 MB.  The
+    sparse-frontier DP keeps one state per achievable profit (≤ 601
+    here) plus an append-only parent arena, so peak traced allocation
+    must stay in the low megabytes — while the plan stays optimal.
+    """
+
+    def test_peak_memory_and_optimality(self):
+        rng = random.Random(23)
+        items = items_of(*[(i, rng.uniform(0.1, 5.0), 167) for i in range(600)])
+        capacity = 300.0
+        tracemalloc.start()
+        try:
+            solution = solve_exact_dp(items, capacity)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak < 48 * 1024 * 1024, f"DP peak memory {peak / 1e6:.1f} MB"
+        # Uniform profits make the ascending-weight greedy an optimality
+        # oracle at any size (§5.2).
+        oracle = solve_greedy_uniform(items, capacity)
+        assert solution.total_profit == pytest.approx(oracle.total_profit)
+        assert solution.total_weight <= capacity + 1e-9
+
+    def test_boundary_feasible_state_kept(self):
+        """A kept set landing exactly on the capacity must stay feasible.
+
+        ``capacity - w`` rounds below an exact frontier weight here
+        (6.67 - 2.97 < 3.7 in binary floating point even though
+        3.7 + 2.97 == 6.67), so a prefilter bisecting on the subtraction
+        silently drops the optimum.
+        """
+        items = items_of(
+            (1, 0.73, 2), (2, 2.02, 5), (3, 0.95, 3), (4, 2.97, 2), (5, 6.0, 1)
+        )
+        dp = solve_exact_dp(items, 6.67)
+        bf = solve_brute_force(items, 6.67)
+        assert dp.total_profit == pytest.approx(bf.total_profit) == 12
+        assert dp.total_weight <= 6.67 + 1e-12
+
+    def test_matches_brute_force_after_rewrite(self):
+        rng = random.Random(31)
+        for _ in range(30):
+            n = rng.randint(1, 12)
+            items = items_of(
+                *[(i, rng.uniform(-1, 10), rng.randint(0, 8)) for i in range(n)]
+            )
+            capacity = rng.uniform(0, 20)
+            dp = solve_exact_dp(items, capacity)
+            bf = solve_brute_force(items, capacity)
+            assert dp.total_profit == pytest.approx(bf.total_profit)
+            assert dp.total_weight <= capacity + 1e-9
+
+
+class TestGreedyWidthIndex:
+    def test_sorted_widths_matches_plain_greedy(self):
+        rng = random.Random(17)
+        for _ in range(20):
+            n = rng.randint(0, 15)
+            items = items_of(*[(i, rng.uniform(0, 5), 1) for i in range(n)])
+            capacity = rng.uniform(0, 12)
+            pairs = sorted((i.weight, i.item_id) for i in items)
+            via_index = solve_greedy_uniform(items, capacity, sorted_widths=pairs)
+            plain = solve_greedy_uniform(items, capacity)
+            assert via_index.chosen == plain.chosen
+
+    def test_index_entries_for_foreign_ids_are_skipped(self):
+        items = items_of((1, 1, 1), (2, 2, 1))
+        # The width index covers the whole table; the candidate set may
+        # be any subset of it.
+        pairs = [(0.5, 7), (1.0, 1), (2.0, 2), (3.0, 9)]
+        solution = solve_greedy_uniform(items, 3.0, sorted_widths=pairs)
+        assert solution.chosen == {1, 2}
+
+    def test_walk_stops_at_first_unaffordable_key(self):
+        items = items_of(*[(i, float(i), 1) for i in range(1, 8)])
+        seen = []
+
+        def walk():
+            for weight, tid in ((float(i), i) for i in range(1, 8)):
+                seen.append(tid)
+                yield weight, tid
+
+        solution = solve_greedy_uniform(items, 3.0, sorted_widths=walk())
+        assert solution.chosen == {1, 2}
+        assert seen[-1] <= 4, "ascending walk must stop once keys exceed budget"
+
+
+class TestVectorSolver:
+    def test_matches_brute_force_randomized(self):
+        rng = random.Random(47)
+        for _ in range(40):
+            n = rng.randint(1, 12)
+            weights = [rng.uniform(-1, 10) for _ in range(n)]
+            profits = [float(rng.randint(0, 9)) for _ in range(n)]
+            capacity = rng.uniform(0, 25)
+            items = items_of(*[(i, weights[i], profits[i]) for i in range(n)])
+            oracle = solve_brute_force(items, capacity)
+            solution = solve_vector(weights, profits, capacity)
+            kept_profit = sum(profits) - solution.refresh_profit
+            assert kept_profit == pytest.approx(oracle.total_profit)
+            assert solution.kept_weight <= capacity + 1e-9
+
+    def test_zero_width_candidates_always_kept(self):
+        solution = solve_vector([0.0, -1.0, 5.0], [3.0, 4.0, 9.0], 1.0)
+        assert solution.refresh == (2,)
+        assert solution.refresh_profit == 9.0
+
+    def test_over_capacity_candidates_always_refreshed(self):
+        solution = solve_vector([11.0, 2.0], [1000.0, 1.0], 10.0)
+        assert 0 in solution.refresh
+        assert 1 not in solution.refresh
+
+    def test_uniform_with_order_matches_sorted(self):
+        rng = random.Random(3)
+        weights = [rng.uniform(0, 4) for _ in range(40)]
+        profits = [2.0] * 40
+        order = sorted(range(40), key=lambda k: (weights[k], k))
+        with_order = solve_vector(weights, profits, 20.0, order=order)
+        without = solve_vector(weights, profits, 20.0)
+        assert set(with_order.refresh) == set(without.refresh)
+
+    def test_approx_certificate(self):
+        rng = random.Random(13)
+        for _ in range(25):
+            n = rng.randint(1, 12)
+            weights = [rng.uniform(0.1, 10) for _ in range(n)]
+            profits = [rng.uniform(0.1, 10) for _ in range(n)]
+            capacity = rng.uniform(0.5, 25)
+            items = items_of(*[(i, weights[i], profits[i]) for i in range(n)])
+            oracle = solve_brute_force(items, capacity)
+            solution = solve_vector(weights, profits, capacity, epsilon=0.1)
+            kept_profit = sum(profits) - solution.refresh_profit
+            assert kept_profit >= 0.9 * oracle.total_profit - 1e-9
+            assert solution.kept_weight <= capacity + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            solve_vector([1.0], [-1.0], 10.0)
+        with pytest.raises(OptimizerError):
+            solve_vector([float("nan")], [1.0], 10.0)
+        with pytest.raises(OptimizerError):
+            solve_vector([1.0], [1.0], float("nan"))
+        with pytest.raises(OptimizerError):
+            # Non-integral profits that cannot all fit force the approx
+            # branch, which must reject an out-of-range epsilon.
+            solve_vector([1.0, 1.2], [1.5, 3.25], 1.5, epsilon=1.5)
+
+    def test_empty(self):
+        solution = solve_vector([], [], 5.0)
+        assert solution.refresh == ()
+        assert solution.refresh_profit == 0.0

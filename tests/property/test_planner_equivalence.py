@@ -1,0 +1,248 @@
+"""Property: the vector planner chooses plans as good as the object planner.
+
+ISSUE 3 acceptance.  The vector path (columnar candidate harvesting +
+``solve_vector``) must agree with the row path (per-row ``KnapsackItem``
+construction + object solvers) everywhere the executor can route a query:
+
+* **exact branches** (uniform costs, integral costs under ``force_exact``)
+  — equal-cost plans, including the zero-width, over-capacity, and
+  uniform-cost edge cases the solvers special-case;
+* **approximation branch** (non-integral costs) — both plans carry the
+  same (1 − ε) kept-profit certificate against the brute-force oracle;
+* **end to end** — running the same query with ``vector_planner`` on and
+  off refreshes equal-cost tuple sets and both answers satisfy the
+  constraint.
+
+Coordinates live on a dyadic grid (multiples of 1/64) so every width sum
+compares exactly in binary floating point — the two pipelines accumulate
+in different orders, and the tests certify combinatorics, not ulps.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bound import Bound
+from repro.core.executor import QueryExecutor
+from repro.core.knapsack import KnapsackItem, solve_brute_force
+from repro.core.refresh.base import cost_from_column, uniform_cost
+from repro.core.refresh.summing import SumChooseRefresh
+from repro.errors import ConstraintUnsatisfiableError
+from repro.predicates.ast import ColumnRef, Comparison, Literal
+from repro.replication.local import LocalRefresher
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+grid = st.integers(min_value=-320, max_value=320).map(lambda k: k / 64.0)
+# Include exact zeros and occasional huge widths so the free/oversize item
+# routing is exercised, not just the knapsack interior.
+grid_widths = st.one_of(
+    st.just(0.0),
+    st.integers(min_value=0, max_value=320).map(lambda k: k / 64.0),
+    st.integers(min_value=1280, max_value=2560).map(lambda k: k / 64.0),
+)
+budgets = st.integers(min_value=0, max_value=960).map(lambda k: k / 64.0)
+int_costs = st.integers(min_value=1, max_value=9)
+
+
+@st.composite
+def planner_tables(draw):
+    """A (cache, master) pair over one bounded column plus a cost column."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    schema = Schema.of(x="bounded", c="exact")
+    cache, master = Table("t", schema), Table("t", schema)
+    for _ in range(n):
+        lo = draw(grid)
+        width = draw(grid_widths)
+        cost = float(draw(int_costs))
+        cache.insert({"x": Bound(lo, lo + width), "c": cost})
+        master.insert({"x": lo + width / 2, "c": cost})
+    return cache, master
+
+
+def _refresh_cost_oracle(cache, budget, costs):
+    """Cheapest refresh set cost for SUM via subset enumeration."""
+    import itertools
+
+    rows = cache.rows()
+
+    def width_after(tids):
+        return sum(r.bound("x").width for r in rows if r.tid not in tids)
+
+    best = None
+    for k in range(len(rows) + 1):
+        for combo in itertools.combinations([r.tid for r in rows], k):
+            if width_after(set(combo)) <= budget:
+                cost = sum(costs[t] for t in combo)
+                if best is None or cost < best:
+                    best = cost
+    return best
+
+
+@settings(max_examples=50, deadline=None)
+@given(planner_tables(), budgets)
+def test_uniform_cost_plans_equal(tables, budget):
+    cache, master = tables
+    chooser = SumChooseRefresh()
+    row_plan = chooser.without_predicate(cache.rows(), "x", budget, uniform_cost)
+    vectorized = chooser.without_predicate_columnar(
+        cache.columns, "x", budget, uniform_cost
+    )
+    assert vectorized is not None, "uniform cost must vectorize"
+    vector_plan, _ = vectorized
+    assert vector_plan.total_cost == row_plan.total_cost
+    # Uniform greedy is optimal (§5.2): both must match the oracle too.
+    oracle = _refresh_cost_oracle(cache, budget, {r.tid: 1.0 for r in cache.rows()})
+    assert oracle is not None
+    assert vector_plan.total_cost == oracle
+
+
+@settings(max_examples=50, deadline=None)
+@given(planner_tables(), budgets)
+def test_exact_column_cost_plans_equal(tables, budget):
+    cache, master = tables
+    chooser = SumChooseRefresh(force_exact=True)
+    cost = cost_from_column("c")
+    row_plan = chooser.without_predicate(cache.rows(), "x", budget, cost)
+    vectorized = chooser.without_predicate_columnar(cache.columns, "x", budget, cost)
+    assert vectorized is not None, "exact column costs must vectorize"
+    vector_plan, _ = vectorized
+    assert vector_plan.total_cost == row_plan.total_cost
+    oracle = _refresh_cost_oracle(
+        cache, budget, {r.tid: r.number("c") for r in cache.rows()}
+    )
+    assert oracle is not None
+    assert vector_plan.total_cost == oracle
+
+
+@settings(max_examples=50, deadline=None)
+@given(planner_tables(), budgets)
+def test_approx_plans_share_certificate(tables, budget):
+    """Ibarra–Kim branch: both planners keep ≥ (1 − ε) of the optimum."""
+    epsilon = 0.1
+    cache, master = tables
+    rows = cache.rows()
+    # Fractional costs force the approximation path in both pipelines.
+    costs = {r.tid: r.number("c") + 0.5 for r in rows}
+
+    def cost(row):
+        return costs[row.tid]
+
+    cost.vector_cost = ("column", "c2")
+    cache2 = Table("t", Schema.of(x="bounded", c="exact", c2="exact"))
+    for r in rows:
+        cache2.insert(
+            {"x": r.bound("x"), "c": r.number("c"), "c2": costs[r.tid]}, tid=r.tid
+        )
+
+    chooser = SumChooseRefresh(epsilon=epsilon)
+    row_plan = chooser.without_predicate(cache2.rows(), "x", budget, cost)
+    vectorized = chooser.without_predicate_columnar(cache2.columns, "x", budget, cost)
+    assert vectorized is not None
+    vector_plan, _ = vectorized
+
+    items = [
+        KnapsackItem(r.tid, r.bound("x").width, costs[r.tid]) for r in cache2.rows()
+    ]
+    optimum = solve_brute_force(items, budget)
+    total = sum(costs.values())
+    for plan in (row_plan, vector_plan):
+        kept = total - plan.total_cost
+        assert kept >= (1 - epsilon) * optimum.total_profit - 1e-6
+        # Feasibility: the kept (unrefreshed) widths fit the budget.
+        kept_width = sum(
+            r.bound("x").width for r in cache2.rows() if r.tid not in plan.tids
+        )
+        assert kept_width <= budget + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    planner_tables(),
+    budgets,
+    st.sampled_from(["SUM", "MIN", "MAX", "AVG", "COUNT"]),
+    st.booleans(),
+    st.one_of(st.none(), st.integers(min_value=-192, max_value=192)),
+)
+def test_executor_end_to_end_equivalence(tables, budget, aggregate, column_cost, threshold):
+    """vector_planner on/off: equal-cost refreshes, both answers feasible."""
+    cache, master = tables
+    predicate = (
+        None
+        if threshold is None
+        else Comparison(ColumnRef("x"), ">", Literal(threshold / 64.0))
+    )
+    column = None if aggregate == "COUNT" else "x"
+    if aggregate == "COUNT":
+        constraint = max(0.0, float(len(cache)) / 2)
+    elif aggregate == "AVG":
+        constraint = budget / max(1, len(cache))
+    else:
+        constraint = budget
+    cost = cost_from_column("c") if column_cost else uniform_cost
+
+    answers = {}
+    for vector_planner in (True, False):
+        c, m = cache.copy(), master.copy()
+        executor = QueryExecutor(
+            refresher=LocalRefresher(m),
+            force_exact=True,
+            vector_planner=vector_planner,
+        )
+        try:
+            answers[vector_planner] = executor.execute(
+                c, aggregate, column, constraint, predicate, cost
+            )
+        except ConstraintUnsatisfiableError:
+            # Legitimately unsatisfiable (e.g. an empty AVG answer set
+            # against a zero budget yields [-inf, inf]); both planners
+            # must reach the same verdict.
+            answers[vector_planner] = None
+    fast, reference = answers[True], answers[False]
+    if fast is None or reference is None:
+        assert fast is None and reference is None
+        return
+    assert fast.refresh_cost == reference.refresh_cost
+    assert math.isclose(fast.bound.width, reference.bound.width, abs_tol=1e-9) or (
+        fast.bound.width <= constraint + 1e-9
+        and reference.bound.width <= constraint + 1e-9
+    )
+
+
+def test_uniform_plans_identical_on_decimal_data():
+    """Ordinary one-decimal widths (not the dyadic grid): the vector
+    uniform path reuses the row greedy's arithmetic, so plans must be
+    bit-identical, not merely equal-cost."""
+    import random
+
+    rng = random.Random(1)
+    chooser = SumChooseRefresh()
+    for _ in range(300):
+        n = rng.randint(1, 8)
+        table = Table("t", Schema.of(x="bounded"))
+        for _ in range(n):
+            table.insert({"x": Bound(0.0, round(rng.uniform(0, 1), 1))})
+        budget = round(rng.uniform(0, n * 0.6), 1) * 0.9999999999999999
+        row_plan = chooser.without_predicate(table.rows(), "x", budget, uniform_cost)
+        vector_plan, _ = chooser.without_predicate_columnar(
+            table.columns, "x", budget, uniform_cost
+        )
+        assert vector_plan.tids == row_plan.tids
+
+
+def test_force_exact_rejects_fractional_costs_on_both_paths():
+    """solve_vector must mirror solve_exact_dp's integral-profit contract
+    instead of silently rounding fractional costs."""
+    import pytest
+
+    from repro.errors import OptimizerError
+
+    table = Table("t", Schema.of(x="bounded", c="exact"))
+    table.insert({"x": Bound(0, 1), "c": 0.4})
+    table.insert({"x": Bound(0, 1), "c": 0.45})
+    chooser = SumChooseRefresh(force_exact=True)
+    cost = cost_from_column("c")
+    with pytest.raises(OptimizerError):
+        chooser.without_predicate(table.rows(), "x", 1.0, cost)
+    with pytest.raises(OptimizerError):
+        chooser.without_predicate_columnar(table.columns, "x", 1.0, cost)

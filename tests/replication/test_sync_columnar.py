@@ -86,3 +86,52 @@ class TestSyncBounds:
         source.delete_row("links", 2)
         assert 2 not in table
         assert_store_consistent(table)
+
+
+class TestSyncNoOpSkip:
+    """sync_bounds must not churn state when nothing widened (ISSUE 3).
+
+    Rewriting identical bounds would bump the columnar store's version
+    and invalidate the planner's epoch-cached width orderings on every
+    query the service admits — the cache is only a cache if a standing
+    clock leaves it untouched.
+    """
+
+    def test_same_instant_sync_is_a_no_op(self, clock, cache):
+        table = cache.table("links")
+        cache.sync_bounds()
+        version = table.columns.version
+        order = table.columns.width_order("traffic")
+        cache.sync_bounds()  # clock did not advance: bounds are identical
+        assert table.columns.version == version
+        assert table.columns.width_order("traffic") is order
+
+    def test_advancing_clock_still_widens(self, clock, cache):
+        table = cache.table("links")
+        cache.sync_bounds()
+        before = [table.row(tid).bound("traffic").width for tid in table.tids()]
+        clock.advance(50.0)
+        cache.sync_bounds()
+        after = [table.row(tid).bound("traffic").width for tid in table.tids()]
+        assert any(b > a for a, b in zip(before, after)), "bounds must widen"
+        assert_store_consistent(table)
+
+    def test_width_order_repairs_after_refresh(self, clock, cache):
+        from repro.replication.local import LocalRefresher  # noqa: F401
+
+        table = cache.table("links")
+        clock.advance(100.0)
+        cache.sync_bounds()
+        order = table.columns.width_order("traffic")
+        victims = table.tids()[:3]
+        cache.refresh(table, victims)  # collapses three bounds to exact
+        repaired = table.columns.width_order("traffic")
+        assert repaired is not order
+        # The collapsed tuples now sort at the zero-width front.
+        head = [int(t) for t in repaired.tids[: len(table.tids())]]
+        for tid in victims:
+            assert head.index(tid) < len(victims) + sum(
+                1 for t in table.tids()
+                if table.row(t).bound("traffic").width == 0.0
+            )
+        assert_store_consistent(table)

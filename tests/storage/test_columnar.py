@@ -174,3 +174,165 @@ class TestAgainstRowScan:
         for column in ("x", "y", "cost"):
             scan = all(row.is_exact(column) for row in table)
             assert table.column_exact(column) == scan
+
+
+class TestWidthOrder:
+    """The incremental planner cache: epoch reuse, repair, rebuild."""
+
+    def _reference(self, store, column):
+        lo, hi = store.endpoints(column)
+        widths = hi - lo
+        positions = np.argsort(widths, kind="stable")
+        return store.sorted_tids()[positions], widths[positions]
+
+    def test_sorted_by_width_then_tid(self):
+        table = make_table()
+        order = table.columns.width_order("x")
+        ref_tids, ref_widths = self._reference(table.columns, "x")
+        assert np.array_equal(order.tids, ref_tids)
+        assert np.allclose(order.widths, ref_widths)
+
+    def test_epoch_reuse_is_identity(self):
+        table = make_table()
+        first = table.columns.width_order("x")
+        assert table.columns.width_order("x") is first
+
+    def test_write_through_repair(self):
+        table = make_table()
+        table.columns.width_order("x")
+        table.row(1).set("x", Bound(0, 1))  # direct Row.set, no Table call
+        order = table.columns.width_order("x")
+        ref_tids, ref_widths = self._reference(table.columns, "x")
+        assert np.array_equal(order.tids, ref_tids)
+        assert np.allclose(order.widths, ref_widths)
+
+    def test_other_column_writes_reuse_the_cached_ordering(self):
+        table = make_table()
+        first = table.columns.width_order("x")
+        table.update_value(1, "y", Bound(0, 9))
+        # The version moved, but no x width changed: the cached ordering
+        # is still exact and must be re-stamped, not rebuilt.
+        assert table.columns.width_order("x") is first
+
+    def test_repair_preserves_tid_order_within_width_ties(self):
+        table = Table("t", Schema.of(x="bounded"))
+        for lo, hi in [(0, 3), (0, 1), (0, 5), (0, 3)]:  # tids 1..4
+            table.insert({"x": Bound(float(lo), float(hi))})
+        store = table.columns
+        store.width_order("x")
+        # Repairing tid 3 into a width-3 tie with tids 1 and 4 must slot
+        # it between them — exactly where a fresh stable argsort puts it.
+        table.row(3).set("x", Bound(0.0, 3.0))
+        repaired = store.width_order("x")
+        assert list(repaired.tids) == [2, 1, 3, 4]
+        fresh = store._build_width_order("x")
+        assert np.array_equal(repaired.tids, fresh.tids)
+        assert np.allclose(repaired.widths, fresh.widths)
+
+    def test_insert_and_delete_rebuild(self):
+        table = make_table()
+        table.columns.width_order("x")
+        table.insert({"x": Bound(0, 0.5), "y": 1.0, "cost": 1.0, "tag": "c"})
+        order = table.columns.width_order("x")
+        ref_tids, ref_widths = self._reference(table.columns, "x")
+        assert np.array_equal(order.tids, ref_tids)
+        table.delete(2)
+        order = table.columns.width_order("x")
+        ref_tids, ref_widths = self._reference(table.columns, "x")
+        assert np.array_equal(order.tids, ref_tids)
+        assert np.allclose(order.widths, ref_widths)
+
+    def test_positions_map_back_to_tid_order(self):
+        table = make_table()
+        order = table.columns.width_order("x")
+        lo, hi = table.columns.endpoints("x")
+        assert np.allclose((hi - lo)[order.positions], order.widths)
+
+    def test_text_column_rejected(self):
+        table = make_table()
+        with pytest.raises(TrappError):
+            table.columns.width_order("tag")
+        with pytest.raises(UnknownColumnError):
+            table.columns.width_order("missing")
+
+
+class TestHarvestCandidates:
+    def test_whole_table_uniform(self):
+        from repro.storage.columnar import harvest_candidates
+
+        table = make_table()
+        cv = harvest_candidates(table.columns, "x", cost_value=2.0)
+        assert list(cv.tids) == [1, 2, 3]
+        assert list(cv.widths) == [10.0, 0.0, 0.0]
+        assert list(cv.costs) == [2.0, 2.0, 2.0]
+        assert cv.cost_min == cv.cost_max == 2.0
+        assert cv.costs_integral
+        # order ascends by (width, tid)
+        assert [int(cv.tids[k]) for k in cv.order] == [2, 3, 1]
+
+    def test_cost_column(self):
+        from repro.storage.columnar import harvest_candidates
+
+        table = make_table()
+        cv = harvest_candidates(table.columns, "x", cost_column="cost")
+        assert list(cv.costs) == [2.0, 4.0, 6.0]
+        assert cv.cost_total == 12.0
+
+    def test_non_exact_cost_column_falls_back(self):
+        from repro.storage.columnar import harvest_candidates
+
+        table = make_table()
+        # y currently holds a wide bound on tid 2 — the row path would
+        # raise reading it as a number, so the harvest must decline.
+        assert harvest_candidates(table.columns, "x", cost_column="y") is None
+        assert harvest_candidates(table.columns, "x", cost_column="tag") is None
+
+    def test_classified_widths_extend_to_zero(self):
+        from repro.predicates.batch import classify_masks
+        from repro.predicates.parser import parse_predicate
+        from repro.storage.columnar import harvest_candidates
+
+        schema = Schema.of(x="bounded")
+        table = Table("t", schema)
+        table.insert({"x": Bound(4, 6)})     # T+ for x > 3
+        table.insert({"x": Bound(2, 8)})     # T?
+        table.insert({"x": Bound(-5, -1)})   # T−
+        predicate = parse_predicate("x > 3")
+        certain, possible = classify_masks(table.columns, predicate)
+        cv = harvest_candidates(
+            table.columns, "x", certain=certain, possible=possible
+        )
+        # T+ keeps its raw width; T? extends to zero (§6.2); T− is absent.
+        assert list(cv.tids) == [1, 2]
+        assert list(cv.widths) == [2.0, 8.0]
+
+    def test_classified_refinement_restricts_maybe(self):
+        from repro.predicates.batch import classify_masks
+        from repro.predicates.parser import parse_predicate
+        from repro.storage.columnar import harvest_candidates
+
+        schema = Schema.of(x="bounded")
+        table = Table("t", schema)
+        table.insert({"x": Bound(2, 8)})  # T? for x > 3
+        predicate = parse_predicate("x > 3")
+        certain, possible = classify_masks(table.columns, predicate)
+        cv = harvest_candidates(
+            table.columns, "x", certain=certain, possible=possible,
+            predicate=predicate,
+        )
+        # Appendix D: the T? bound is first restricted to (3, 8], then
+        # extended to zero → width 8.
+        assert list(cv.widths) == [8.0]
+
+    def test_solver_vectors_are_flat_arrays(self):
+        from array import array
+
+        from repro.storage.columnar import harvest_candidates
+
+        table = make_table()
+        cv = harvest_candidates(table.columns, "x")
+        weights, costs, order = cv.solver_vectors()
+        assert isinstance(weights, array) and weights.typecode == "d"
+        assert isinstance(costs, array) and costs.typecode == "d"
+        assert isinstance(order, array) and order.typecode == "q"
+        assert list(weights) == list(cv.widths)
