@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Link-check the documentation: every referenced path must exist.
+
+Two classes of reference are verified across ``README.md`` and
+``docs/*.md`` (CI's docs job runs this on every push):
+
+* **Markdown links** ``[text](target)`` — relative targets (optionally
+  with a ``#anchor``) must resolve to a file or directory relative to
+  the file containing the link.  ``http(s)``/``mailto`` targets are
+  skipped (no network in CI).
+* **Backtick path references** — inline code spans that *look like* repo
+  paths (contain a ``/`` and end in a known source suffix, e.g.
+  ``src/repro/storage/columnar.py`` or ``tests/property/…``) must point
+  at real files.  Spans with spaces, wildcards, or call syntax are
+  ignored; ``module/file.py`` references are also tried under ``src/``
+  and ``src/repro/`` so docs may use import-style shorthand.
+
+Exit status is the number of broken references (0 = clean).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+PATH_SUFFIXES = (".py", ".md", ".json", ".yml", ".toml", ".txt")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    docs = [REPO / "README.md"]
+    docs.extend(sorted((REPO / "docs").glob("*.md")))
+    return [doc for doc in docs if doc.exists()]
+
+
+def check_markdown_links(doc: Path) -> list[str]:
+    errors = []
+    for match in MD_LINK.finditer(doc.read_text()):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not (doc.parent / path).exists():
+            errors.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+
+def looks_like_path(span: str) -> bool:
+    if "/" not in span or any(ch in span for ch in " *(){}<>$…"):
+        return False
+    return span.endswith(PATH_SUFFIXES) or span.endswith("/")
+
+
+def check_code_spans(doc: Path) -> list[str]:
+    errors = []
+    for match in CODE_SPAN.finditer(doc.read_text()):
+        span = match.group(1)
+        if not looks_like_path(span):
+            continue
+        candidates = [REPO / span, REPO / "src" / span, REPO / "src" / "repro" / span]
+        if not any(c.exists() for c in candidates):
+            errors.append(f"{doc.relative_to(REPO)}: missing path -> {span}")
+    return errors
+
+
+def main() -> int:
+    errors: list[str] = []
+    for doc in doc_files():
+        errors.extend(check_markdown_links(doc))
+        errors.extend(check_code_spans(doc))
+    for error in errors:
+        print(error)
+    checked = ", ".join(str(d.relative_to(REPO)) for d in doc_files())
+    print(f"checked: {checked} — {len(errors)} broken reference(s)")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ __all__ = [
     "RefreshPlan",
     "uniform_cost",
     "cost_from_column",
+    "cost_from_sources",
     "vector_cost_of",
     "resolve_columnar_costs",
     "ChooseRefresh",
@@ -55,14 +56,37 @@ def cost_from_column(column: str) -> CostFunc:
     return cost
 
 
+def cost_from_sources(
+    column: str, costs_by_source: dict, default: float = 1.0
+) -> CostFunc:
+    """Per-source refresh costs, keyed by a source-id column.
+
+    The "likely in practice" §3 model — every tuple costs whatever its
+    source charges — as a tagged cost function: the row path reads the
+    source id from ``column`` and maps it through ``costs_by_source``;
+    the vector planner evaluates the same mapping over the whole column
+    at once (``vector_cost`` kind ``"source"``), so per-source amortized
+    models plan columnar instead of falling back to the object path.
+    """
+    table = dict(costs_by_source)
+
+    def cost(row: Row) -> float:
+        return float(table.get(row.get(column), default))
+
+    cost.vector_cost = ("source", (column, table, float(default)))  # type: ignore[attr-defined]
+    return cost
+
+
 def vector_cost_of(cost: CostFunc) -> tuple[str, object] | None:
     """How to evaluate ``cost`` columnar-side, if at all.
 
     Returns ``("uniform", value)`` for constant costs, ``("column",
-    name)`` for costs stored in a table column, or ``None`` for opaque
-    callables — the signal to fall back to the row-at-a-time planner.
-    Cost functions opt in by carrying a ``vector_cost`` attribute
-    (:func:`uniform_cost`, :func:`cost_from_column`, and the
+    name)`` for costs stored in a table column, ``("source", (column,
+    costs_by_source, default))`` for per-source costs keyed by a
+    source-id column, or ``None`` for opaque callables — the signal to
+    fall back to the row-at-a-time planner.  Cost functions opt in by
+    carrying a ``vector_cost`` attribute (:func:`uniform_cost`,
+    :func:`cost_from_column`, :func:`cost_from_sources`, and the
     :mod:`repro.replication.costs` models set it).
     """
     tag = getattr(cost, "vector_cost", None)
@@ -73,6 +97,9 @@ def vector_cost_of(cost: CostFunc) -> tuple[str, object] | None:
         return ("uniform", float(arg))
     if kind == "column":
         return ("column", str(arg))
+    if kind == "source":
+        column, table, default = arg
+        return ("source", (str(column), dict(table), float(default)))
     return None
 
 

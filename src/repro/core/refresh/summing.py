@@ -179,13 +179,23 @@ class SumChooseRefresh:
         if kind is None or store is None:
             return None
         try:
-            from repro.storage.columnar import harvest_candidates
+            from repro.storage.columnar import cost_vector, harvest_candidates
         except ImportError:  # pragma: no cover - numpy-less hosts
             return None
         if kind[0] == "column":
             return harvest_candidates(
                 store, column, certain=certain, possible=possible,
                 predicate=predicate, cost_column=kind[1],
+            )
+        if kind[0] == "source":
+            # Per-source amortized models: resolve the source column →
+            # cost mapping to one tuple-id-ordered vector up front.
+            costs = cost_vector(store, kind)
+            if costs is None:
+                return None
+            return harvest_candidates(
+                store, column, certain=certain, possible=possible,
+                predicate=predicate, cost_array=costs,
             )
         return harvest_candidates(
             store, column, certain=certain, possible=possible,

@@ -35,11 +35,38 @@ SourceOf = Callable[[Row], str]
 
 @dataclass(slots=True)
 class BatchedCostModel:
-    """Per-source amortized refresh costs: ``setup + marginal · k``."""
+    """Per-source amortized refresh costs: ``setup + marginal · k``.
+
+    ``setup``/``marginal`` are the defaults every source charges;
+    ``setup_by_source``/``marginal_by_source`` override them per source
+    id, modeling heterogeneous shards (a nearby replica's round trip is
+    cheaper than a cross-region one).  The sharded-sources benchmark
+    leans on exactly this: the planner steers refreshes toward cheap
+    shards, and the scheduler's receipts price each shard's message with
+    that shard's own parameters.
+    """
 
     setup: float = 5.0
     marginal: float = 1.0
     source_of: SourceOf = field(default=lambda row: str(row.get("source", "")))
+    setup_by_source: Mapping[str, float] | None = None
+    marginal_by_source: Mapping[str, float] | None = None
+
+    def setup_for(self, source_id: str) -> float:
+        """One source's per-message setup cost."""
+        if self.setup_by_source is None:
+            return self.setup
+        return float(self.setup_by_source.get(source_id, self.setup))
+
+    def marginal_for(self, source_id: str) -> float:
+        """One source's per-tuple marginal cost."""
+        if self.marginal_by_source is None:
+            return self.marginal
+        return float(self.marginal_by_source.get(source_id, self.marginal))
+
+    def batch_cost(self, source_id: str, n_tuples: int) -> float:
+        """Price of one batched message: the §8.2 ``setup + marginal·k``."""
+        return self.setup_for(source_id) + self.marginal_for(source_id) * n_tuples
 
     def cost_of_set(self, rows: Iterable[Row]) -> float:
         """The true amortized cost of refreshing ``rows`` together."""
@@ -47,7 +74,8 @@ class BatchedCostModel:
         for row in rows:
             per_source[self.source_of(row)] = per_source.get(self.source_of(row), 0) + 1
         return sum(
-            self.setup + self.marginal * count for count in per_source.values()
+            self.batch_cost(source_id, count)
+            for source_id, count in per_source.items()
         )
 
     def naive_upper_bound(self, row: Row) -> float:
@@ -57,7 +85,36 @@ class BatchedCostModel:
         setup; the additive optimum under this bound costs at least the
         amortized optimum, so plans remain feasible (if conservative).
         """
-        return self.setup + self.marginal
+        source_id = self.source_of(row)
+        return self.setup_for(source_id) + self.marginal_for(source_id)
+
+    def as_func(self, source_column: str | None = None):
+        """The naive upper bound as a tagged planner cost function.
+
+        The additive optimizers see ``setup + marginal`` per tuple
+        (feasible, conservative — see :meth:`naive_upper_bound`).  With
+        ``source_column`` naming the column ``source_of`` reads, the
+        function carries a ``vector_cost`` source tag so CHOOSE_REFRESH
+        stays on the columnar path; without it (uniform parameters) the
+        tag degrades to a uniform constant, which is exact.
+        """
+        upper = self.naive_upper_bound
+        wrapper = lambda row: upper(row)  # noqa: E731 - taggable wrapper
+        if self.setup_by_source is None and self.marginal_by_source is None:
+            wrapper.vector_cost = ("uniform", self.setup + self.marginal)
+        elif source_column is not None:
+            sources = set(self.setup_by_source or ()) | set(
+                self.marginal_by_source or ()
+            )
+            wrapper.vector_cost = (
+                "source",
+                (
+                    source_column,
+                    {s: self.setup_for(s) + self.marginal_for(s) for s in sources},
+                    self.setup + self.marginal,
+                ),
+            )
+        return wrapper
 
 
 def rebatch_plan(

@@ -21,6 +21,7 @@ from repro.replication.messages import (
     RefreshRequest,
 )
 from repro.replication.local import LocalRefresher
+from repro.replication.sharding import ShardedSource, round_robin
 from repro.replication.source import DataSource, RefreshMonitor
 from repro.replication.system import TrappSystem
 
@@ -30,6 +31,8 @@ __all__ = [
     "DataCache",
     "DataSource",
     "LocalRefresher",
+    "ShardedSource",
+    "round_robin",
     "RefreshMonitor",
     "TrappSystem",
     "CostModel",

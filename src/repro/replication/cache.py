@@ -99,6 +99,10 @@ class DataCache:
         self.catalog = Catalog()
         self._subscriptions: dict[ObjectKey, _Subscription] = {}
         self._sources: dict[str, DataSource] = {}
+        #: Cached tables whose tuples are partitioned across shard
+        #: sources; cardinality messages for these must keep the shard
+        #: map routed.
+        self._sharded_tables: set[str] = set()
         # Statistics for experiments.
         self.refreshes_received = 0
         self.refresh_requests_sent = 0
@@ -108,25 +112,73 @@ class DataCache:
     # ------------------------------------------------------------------
     def subscribe_table(
         self,
-        source: DataSource,
+        source: "DataSource | object",
         table_name: str,
         policy_factory: Callable[[], object] | None = None,
     ) -> Table:
         """Replicate an entire master table into this cache.
 
-        Every bounded column of every row is registered with the source's
-        refresh monitor; exact/text columns are copied as-is (they never
-        change without a cardinality message in this architecture).
+        ``source`` is a single :class:`DataSource` (the classic 1:1
+        table↔source layout) or a
+        :class:`~repro.replication.sharding.ShardedSource`, in which case
+        every shard's partition is merged into one cached table and the
+        tid→shard routing is recorded in the table's
+        :class:`~repro.storage.table.ShardMap` — that map is what makes
+        :meth:`source_of_tuple` O(1) and lets :meth:`refresh_batched`
+        group a merged plan per shard.
+
+        Every bounded column of every row is registered with its owning
+        source's refresh monitor; exact/text columns are copied as-is
+        (they never change without a cardinality message in this
+        architecture).
         """
-        master = source.table(table_name)
         if table_name in self.catalog:
             raise ReplicationProtocolError(
                 f"cache {self.cache_id!r} already caches table {table_name!r}"
             )
+        shards = getattr(source, "shards", None)
+        if shards is None:
+            master = source.table(table_name)
+            cached = self.catalog.create_table(table_name, master.schema)
+            self._subscribe_partition(source, master, cached, policy_factory)
+        else:
+            partitions = source.partitions(table_name)
+            # Validate disjointness *before* touching any cache state: a
+            # mid-subscription failure would otherwise leave a partially
+            # replicated table (and live monitor registrations) behind,
+            # with no way to resubscribe under the same name.
+            owner_of: dict[int, str] = {}
+            for shard, partition in partitions:
+                for tid in partition.tids():
+                    other = owner_of.get(tid)
+                    if other is not None:
+                        raise ReplicationProtocolError(
+                            f"shards {other!r} and {shard.source_id!r} both "
+                            f"serve tuple #{tid} of table {table_name!r}; "
+                            "shard partitions must be disjoint"
+                        )
+                    owner_of[tid] = shard.source_id
+            cached = self.catalog.create_table(
+                table_name, partitions[0][1].schema
+            )
+            self._sharded_tables.add(table_name)
+            for shard, partition in partitions:
+                self._subscribe_partition(
+                    shard, partition, cached, policy_factory, record_shard=True
+                )
+        return cached
+
+    def _subscribe_partition(
+        self,
+        source: DataSource,
+        master: Table,
+        cached: Table,
+        policy_factory: Callable[[], object] | None,
+        record_shard: bool = False,
+    ) -> None:
+        """Replicate one source's rows (a whole table, or one shard)."""
         self._sources.setdefault(source.source_id, source)
         source.connect_cache(self.cache_id, self._on_message)
-
-        cached = self.catalog.create_table(table_name, master.schema)
         for row in master.rows():
             values = {}
             for column in master.schema:
@@ -135,15 +187,16 @@ class DataCache:
                 else:
                     values[column.name] = row[column.name]
             cached.insert(values, tid=row.tid)
+            if record_shard:
+                cached.shard_map.assign(row.tid, source.source_id)
             for column in master.schema.bounded_columns:
-                key = ObjectKey(table_name, row.tid, column.name)
+                key = ObjectKey(cached.name, row.tid, column.name)
                 policy = policy_factory() if policy_factory is not None else None
                 payload = source.register(self.cache_id, key, policy=policy)
                 self._subscriptions[key] = _Subscription(source, payload.bound_function)
                 cached.update_value(
                     row.tid, column.name, payload.bound_function.at(self.clock())
                 )
-        return cached
 
     # ------------------------------------------------------------------
     # Clock synchronization
@@ -191,11 +244,13 @@ class DataCache:
 
         This is the entry point for cross-query schedulers: ``tids`` may be
         the merged plans of many concurrent queries.  Keys are grouped per
-        source, each source receives exactly one
-        :class:`~repro.replication.messages.RefreshRequest`, and the
-        returned receipt reports — per source — which tuples were refreshed
-        and the cost actually paid under ``batch_cost`` (default: 1 per
-        tuple, the uniform model).
+        source — for a sharded table, per *shard* — each source receives
+        exactly one :class:`~repro.replication.messages.RefreshRequest`,
+        and the returned receipt reports per source which tuples were
+        refreshed and the cost actually paid under ``batch_cost``
+        (default: 1 per tuple, the uniform model).  Shards none of the
+        tuples live on are not contacted and get no receipt, so a
+        sharded table's receipt is exactly its per-shard §8.2 accounting.
         """
         tids = sorted(set(tids))
         if not tids:
@@ -236,11 +291,16 @@ class DataCache:
         return BatchedRefreshReceipt(per_source=tuple(receipts))
 
     def source_of_tuple(self, table: Table, tid: int) -> str:
-        """The source id serving a tuple's bounded columns.
+        """The source (shard) id serving a tuple's bounded columns.
 
         Used by cross-query schedulers to group refresh candidates per
-        source without reaching into the subscription map.
+        shard without reaching into the subscription map.  Sharded
+        tables answer from the table's :class:`ShardMap` in O(1); the
+        1:1 layout falls back to probing the subscription map.
         """
+        shard_id = table.shard_map.get(tid)
+        if shard_id is not None:
+            return shard_id
         for column in table.schema.bounded_columns:
             subscription = self._subscriptions.get(
                 ObjectKey(table.name, tid, column.name)
@@ -251,6 +311,20 @@ class DataCache:
             f"cache {self.cache_id!r} holds no subscription for tuple "
             f"#{tid} of table {table.name!r}"
         )
+
+    def sources_of_table(self, table: Table) -> list[str]:
+        """Distinct source ids serving a table — its shard fan-in.
+
+        One element for the classic layout, N for a table subscribed
+        from an N-shard :class:`~repro.replication.sharding.ShardedSource`
+        (only shards that currently own tuples are listed).  Empty for
+        an empty unsharded table.
+        """
+        if table.is_sharded:
+            return table.shard_map.shards()
+        for row in table:
+            return [self.source_of_tuple(table, row.tid)]
+        return []
 
     # ------------------------------------------------------------------
     # Incoming messages (value-initiated refreshes, cardinality changes)
@@ -284,6 +358,8 @@ class DataCache:
             assert change.values is not None
             values = dict(change.values)
             table.insert(values, tid=change.tid)
+            if change.table in self._sharded_tables:
+                table.shard_map.assign(change.tid, change.source_id)
             for column in table.schema.bounded_columns:
                 key = ObjectKey(change.table, change.tid, column.name)
                 payload = source.register(self.cache_id, key)

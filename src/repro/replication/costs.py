@@ -83,16 +83,46 @@ class PerSourceCostModel(CostModel):
 
     ``source_of`` maps a row to its source id (commonly a column read);
     unknown sources fall back to ``default_cost``.
+
+    When the source id genuinely lives in a column, set ``source_column``
+    instead of (or alongside) ``source_of``: :meth:`as_func` then tags
+    the cost function with a ``vector_cost`` source kind, letting
+    CHOOSE_REFRESH evaluate the whole column→cost mapping in one
+    vectorized pass (:func:`repro.storage.columnar.cost_vector`) rather
+    than falling back to the row-at-a-time object planner.
     """
 
     costs_by_source: Mapping[str, float] = field(default_factory=dict)
-    source_of: Callable[[Row], str] = field(
-        default=lambda row: str(row.get("source", ""))
-    )
+    source_of: Callable[[Row], str] | None = None
     default_cost: float = 1.0
+    #: Name of the (exact) column holding each tuple's source id; enables
+    #: the columnar planner path.  ``source_of`` wins for the row path
+    #: when both are given.
+    source_column: str | None = "source"
 
     def cost_of(self, row: Row) -> float:
-        return float(self.costs_by_source.get(self.source_of(row), self.default_cost))
+        if self.source_of is not None:
+            source = self.source_of(row)
+        else:
+            source = row.get(self.source_column or "source", "")
+        return float(self.costs_by_source.get(source, self.default_cost))
+
+    def as_func(self) -> CostFunc:
+        func = self.cost_of
+        wrapper = lambda row: func(row)  # noqa: E731 - taggable wrapper
+        # Only tag when the row path reads the same column the vector
+        # path would: a custom ``source_of`` callable is opaque and must
+        # keep the planner on the row path for equivalence.
+        if self.source_of is None and self.source_column is not None:
+            wrapper.vector_cost = (
+                "source",
+                (
+                    self.source_column,
+                    dict(self.costs_by_source),
+                    float(self.default_cost),
+                ),
+            )
+        return wrapper
 
 
 @dataclass(slots=True)

@@ -1,0 +1,226 @@
+"""Horizontal sharding: one logical table partitioned across N sources.
+
+The paper's §8.2 cost model — ``setup + marginal · k`` per refresh
+message — only pays off when one message to a source amortizes its setup
+over many tuples, and when the *choice* of which source to contact
+matters.  With the 1:1 table↔source layout every cached table had before
+sharding, the scheduler's per-source batching always saw exactly one
+source per table and the cross-query rebatcher's >1-source branch never
+ran.  A :class:`ShardedSource` splits a logical table's tuples across N
+real :class:`~repro.replication.source.DataSource` shards (OLAP-style
+partitioned physical layout behind one logical relation), so refresh
+planning finally has sources to steer between.
+
+A :class:`ShardedSource` is deliberately thin: each shard is a complete,
+ordinary ``DataSource`` holding a *partition table* (same name, same
+schema, a disjoint subset of the tuple ids), and everything downstream —
+subscription, the refresh protocol, the monitor — runs per shard exactly
+as it would for an unsharded source.  The wrapper only owns the routing:
+
+* :meth:`add_table` partitions a master table's rows across the shards
+  with a pluggable ``partitioner`` (default: round-robin on tuple id);
+* :meth:`shard_for` / :meth:`shard_id_of` answer "which shard owns this
+  tuple";
+* master-side mutations (:meth:`apply_update`, :meth:`insert_row`,
+  :meth:`delete_row`) route to the owning shard, with tuple ids
+  allocated globally so partitions never collide.
+
+The cache side lives in :meth:`repro.replication.cache.DataCache.subscribe_table`,
+which accepts a ``ShardedSource`` wherever a ``DataSource`` fits and
+records the tid→shard routing in the cached table's
+:class:`~repro.storage.table.ShardMap`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import ReplicationProtocolError
+from repro.replication.messages import CardinalityChange, ObjectKey, Refresh
+from repro.replication.source import DataSource
+from repro.storage.table import Table
+
+__all__ = ["ShardedSource", "round_robin"]
+
+#: ``(tid, n_shards) -> shard index`` — decides which shard owns a tuple.
+Partitioner = Callable[[int, int], int]
+
+
+def round_robin(tid: int, n_shards: int) -> int:
+    """The default partitioner: stripe tuple ids across shards."""
+    return tid % n_shards
+
+
+class ShardedSource:
+    """N data sources presenting one logical table namespace.
+
+    ``shards`` may be pre-built :class:`DataSource` objects (tests often
+    want control over shapes/policies per shard) or constructed for you
+    via :meth:`create` / :meth:`TrappSystem.add_source(..., shards=N)
+    <repro.replication.system.TrappSystem.add_source>`.
+    """
+
+    def __init__(
+        self,
+        source_id: str,
+        shards: Sequence[DataSource],
+        partitioner: Partitioner = round_robin,
+    ) -> None:
+        if not shards:
+            raise ReplicationProtocolError(
+                f"sharded source {source_id!r} needs at least one shard"
+            )
+        seen: set[str] = set()
+        for shard in shards:
+            if shard.source_id in seen:
+                raise ReplicationProtocolError(
+                    f"sharded source {source_id!r} has duplicate shard id "
+                    f"{shard.source_id!r}"
+                )
+            seen.add(shard.source_id)
+        self.source_id = source_id
+        self.shards: tuple[DataSource, ...] = tuple(shards)
+        self.partitioner = partitioner
+        #: ``(table, tid) -> shard index`` — the master-side routing map.
+        self._shard_of: dict[tuple[str, int], int] = {}
+        self._tables: set[str] = set()
+        #: Per-table global tid allocator (shards allocate independently,
+        #: so the wrapper must hand out ids itself).
+        self._next_tid: dict[str, int] = {}
+
+    @classmethod
+    def create(
+        cls,
+        source_id: str,
+        n_shards: int,
+        partitioner: Partitioner = round_robin,
+        clock: Callable[[], float] = lambda: 0.0,
+        **source_kwargs,
+    ) -> "ShardedSource":
+        """Build N fresh shards named ``<source_id>/<i>``."""
+        if n_shards < 1:
+            raise ReplicationProtocolError(
+                f"sharded source {source_id!r} needs at least one shard, "
+                f"got shards={n_shards}"
+            )
+        shards = [
+            DataSource(f"{source_id}/{i}", clock=clock, **source_kwargs)
+            for i in range(n_shards)
+        ]
+        return cls(source_id, shards, partitioner)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_ids(self) -> list[str]:
+        return [shard.source_id for shard in self.shards]
+
+    def __iter__(self) -> Iterator[DataSource]:
+        return iter(self.shards)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def shard_for(self, table_name: str, tid: int) -> DataSource:
+        """The shard owning one tuple's master values."""
+        try:
+            return self.shards[self._shard_of[(table_name, tid)]]
+        except KeyError:
+            raise ReplicationProtocolError(
+                f"sharded source {self.source_id!r} does not serve tuple "
+                f"#{tid} of table {table_name!r}"
+            ) from None
+
+    def shard_id_of(self, table_name: str, tid: int) -> str:
+        return self.shard_for(table_name, tid).source_id
+
+    def partitions(self, table_name: str) -> list[tuple[DataSource, Table]]:
+        """Every shard's partition table, in shard order."""
+        if table_name not in self._tables:
+            raise ReplicationProtocolError(
+                f"sharded source {self.source_id!r} does not serve table "
+                f"{table_name!r}"
+            )
+        return [(shard, shard.table(table_name)) for shard in self.shards]
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> list[Table]:
+        """Partition a master table's rows across the shards.
+
+        Each shard receives its own :class:`Table` (same name and
+        schema) holding the rows the partitioner routes to it — original
+        tuple ids preserved, which is what keeps the cache's merged view
+        and the replication protocol's :class:`ObjectKey` space
+        consistent.  The input table is left untouched (it is the
+        *pre-sharding* master, typically a workload builder's output).
+        """
+        if table.name in self._tables:
+            raise ReplicationProtocolError(
+                f"sharded source {self.source_id!r} already serves table "
+                f"{table.name!r}"
+            )
+        partitions = [Table(table.name, table.schema) for _ in self.shards]
+        next_tid = 1
+        for row in table.rows():
+            index = self._route(row.tid)
+            partitions[index].insert(row.as_dict(), tid=row.tid)
+            self._shard_of[(table.name, row.tid)] = index
+            next_tid = max(next_tid, row.tid + 1)
+        for shard, partition in zip(self.shards, partitions):
+            shard.add_table(partition)
+        self._tables.add(table.name)
+        self._next_tid[table.name] = next_tid
+        return partitions
+
+    def _route(self, tid: int) -> int:
+        index = self.partitioner(tid, len(self.shards))
+        if not 0 <= index < len(self.shards):
+            raise ReplicationProtocolError(
+                f"partitioner routed tuple #{tid} to shard {index}, but "
+                f"sharded source {self.source_id!r} has {len(self.shards)} shards"
+            )
+        return index
+
+    # ------------------------------------------------------------------
+    # Master-side mutations, routed to the owning shard
+    # ------------------------------------------------------------------
+    def apply_update(self, key: ObjectKey, new_value: float) -> list[Refresh]:
+        """Update one master value on whichever shard owns the tuple."""
+        return self.shard_for(key.table, key.tid).apply_update(key, new_value)
+
+    def insert_row(self, table_name: str, values: dict) -> CardinalityChange:
+        """Insert a new tuple, allocating a globally unique tuple id.
+
+        Per-shard tables allocate tids independently, so the wrapper
+        must pick the id *before* routing — otherwise two shards would
+        both hand out #1.
+        """
+        if table_name not in self._tables:
+            raise ReplicationProtocolError(
+                f"sharded source {self.source_id!r} does not serve table "
+                f"{table_name!r}"
+            )
+        tid = self._next_tid[table_name]
+        index = self._route(tid)
+        change = self.shards[index].insert_row(table_name, values, tid=tid)
+        self._shard_of[(table_name, tid)] = index
+        self._next_tid[table_name] = tid + 1
+        return change
+
+    def delete_row(self, table_name: str, tid: int) -> CardinalityChange:
+        shard = self.shard_for(table_name, tid)
+        change = shard.delete_row(table_name, tid)
+        del self._shard_of[(table_name, tid)]
+        return change
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSource({self.source_id!r}, {len(self.shards)} shards, "
+            f"tables={self.table_names()!r})"
+        )

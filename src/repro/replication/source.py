@@ -276,9 +276,17 @@ class DataSource:
     # ------------------------------------------------------------------
     # Insertions and deletions (propagated immediately, §3)
     # ------------------------------------------------------------------
-    def insert_row(self, table_name: str, values: dict) -> CardinalityChange:
+    def insert_row(
+        self, table_name: str, values: dict, tid: int | None = None
+    ) -> CardinalityChange:
+        """Insert a master row, broadcasting the cardinality change.
+
+        ``tid`` lets a :class:`~repro.replication.sharding.ShardedSource`
+        allocate tuple ids globally across its shards; plain sources
+        leave it ``None`` and take the table's next id.
+        """
         table = self.table(table_name)
-        row = table.insert(values)
+        row = table.insert(values, tid=tid)
         change = CardinalityChange(
             source_id=self.source_id,
             table=table_name,

@@ -29,6 +29,7 @@ from repro.errors import TrappError
 from repro.predicates.ast import Predicate
 from repro.replication.cache import DataCache
 from repro.replication.costs import CostModel
+from repro.replication.sharding import ShardedSource
 from repro.replication.source import DataSource
 from repro.simulation.clock import Clock
 
@@ -61,21 +62,67 @@ class TrappSystem:
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
-    def add_source(self, source_id: str, **kwargs) -> DataSource:
+    def add_source(
+        self, source_id: str, shards: int | None = None, **kwargs
+    ) -> "DataSource | ShardedSource":
+        """Create a data source, optionally sharded.
+
+        ``shards=N`` builds a :class:`ShardedSource` of N physical
+        shards named ``<source_id>/0`` … ``<source_id>/N-1`` (each also
+        registered individually, so ``system.source("s1/2")`` resolves);
+        master tables added to it are horizontally partitioned, and a
+        cache subscribing to it serves one logical table whose refreshes
+        fan out per shard.  ``shards=None`` keeps the classic single
+        source.  ``**kwargs`` (bound shapes, width policies, piggyback)
+        are forwarded to every underlying :class:`DataSource`.
+        """
         if source_id in self._sources:
             raise TrappError(f"source {source_id!r} already exists")
-        source = DataSource(source_id, clock=self.clock.now, **kwargs)
+        if shards is None:
+            source: DataSource | ShardedSource = DataSource(
+                source_id, clock=self.clock.now, **kwargs
+            )
+        else:
+            source = ShardedSource.create(
+                source_id, shards, clock=self.clock.now, **kwargs
+            )
+            for shard in source.shards:
+                if shard.source_id in self._sources:
+                    raise TrappError(
+                        f"source {shard.source_id!r} already exists"
+                    )
+            for shard in source.shards:
+                self._sources[shard.source_id] = shard
         self._sources[source_id] = source
         return source
 
-    def add_cache(self, cache_id: str) -> DataCache:
+    def add_cache(
+        self,
+        cache_id: str,
+        shards: "dict[str, DataSource | ShardedSource | str] | None" = None,
+    ) -> DataCache:
+        """Create a cache, optionally pre-subscribed to (sharded) tables.
+
+        ``shards`` maps table names to the source serving them — a
+        :class:`DataSource`, a :class:`ShardedSource`, or a source id —
+        and is sugar for calling
+        :meth:`~repro.replication.cache.DataCache.subscribe_table` once
+        per entry; it exists so a sharded deployment is one expression::
+
+            system.add_source("feeds", shards=4).add_table(master)
+            cache = system.add_cache("monitor", shards={"links": "feeds"})
+        """
         if cache_id in self._caches:
             raise TrappError(f"cache {cache_id!r} already exists")
         cache = DataCache(cache_id, clock=self.clock.now)
         self._caches[cache_id] = cache
+        for table_name, source in (shards or {}).items():
+            if isinstance(source, str):
+                source = self.source(source)
+            cache.subscribe_table(source, table_name)
         return cache
 
-    def source(self, source_id: str) -> DataSource:
+    def source(self, source_id: str) -> "DataSource | ShardedSource":
         try:
             return self._sources[source_id]
         except KeyError:
@@ -97,14 +144,35 @@ class TrappSystem:
         cost: CostFunc | CostModel | None = None,
         epsilon: float | None = None,
     ) -> BoundedAnswer:
-        """Parse and execute a TRAPP SQL statement against one cache."""
-        from repro.sql.compiler import compile_statement
+        """Parse and execute a TRAPP SQL statement against one cache.
+
+        Single-table statements run the three-step executor; multi-table
+        statements run the §7 join refresh heuristic serially against
+        the cache.  (The concurrent :class:`~repro.service.QueryService`
+        rejects joins — this method is the supported path for them.)
+        ``epsilon`` configures the single-table planner's (1 − ε)
+        approximation only; the join heuristic is greedy per base tuple
+        and has no approximation knob, so joins ignore it.
+        """
+        from repro.sql.compiler import QueryPlan, compile_statement
         from repro.sql.parser import parse_statement
 
         cache = self.cache(cache_id)
         cache.sync_bounds()
         statement = parse_statement(sql)
         plan = compile_statement(statement, cache.catalog)
+        if not isinstance(plan, QueryPlan):
+            from repro.joins.refresh import execute_join_query
+
+            return execute_join_query(
+                plan.tables,
+                plan.aggregate,
+                plan.column,
+                plan.constraint.width,
+                predicate=plan.predicate,
+                refresher=cache,
+                cost=self._resolve_cost(cost),
+            )
         executor = self.executor_for(cache_id, epsilon)
         return executor.execute(
             table=plan.table,

@@ -84,26 +84,34 @@ class _Pending:
 class _TickCostModel(BatchedCostModel):
     """Amortized costs as seen mid-tick: sunk setups are free.
 
-    Same pricing as :class:`BatchedCostModel`, except sources some other
-    query in the same tick already contacts charge no setup — which is
-    exactly what makes pulling tuples from those sources attractive
-    during cross-query rebatching.
+    Same pricing as the wrapped :class:`BatchedCostModel` — including
+    any per-source (per-shard) setup/marginal overrides — except sources
+    some other query in the same tick already contacts charge no setup,
+    which is exactly what makes pulling tuples from those sources
+    attractive during cross-query rebatching.
     """
 
     def __init__(
         self,
-        setup: float,
-        marginal: float,
+        model: BatchedCostModel,
         source_of: Callable[[Row], str],
         contacted: set[str],
     ) -> None:
-        super().__init__(setup=setup, marginal=marginal, source_of=source_of)
+        super().__init__(
+            setup=model.setup,
+            marginal=model.marginal,
+            source_of=source_of,
+            setup_by_source=model.setup_by_source,
+            marginal_by_source=model.marginal_by_source,
+        )
         self._contacted = contacted
 
     def cost_of_set(self, rows: Iterable[Row]) -> float:
         rows = list(rows)
         sunk = {self.source_of(row) for row in rows} & self._contacted
-        return super().cost_of_set(rows) - self.setup * len(sunk)
+        return super().cost_of_set(rows) - sum(
+            self.setup_for(source_id) for source_id in sunk
+        )
 
 
 class RefreshScheduler:
@@ -276,7 +284,9 @@ class RefreshScheduler:
         model = self.cost_model
         if model is None:
             return None
-        return lambda source_id, n_tuples: model.setup + model.marginal * n_tuples
+        # model.batch_cost prices each shard's message with that shard's
+        # own setup/marginal (heterogeneous-shard deployments).
+        return model.batch_cost
 
     def _rebatch_group(
         self,
@@ -316,9 +326,7 @@ class RefreshScheduler:
                 and 0 < len(pending.tids) <= self.rebatch_limit
                 and len(sources_of({row.tid for row in request.rows})) > 1
             ):
-                tick_model = _TickCostModel(
-                    model.setup, model.marginal, source_of, set(contacted)
-                )
+                tick_model = _TickCostModel(model, source_of, set(contacted))
                 improved = rebatch_plan(
                     RefreshPlan(frozenset(pending.tids), 0.0),
                     request.rows,
@@ -338,13 +346,15 @@ class RefreshScheduler:
         Setup is divided evenly among the queries that touched the source;
         each tuple's marginal cost evenly among the queries that requested
         that tuple.  Shares sum exactly to the receipt's total (both are
-        ``setup + marginal · k`` per source).
+        ``setup + marginal · k`` per source, with each shard priced by
+        its own parameters under a per-source model).
         """
         model = self.cost_model
-        setup = model.setup if model is not None else 0.0
-        marginal = model.marginal if model is not None else 1.0
         shares = [0.0] * len(pendings)
         for source_receipt in receipt.per_source:
+            source_id = source_receipt.source_id
+            setup = model.setup_for(source_id) if model is not None else 0.0
+            marginal = model.marginal_for(source_id) if model is not None else 1.0
             users = [
                 index
                 for index, pending in enumerate(pendings)

@@ -170,8 +170,12 @@ class QueryService:
         plan = compile_statement(statement, cache.catalog)
         if not isinstance(plan, QueryPlan):
             raise ServiceError(
-                "the concurrent service serves single-table queries only "
-                "(join refresh plans cannot be coalesced yet)"
+                "the concurrent service serves single-table queries only: "
+                "join refresh plans cannot be coalesced yet (they lack a "
+                "per-table decomposition of the §7 refresh sets).  Run "
+                "join queries directly through TrappSystem.query(), which "
+                "executes them serially against the cache — see "
+                "docs/ARCHITECTURE.md, 'Known limitations'."
             )
         self._admit(client_id, plan, precision_floor, max_inflight)
 

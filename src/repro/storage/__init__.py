@@ -10,7 +10,7 @@ from repro.storage.catalog import Catalog
 from repro.storage.index import IndexSet, SortedIndex
 from repro.storage.row import Row
 from repro.storage.schema import Column, ColumnKind, Schema
-from repro.storage.table import Table
+from repro.storage.table import ShardMap, Table
 
 try:
     from repro.storage.columnar import ColumnStore
@@ -25,6 +25,7 @@ __all__ = [
     "IndexSet",
     "Row",
     "Schema",
+    "ShardMap",
     "SortedIndex",
     "Table",
 ]

@@ -419,6 +419,7 @@ def harvest_candidates(
     predicate=None,
     cost_column: str | None = None,
     cost_value: float = 1.0,
+    cost_array: np.ndarray | None = None,
 ) -> CandidateVectors | None:
     """Emit one query's refresh candidates as parallel vectors.
 
@@ -429,16 +430,19 @@ def harvest_candidates(
     T+ ∪ T? and each T? weight is its bound — optionally Appendix-D
     restricted by ``predicate`` — extended to zero (§6.2).
 
-    Costs are ``cost_value`` everywhere, or read from ``cost_column``
+    Costs are ``cost_value`` everywhere, read from ``cost_column``
     (which must be a numeric, currently-exact column — the row-path
-    contract of :func:`repro.core.refresh.base.cost_from_column`);
-    ``None`` is returned when that contract fails so callers can fall
+    contract of :func:`repro.core.refresh.base.cost_from_column`), or
+    taken verbatim from ``cost_array`` — a tuple-id-ordered vector a
+    caller already resolved, e.g. :func:`cost_vector` evaluating a
+    per-source cost map over a shard/source column.  ``None`` is
+    returned when the cost-column contract fails so callers can fall
     back to the row-at-a-time path.
     """
     if store.is_text(column):
         return None
-    costs_from: np.ndarray | None = None
-    if cost_column is not None:
+    costs_from: np.ndarray | None = cost_array
+    if cost_column is not None and costs_from is None:
         if store.is_text(cost_column) or not store.column_exact(cost_column):
             return None
         costs_from = store.endpoints(cost_column)[0]
@@ -503,15 +507,47 @@ def harvest_candidates(
 def cost_vector(store: ColumnStore, kind: tuple[str, object] | None) -> np.ndarray | None:
     """Per-tuple refresh costs in tuple-id order for a tagged cost kind.
 
-    ``kind`` comes from :func:`repro.core.refresh.base.vector_cost_of`;
-    ``None`` (opaque callable, text column, or a cost column that is not
-    currently exact — the row path would raise on reading it anyway)
-    means the caller must fall back to row-at-a-time costing.
+    ``kind`` comes from :func:`repro.core.refresh.base.vector_cost_of`:
+    ``("uniform", value)`` broadcasts a constant, ``("column", name)``
+    reads an exact numeric column, and ``("source", (column, costs,
+    default))`` — the per-source amortized models — maps a source-id
+    column through a cost table in one vectorized pass.  ``None``
+    (opaque callable, a bounded cost column that is not currently exact,
+    or a source column of the wrong kind — the row path would raise on
+    reading it anyway) means the caller must fall back to row-at-a-time
+    costing.
     """
     if kind is None:
         return None
     if kind[0] == "uniform":
         return np.full(len(store), float(kind[1]))
+    if kind[0] == "source":
+        column, costs, default = kind[1]
+        if column not in store.schema:
+            # The row path prices tables without the source column at
+            # the default (``row.get``); fall back rather than raise.
+            return None
+        if store.is_text(column):
+            values = store.text_values(column)
+        elif store.column_exact(column):
+            values = store.endpoints(column)[0]
+        else:
+            return None
+        if not len(values):
+            return np.empty(0, dtype=np.float64)
+        # Python-level dict lookups only for the *distinct* source ids
+        # (a handful of shards), then one vectorized gather — n-row
+        # tables keep the planner's per-query work off the Python heap.
+        try:
+            uniques, inverse = np.unique(values, return_inverse=True)
+        except TypeError:  # unorderable mixed values: row path handles them
+            return None
+        mapped = np.fromiter(
+            (costs.get(value, default) for value in uniques.tolist()),
+            dtype=np.float64,
+            count=len(uniques),
+        )
+        return mapped[inverse]
     column = str(kind[1])
     if store.is_text(column) or not store.column_exact(column):
         return None

@@ -21,7 +21,15 @@ from typing import Awaitable, Callable
 from repro.workloads.queries import QuerySpec, QueryWorkload
 from repro.storage.table import Table
 
-__all__ = ["ClientScript", "ClosedLoopResult", "closed_loop_scripts", "run_closed_loop"]
+__all__ = [
+    "ClientScript",
+    "ClosedLoopResult",
+    "closed_loop_scripts",
+    "run_closed_loop",
+    "shard_marginals",
+    "sharded_service_system",
+    "sharded_sum_scripts",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,6 +114,120 @@ def closed_loop_scripts(
                     _spec_to_sql(_empty_safe(generator.next_query()), table.name)
                 )
         scripts.append(ClientScript(client_id=f"client-{index:02d}", sqls=tuple(sqls)))
+    return scripts
+
+
+# ----------------------------------------------------------------------
+# Sharded variant: one logical table partitioned across N shard sources
+# ----------------------------------------------------------------------
+def shard_marginals(
+    n_shards: int,
+    marginal_range: tuple[float, float] = (1.0, 10.0),
+    source_id: str = "net",
+) -> dict[str, float]:
+    """Per-shard marginal refresh costs with a fan-in-independent mean.
+
+    Shard ``i`` of ``N`` charges ``lo + (hi − lo)·(i + ½)/N`` per tuple:
+    evenly spaced over ``marginal_range`` with the *same mean* at every
+    fan-in (``(lo + hi)/2``), so sweeping the shard count changes only
+    how much cost heterogeneity the planner can exploit — the cheapest
+    shard's marginal falls as ``lo + (hi − lo)/2N`` — never the average
+    price of the deployment.  This is the §8.2 regime where steering
+    refresh batches toward cheap, already-contacted shards pays.
+    """
+    lo, hi = marginal_range
+    return {
+        f"{source_id}/{i}": lo + (hi - lo) * (i + 0.5) / n_shards
+        for i in range(n_shards)
+    }
+
+
+def sharded_service_system(
+    n_shards: int,
+    n_links: int = 600,
+    seed: int = 11,
+    setup: float = 4.0,
+    marginal_range: tuple[float, float] = (1.0, 10.0),
+    source_id: str = "net",
+    cache_id: str = "monitor",
+    clock_advance: float = 50.0,
+):
+    """A TRAPP deployment serving one netmon table sharded N ways.
+
+    Builds the same ``links`` master data for every fan-in (same seed ⇒
+    same tuples, bounds, and widths), stripes it round-robin across
+    ``n_shards`` shard sources named ``<source_id>/<i>``, and overwrites
+    each link's ``cost`` column with its owning shard's marginal — the
+    *per-shard cost column* that keeps CHOOSE_REFRESH on the columnar
+    path (``cost_from_column("cost")`` →
+    :func:`~repro.storage.columnar.harvest_candidates`) while pricing
+    tuples by shard.
+
+    Returns ``(system, cost_model)``: the system has one cache
+    subscribed to the sharded table with bounds synced at
+    ``clock_advance``, and the
+    :class:`~repro.extensions.batching.BatchedCostModel` carries the
+    matching per-shard marginals for the refresh scheduler's amortized
+    accounting.
+    """
+    from repro.extensions.batching import BatchedCostModel
+    from repro.replication.sharding import round_robin
+    from repro.replication.system import TrappSystem
+    from repro.workloads.netmon import build_master_table, generate_topology
+
+    rng = random.Random(seed)
+    master = build_master_table(
+        generate_topology(max(2, n_links // 3), n_links, rng), rng
+    )
+    marginals = shard_marginals(n_shards, marginal_range, source_id)
+    for row in master.rows():
+        shard_id = f"{source_id}/{round_robin(row.tid, n_shards)}"
+        master.update_value(row.tid, "cost", marginals[shard_id])
+
+    system = TrappSystem()
+    system.add_source(source_id, shards=n_shards).add_table(master)
+    system.add_cache(cache_id, shards={"links": source_id})
+    system.clock.advance(clock_advance)
+    system.cache(cache_id).sync_bounds()
+
+    lo, hi = marginal_range
+    model = BatchedCostModel(
+        setup=setup,
+        marginal=(lo + hi) / 2,
+        marginal_by_source=marginals,
+    )
+    return system, model
+
+
+def sharded_sum_scripts(
+    table: Table,
+    n_clients: int,
+    queries_per_client: int,
+    seed: int = 11,
+    removal_range: tuple[float, float] = (0.01, 0.05),
+    column: str = "traffic",
+) -> list[ClientScript]:
+    """Per-client SUM scripts sized to the table's current total width.
+
+    Each query's ``WITHIN`` budget asks to remove a fraction drawn from
+    ``removal_range`` of the table's total bound width — small enough
+    that even at high shard fan-in the cheapest shard alone can supply
+    the width, which is what lets the planner and the cross-query
+    rebatcher concentrate refresh batches on cheap shards.  Budgets are
+    computed once against the current widths, so every fan-in of the
+    same seed sees an identical workload.
+    """
+    total = sum(row.bound(column).width for row in table.rows())
+    rng = random.Random(seed)
+    scripts = []
+    for index in range(n_clients):
+        sqls = tuple(
+            f"SELECT SUM({column}) "
+            f"WITHIN {total * (1 - rng.uniform(*removal_range)):.6f} "
+            f"FROM {table.name}"
+            for _ in range(queries_per_client)
+        )
+        scripts.append(ClientScript(client_id=f"client-{index:02d}", sqls=sqls))
     return scripts
 
 

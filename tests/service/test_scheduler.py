@@ -346,3 +346,132 @@ class TestAdaptiveTick:
         scheduler._adapt_tick(plans_in_tick=1)
         assert scheduler.tick_interval == 0.0
         assert scheduler.stats.tick_shrinks == 0
+
+
+# ----------------------------------------------------------------------
+class TestPerShardPricing:
+    """Per-source cost parameters: each shard's message is priced (and
+    attributed) with that shard's own setup/marginal."""
+
+    def test_receipts_use_per_shard_parameters(self):
+        table = make_table(4)
+        cache = FakeCache({1: "near", 2: "near", 3: "far", 4: "far"})
+        scheduler = RefreshScheduler(
+            cost_model=BatchedCostModel(
+                setup=10.0,
+                marginal=4.0,
+                setup_by_source={"near": 2.0},
+                marginal_by_source={"near": 1.0},
+            ),
+            rebatch=False,
+        )
+
+        async def go():
+            return await asyncio.gather(
+                scheduler.submit(cache, planned(table, {1, 2})),  # near
+                scheduler.submit(cache, planned(table, {3, 4})),  # far
+            )
+
+        plans = run(go())
+        # near: 2 + 1·2 = 4; far: 10 + 4·2 = 18.
+        assert scheduler.stats.total_cost_paid == pytest.approx(22.0)
+        assert [p.total_cost for p in plans] == [
+            pytest.approx(4.0),
+            pytest.approx(18.0),
+        ]
+        assert sum(p.total_cost for p in plans) == pytest.approx(
+            scheduler.stats.total_cost_paid
+        )
+
+    def test_rebatch_prefers_the_cheap_sunk_shard(self):
+        """With per-shard setups, steering happens toward the shard whose
+        setup the tick already sinks — exactly the §8.2 sharded regime."""
+        schema = Schema([Column("x", ColumnKind.BOUNDED)], name="t")
+        table = Table("t", schema)
+        for _ in range(4):
+            table.insert({"x": Bound(0.0, 10.0)})
+        cache = FakeCache({1: "near", 2: "near", 3: "far", 4: "far"})
+        scheduler = RefreshScheduler(
+            cost_model=BatchedCostModel(
+                setup=50.0,
+                marginal=1.0,
+                setup_by_source={"near": 50.0, "far": 50.0},
+            )
+        )
+        rows = table.rows()
+        widths = {row.tid: 10.0 for row in rows}
+        fixed = planned(table, {1})  # pins shard "near"
+        flexible = PlannedRefresh(
+            table,
+            RefreshPlan(frozenset({3}), 1.0),
+            max_width=30.0,
+            aggregate="SUM",
+            rows=rows,
+            widths=widths,
+            budget_slack=0.0,
+        )
+
+        async def go():
+            return await asyncio.gather(
+                scheduler.submit(cache, fixed),
+                scheduler.submit(cache, flexible),
+            )
+
+        plans = run(go())
+        # The flexible plan abandoned the far shard for the sunk one.
+        assert set(plans[1].tids) <= {1, 2}
+        assert scheduler.stats.source_requests == 1
+
+    def test_sharded_table_end_to_end_per_shard_receipts(self):
+        """Against a real sharded cache: one tick's merged plan fans out
+        into one message per contacted shard, priced per shard."""
+        system = TrappSystemFactory()
+        cache = system.cache("monitor")
+        table = cache.table("links")
+        marginals = {"net/0": 1.0, "net/1": 2.0, "net/2": 3.0}
+        scheduler = RefreshScheduler(
+            cost_model=BatchedCostModel(
+                setup=5.0, marginal=2.0, marginal_by_source=marginals
+            ),
+            rebatch=False,
+        )
+        by_shard = {
+            shard: sorted(table.shard_map.tids_of(shard))
+            for shard in table.shard_map.shards()
+        }
+
+        async def go():
+            return await asyncio.gather(
+                scheduler.submit(
+                    cache, planned(table, set(by_shard["net/0"][:2]))
+                ),
+                scheduler.submit(
+                    cache, planned(table, set(by_shard["net/2"][:3]))
+                ),
+            )
+
+        plans = run(go())
+        assert scheduler.stats.source_requests == 2
+        # shard 0: 5 + 1·2 = 7; shard 2: 5 + 3·3 = 14.
+        assert scheduler.stats.total_cost_paid == pytest.approx(7.0 + 14.0)
+        assert plans[0].total_cost == pytest.approx(7.0)
+        assert plans[1].total_cost == pytest.approx(14.0)
+
+
+def TrappSystemFactory():
+    """A 3-shard netmon system with synced bounds (helper for the class
+    above; module-level so test order cannot shadow it)."""
+    import random
+
+    from repro.replication.system import TrappSystem
+    from repro.workloads.netmon import build_master_table, generate_topology
+
+    rng = random.Random(5)
+    system = TrappSystem()
+    system.add_source("net", shards=3).add_table(
+        build_master_table(generate_topology(4, 12, rng), rng)
+    )
+    system.add_cache("monitor", shards={"links": "net"})
+    system.clock.advance(50.0)
+    system.cache("monitor").sync_bounds()
+    return system
