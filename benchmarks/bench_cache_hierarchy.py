@@ -1,0 +1,325 @@
+"""Cache replication fan-out: refresh cost per answer vs cache count (ISSUE 5).
+
+TRAPP is a replication system — bounded values live in caches near users —
+yet until the :class:`~repro.replication.fanout.CacheGroup` subsystem every
+deployment served all clients from one cache.  This benchmark sweeps the
+number of regional replica caches (1 → 8) behind one group, all
+replicating one netmon ``links`` table striped across a fixed set of
+shard sources, under a multi-client closed-loop SUM workload routed
+sticky-by-client across the replicas.
+
+Per-(cache, shard) setup costs come from
+:func:`repro.workloads.service.regional_setups` — a circulant layout
+whose *mean* setup is independent of the cache count, while the cheapest
+replica's setup for any shard falls as ``lo + (hi − lo)/2K``.  Sweeping K
+therefore changes only how much placement choice the scheduler has, never
+the average price of the deployment.  Two modes run at every K:
+
+* **coalesced** — fan-out on, ``cross_cache=True``: the scheduler merges
+  all replicas' plans per source each tick, dispatches one batched
+  message per shard through the cheapest replica, and source-side
+  fan-out hands the refreshed values to every sibling;
+* **independent** — fan-out off, ``cross_cache=False``: same topology and
+  cost heterogeneity, but each replica schedules and pays for its own
+  refreshes (the pre-group behavior, replicated K times).
+
+The metric is **total refresh cost actually paid per answered query**
+(scheduler receipts).  Coalesced must *decrease* as K grows (cheapest-
+replica dispatch plus group-wide bound tightening beat the single-cache
+baseline), and must beat independent at fan-out 4 — the acceptance
+criteria asserted below.  Independent grows roughly linearly with K
+(every replica re-pays setups the group pays once), which is the gap
+replication fan-out closes.
+
+Results merge into ``BENCH_cache_hierarchy.json``: full-size runs write
+the ``full`` section, ``--smoke`` runs (CI) write the ``smoke`` section
+and additionally fail if coalesced cost per answer at the highest
+fan-out regressed more than 1.5× over the committed baseline (cost
+accounting is cost-model arithmetic, not wall time; the adaptive tick
+makes per-tick coalescing mildly scheduling-dependent, which the 1.5×
+margin absorbs).
+
+Environment knobs: ``BENCH_HIERARCHY_LINKS`` (600),
+``BENCH_HIERARCHY_SHARDS`` (4), ``BENCH_HIERARCHY_CLIENTS`` (12),
+``BENCH_HIERARCHY_QUERIES`` (6), ``BENCH_HIERARCHY_ROUNDS`` (3),
+``BENCH_HIERARCHY_FANOUTS`` ("1,2,4,8"), ``BENCH_HIERARCHY_MIN_GAIN``,
+``BENCH_HIERARCHY_SMOKE`` (0).  ``python benchmarks/bench_cache_hierarchy.py
+--smoke`` sets the CI smoke profile.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.tables import banner, print_table
+from repro.service import QueryService
+from repro.workloads.service import (
+    regional_cache_system,
+    run_closed_loop,
+    sharded_sum_scripts,
+)
+
+SMOKE = os.environ.get("BENCH_HIERARCHY_SMOKE", "0") == "1"
+N_LINKS = int(os.environ.get("BENCH_HIERARCHY_LINKS", "240" if SMOKE else "600"))
+N_SHARDS = int(os.environ.get("BENCH_HIERARCHY_SHARDS", "4"))
+N_CLIENTS = int(os.environ.get("BENCH_HIERARCHY_CLIENTS", "8" if SMOKE else "12"))
+QUERIES = int(os.environ.get("BENCH_HIERARCHY_QUERIES", "3" if SMOKE else "6"))
+ROUNDS = int(os.environ.get("BENCH_HIERARCHY_ROUNDS", "2" if SMOKE else "3"))
+FANOUTS = tuple(
+    int(f)
+    for f in os.environ.get("BENCH_HIERARCHY_FANOUTS", "1,2,4,8").split(",")
+)
+#: Coalesced cost-per-answer at 1 cache over coalesced cost-per-answer at
+#: the highest cache count — the replication gain the group must deliver.
+#: The setup spread alone bounds it by ~(lo+hi)/2 ÷ (lo+(hi−lo)/2K) on
+#: the setup fraction of the bill.
+MIN_GAIN = float(
+    os.environ.get("BENCH_HIERARCHY_MIN_GAIN", "1.2" if SMOKE else "1.3")
+)
+#: Consecutive cache counts may not *increase* coalesced cost per answer
+#: beyond this slack (closed-loop interleaving adds a little
+#: nondeterminism).
+MONOTONE_SLACK = 1.05
+#: Coalesced must beat independent at this fan-out by at least this
+#: factor (the CI acceptance criterion for cross-cache coalescing).
+BEAT_INDEPENDENT_AT = 4
+BEAT_INDEPENDENT_BY = 1.5
+#: CI guard: smoke cost-per-answer at max fan-out vs the committed baseline.
+SMOKE_REGRESSION_LIMIT = 1.5
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_cache_hierarchy.json"
+SEED = 20000521
+GROUP_ID = "edge"
+
+
+async def _run_mode(n_caches: int, coalesced: bool) -> dict:
+    """One closed-loop serving run at one cache count, one mode."""
+    system, model = regional_cache_system(
+        n_caches,
+        n_shards=N_SHARDS,
+        n_links=N_LINKS,
+        seed=SEED,
+        group_id=GROUP_ID,
+        fanout=coalesced,
+    )
+    service = QueryService(
+        system,
+        max_inflight=64,
+        cost_model=model,
+        adaptive_tick=True,
+        cross_cache=coalesced,
+    )
+    group = system.group(GROUP_ID)
+    table = group.cache(f"{GROUP_ID}/0").table("links")
+    scripts = sharded_sum_scripts(table, N_CLIENTS, QUERIES, seed=SEED)
+
+    async def issue(client_id: str, sql: str):
+        return await service.query(GROUP_ID, sql, client_id=client_id)
+
+    completed = 0
+    for _ in range(ROUNDS):
+        system.clock.advance(5.0)
+        for cache in group:
+            cache.sync_bounds()
+        result = await run_closed_loop(issue, scripts)
+        assert result.errors == 0, "hierarchy serving run must be error-free"
+        completed += result.completed
+
+    stats = service.stats()
+    scheduler = stats["scheduler"]
+    return {
+        "caches": n_caches,
+        "mode": "coalesced" if coalesced else "independent",
+        "answers": completed,
+        "total_cost_paid": scheduler["total_cost_paid"],
+        "cost_per_answer": scheduler["total_cost_paid"] / completed,
+        "source_requests": scheduler["source_requests"],
+        "tuples_refreshed": scheduler["tuples_refreshed"],
+        "cross_cache_merges": scheduler["cross_cache_merges"],
+        "leader_redirects": scheduler["leader_redirects"],
+        "result_invalidations": stats["result_cache"]["invalidations"],
+    }
+
+
+@pytest.fixture(scope="module")
+def hierarchy_series():
+    series = []
+    for n_caches in FANOUTS:
+        coalesced = asyncio.run(_run_mode(n_caches, True))
+        independent = asyncio.run(_run_mode(n_caches, False))
+        series.append({"coalesced": coalesced, "independent": independent})
+    return series
+
+
+def test_cost_per_answer_falls_with_cache_fanout(hierarchy_series):
+    """The acceptance criterion: replication fan-out pays, and grows with K."""
+    banner(
+        f"Cache hierarchy — {N_LINKS} links x {N_SHARDS} shards, "
+        f"{N_CLIENTS} clients × {QUERIES} queries × {ROUNDS} rounds"
+    )
+    print_table(
+        ["caches", "answers", "coalesced c/a", "independent c/a", "msgs", "redirects"],
+        [
+            (
+                run["coalesced"]["caches"],
+                run["coalesced"]["answers"],
+                run["coalesced"]["cost_per_answer"],
+                run["independent"]["cost_per_answer"],
+                run["coalesced"]["source_requests"],
+                run["coalesced"]["leader_redirects"],
+            )
+            for run in hierarchy_series
+        ],
+    )
+    coalesced = [run["coalesced"] for run in hierarchy_series]
+    gain = coalesced[0]["cost_per_answer"] / coalesced[-1]["cost_per_answer"]
+    print(
+        f"replication gain (1 → {FANOUTS[-1]} caches, coalesced): {gain:.2f}x"
+    )
+
+    _merge_results(
+        {
+            "links": N_LINKS,
+            "shards": N_SHARDS,
+            "clients": N_CLIENTS,
+            "queries_per_client": QUERIES,
+            "rounds": ROUNDS,
+            "series": hierarchy_series,
+            "replication_gain": gain,
+        }
+    )
+    _check_smoke_regression(coalesced[-1]["cost_per_answer"])
+
+    for earlier, later in zip(coalesced, coalesced[1:]):
+        assert later["cost_per_answer"] <= (
+            earlier["cost_per_answer"] * MONOTONE_SLACK
+        ), (
+            f"coalesced cost per answer rose from {earlier['caches']} caches "
+            f"({earlier['cost_per_answer']:.3f}) to {later['caches']} caches "
+            f"({later['cost_per_answer']:.3f})"
+        )
+    assert gain >= MIN_GAIN, (
+        f"replication fan-out must cut cost per answer >= {MIN_GAIN:g}x by "
+        f"{FANOUTS[-1]} caches, got {gain:.2f}x"
+    )
+
+
+def test_coalesced_beats_independent_caches(hierarchy_series):
+    """Cross-cache coalescing must beat K independent schedulers."""
+    by_caches = {run["coalesced"]["caches"]: run for run in hierarchy_series}
+    if BEAT_INDEPENDENT_AT not in by_caches:
+        pytest.skip(f"fan-out {BEAT_INDEPENDENT_AT} not configured")
+    run = by_caches[BEAT_INDEPENDENT_AT]
+    coalesced = run["coalesced"]["cost_per_answer"]
+    independent = run["independent"]["cost_per_answer"]
+    assert coalesced * BEAT_INDEPENDENT_BY <= independent, (
+        f"at fan-out {BEAT_INDEPENDENT_AT}, coalesced cost/answer "
+        f"{coalesced:.3f} must beat independent {independent:.3f} by "
+        f">= {BEAT_INDEPENDENT_BY:g}x"
+    )
+
+
+def test_cross_cache_machinery_engaged(hierarchy_series):
+    """Fan-out > 1 must actually merge plans across caches and redirect
+    batches through cheaper replicas — the mechanisms, not just the
+    outcome."""
+    multi = [
+        run["coalesced"]
+        for run in hierarchy_series
+        if run["coalesced"]["caches"] > 1
+    ]
+    if not multi:
+        pytest.skip("no multi-cache fan-out configured")
+    assert any(run["cross_cache_merges"] > 0 for run in multi), (
+        "no tick ever merged plans from two caches of the group"
+    )
+    assert any(run["leader_redirects"] > 0 for run in multi), (
+        "no source batch was ever dispatched through a cheaper sibling"
+    )
+    for run in multi:
+        assert run["source_requests"] < run["tuples_refreshed"], (
+            f"{run['caches']} caches: {run['source_requests']} messages for "
+            f"{run['tuples_refreshed']} tuples — batching is not amortizing"
+        )
+
+
+# ----------------------------------------------------------------------
+def _load_results() -> dict:
+    if RESULTS_PATH.exists():
+        try:
+            return json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            pass
+    return {"benchmark": "cache_hierarchy"}
+
+
+def _merge_results(section: dict) -> None:
+    """Update this run's profile section, preserving the other's numbers."""
+    results = _load_results()
+    results["smoke" if SMOKE else "full"] = section
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def _check_smoke_regression(cost_per_answer: float) -> None:
+    """CI tripwire: smoke cost-per-answer vs the committed baseline."""
+    if not SMOKE:
+        return
+    baseline = _load_results().get("smoke_baseline")
+    if not baseline or baseline.get("links") != N_LINKS:
+        return
+    limit = baseline["cost_per_answer_max_fanout"] * SMOKE_REGRESSION_LIMIT
+    assert cost_per_answer <= limit, (
+        f"smoke cost per answer {cost_per_answer:.3f} at {FANOUTS[-1]} caches "
+        f"regressed more than {SMOKE_REGRESSION_LIMIT:g}x over the committed "
+        f"baseline {baseline['cost_per_answer_max_fanout']:.3f}"
+    )
+
+
+def _record_smoke_baseline() -> None:
+    """Refresh the committed smoke baseline from the current smoke numbers."""
+    results = _load_results()
+    smoke = results.get("smoke")
+    if smoke:
+        results["smoke_baseline"] = {
+            "links": smoke["links"],
+            "cost_per_answer_max_fanout": smoke["series"][-1]["coalesced"][
+                "cost_per_answer"
+            ],
+        }
+        RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI profile: reduced sizes, relaxed floors, baseline tripwire",
+    )
+    parser.add_argument(
+        "--record-baseline", action="store_true",
+        help="with --smoke: update the committed smoke baseline afterwards",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        os.environ["BENCH_HIERARCHY_SMOKE"] = "1"
+        # Re-exec so the module-level knobs pick the smoke profile up.
+        if not SMOKE:
+            import subprocess
+
+            code = subprocess.call(
+                [sys.executable, __file__]
+                + (["--record-baseline"] if args.record_baseline else []),
+                env={**os.environ},
+            )
+            raise SystemExit(code)
+    code = pytest.main([__file__, "-q", "-s"])
+    if code == 0 and SMOKE and args.record_baseline:
+        _record_smoke_baseline()
+    raise SystemExit(code)

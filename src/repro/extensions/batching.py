@@ -44,6 +44,12 @@ class BatchedCostModel:
     leans on exactly this: the planner steers refreshes toward cheap
     shards, and the scheduler's receipts price each shard's message with
     that shard's own parameters.
+
+    ``calibrator`` replaces the manual maps with *measured* pricing: a
+    :class:`~repro.replication.calibration.CostCalibrator` whose EWMA
+    ``(setup, marginal)`` estimates — fitted from observed network round
+    trips — take precedence for every source with enough observations;
+    unmeasured sources fall back to the maps/defaults as priors.
     """
 
     setup: float = 5.0
@@ -51,15 +57,24 @@ class BatchedCostModel:
     source_of: SourceOf = field(default=lambda row: str(row.get("source", "")))
     setup_by_source: Mapping[str, float] | None = None
     marginal_by_source: Mapping[str, float] | None = None
+    calibrator: "object | None" = None
 
     def setup_for(self, source_id: str) -> float:
-        """One source's per-message setup cost."""
+        """One source's per-message setup cost (measured, else configured)."""
+        if self.calibrator is not None:
+            measured = self.calibrator.setup_for(source_id)
+            if measured is not None:
+                return measured
         if self.setup_by_source is None:
             return self.setup
         return float(self.setup_by_source.get(source_id, self.setup))
 
     def marginal_for(self, source_id: str) -> float:
-        """One source's per-tuple marginal cost."""
+        """One source's per-tuple marginal cost (measured, else configured)."""
+        if self.calibrator is not None:
+            measured = self.calibrator.marginal_for(source_id)
+            if measured is not None:
+                return measured
         if self.marginal_by_source is None:
             return self.marginal
         return float(self.marginal_by_source.get(source_id, self.marginal))
@@ -100,11 +115,20 @@ class BatchedCostModel:
         """
         upper = self.naive_upper_bound
         wrapper = lambda row: upper(row)  # noqa: E731 - taggable wrapper
-        if self.setup_by_source is None and self.marginal_by_source is None:
+        calibrated = (
+            set(self.calibrator.estimates()) if self.calibrator is not None else set()
+        )
+        if (
+            self.setup_by_source is None
+            and self.marginal_by_source is None
+            and not calibrated
+        ):
             wrapper.vector_cost = ("uniform", self.setup + self.marginal)
         elif source_column is not None:
-            sources = set(self.setup_by_source or ()) | set(
-                self.marginal_by_source or ()
+            sources = (
+                set(self.setup_by_source or ())
+                | set(self.marginal_by_source or ())
+                | calibrated
             )
             wrapper.vector_cost = (
                 "source",

@@ -29,6 +29,7 @@ from repro.replication.messages import (
     CardinalityChange,
     ObjectKey,
     Refresh,
+    RefreshReason,
     RefreshRequest,
 )
 from repro.replication.source import DataSource
@@ -98,14 +99,24 @@ class DataCache:
         self.clock = clock
         self.catalog = Catalog()
         self._subscriptions: dict[ObjectKey, _Subscription] = {}
+        #: Per-table view of the subscription keys, maintained alongside
+        #: ``_subscriptions`` — routers and registries ask per-table
+        #: questions on hot paths and must not scan every table's keys.
+        self._keys_by_table: dict[str, set[ObjectKey]] = {}
         self._sources: dict[str, DataSource] = {}
         #: Cached tables whose tuples are partitioned across shard
         #: sources; cardinality messages for these must keep the shard
         #: map routed.
         self._sharded_tables: set[str] = set()
+        #: The :class:`~repro.replication.fanout.CacheGroup` this cache
+        #: replicates within, or ``None`` for a standalone cache.  Set by
+        #: :meth:`CacheGroup.add_replica`; the cache reports subsequent
+        #: subscriptions to it so the group's registry stays current.
+        self.group = None
         # Statistics for experiments.
         self.refreshes_received = 0
         self.refresh_requests_sent = 0
+        self.fanout_refreshes_received = 0
 
     # ------------------------------------------------------------------
     # Subscription
@@ -137,10 +148,23 @@ class DataCache:
                 f"cache {self.cache_id!r} already caches table {table_name!r}"
             )
         shards = getattr(source, "shards", None)
+        if self.group is not None:
+            # Vet the subscription against the group's invariants (fan-out
+            # conflicts, replica source-set homogeneity) before touching
+            # any state — a rejection must not leave a partial
+            # subscription or a stale registry entry behind.
+            incoming = (source,) if shards is None else tuple(shards)
+            self.group.check_subscription(
+                self, table_name, incoming, one_to_one=shards is None
+            )
         if shards is None:
             master = source.table(table_name)
             cached = self.catalog.create_table(table_name, master.schema)
             self._subscribe_partition(source, master, cached, policy_factory)
+            if self.group is not None:
+                self.group._on_subscribe(
+                    self, table_name, (source,), one_to_one=True
+                )
         else:
             partitions = source.partitions(table_name)
             # Validate disjointness *before* touching any cache state: a
@@ -166,7 +190,56 @@ class DataCache:
                 self._subscribe_partition(
                     shard, partition, cached, policy_factory, record_shard=True
                 )
+            if self.group is not None:
+                self.group._on_subscribe(
+                    self, table_name, tuple(shard for shard, _ in partitions)
+                )
         return cached
+
+    def _add_subscription(self, key: ObjectKey, subscription: _Subscription) -> None:
+        self._subscriptions[key] = subscription
+        self._keys_by_table.setdefault(key.table, set()).add(key)
+
+    def _drop_subscription(self, key: ObjectKey) -> None:
+        if self._subscriptions.pop(key, None) is not None:
+            self._keys_by_table[key.table].discard(key)
+
+    def subscribed_sources(self) -> "list[DataSource]":
+        """Every physical source (shard) this cache subscribes to."""
+        return [self._sources[source_id] for source_id in sorted(self._sources)]
+
+    def current_table_width(
+        self, table_name: str, now: float | None = None
+    ) -> float:
+        """Total bound width of one table's subscriptions *right now*.
+
+        Evaluates every subscribed bound function at ``now`` (default:
+        the cache's clock) rather than reading the materialized cells,
+        which only reflect the last ``sync_bounds`` — an idle replica's
+        cells look deceptively tight while its true bounds have widened.
+        Read-only: no cell is rewritten, no planner epoch is bumped.
+        """
+        now = self.clock() if now is None else now
+        return sum(
+            2.0 * self._subscriptions[key].bound_function.half_width_at(now)
+            for key in self._keys_by_table.get(table_name, ())
+        )
+
+    def source_ids_of_table(self, table_name: str) -> frozenset[str]:
+        """Source (shard) ids serving one cached table's subscriptions.
+
+        Derived from the live subscription map plus the shard routing, so
+        it reflects what the cache can actually refresh; shards that
+        currently own no tuples are invisible here (callers comparing
+        source sets should compare by subset, not equality).
+        """
+        ids = {
+            self._subscriptions[key].source.source_id
+            for key in self._keys_by_table.get(table_name, ())
+        }
+        if table_name in self.catalog:
+            ids.update(self.catalog.table(table_name).shard_map.shards())
+        return frozenset(ids)
 
     def _subscribe_partition(
         self,
@@ -193,7 +266,9 @@ class DataCache:
                 key = ObjectKey(cached.name, row.tid, column.name)
                 policy = policy_factory() if policy_factory is not None else None
                 payload = source.register(self.cache_id, key, policy=policy)
-                self._subscriptions[key] = _Subscription(source, payload.bound_function)
+                self._add_subscription(
+                    key, _Subscription(source, payload.bound_function)
+                )
                 cached.update_value(
                     row.tid, column.name, payload.bound_function.at(self.clock())
                 )
@@ -339,6 +414,8 @@ class DataCache:
 
     def _apply_refresh(self, refresh: Refresh) -> None:
         now = self.clock()
+        if refresh.reason is RefreshReason.FANOUT:
+            self.fanout_refreshes_received += len(refresh.payloads)
         for payload in refresh.payloads:
             key = payload.key
             subscription = self._subscriptions.get(key)
@@ -363,7 +440,9 @@ class DataCache:
             for column in table.schema.bounded_columns:
                 key = ObjectKey(change.table, change.tid, column.name)
                 payload = source.register(self.cache_id, key)
-                self._subscriptions[key] = _Subscription(source, payload.bound_function)
+                self._add_subscription(
+                    key, _Subscription(source, payload.bound_function)
+                )
                 table.update_value(
                     change.tid, column.name, payload.bound_function.at(self.clock())
                 )
@@ -371,9 +450,7 @@ class DataCache:
             if change.tid in table:
                 table.delete(change.tid)
             for column in table.schema.column_names:
-                self._subscriptions.pop(
-                    ObjectKey(change.table, change.tid, column), None
-                )
+                self._drop_subscription(ObjectKey(change.table, change.tid, column))
 
     # ------------------------------------------------------------------
     def table(self, name: str) -> Table:

@@ -1,0 +1,237 @@
+"""Measured per-source refresh pricing (closing PR 4's manual-maps gap).
+
+The §8.2 amortized model prices a refresh message ``setup + marginal · k``
+— but until now the per-source ``setup_by_source``/``marginal_by_source``
+maps of :class:`~repro.extensions.batching.BatchedCostModel` were written
+by hand.  The paper grounds cost in the physical substrate ("node distance
+or network path latency", §1.3), and the simulation layer models exactly
+that: :class:`~repro.simulation.network.LatencyNetwork` delivers messages
+after a per-pair latency plus a per-item transfer cost.  This module
+closes the loop:
+
+* :class:`CostCalibrator` — an online estimator of each source's
+  ``(setup, marginal)`` from observed round-trip ``(batch size, delay)``
+  pairs.  Each observation updates exponentially weighted moments of
+  ``k``, ``d``, ``k²`` and ``k·d`` (an EWMA least-squares regression of
+  delay on batch size), so estimates track drifting network conditions
+  with O(1) state per source;
+* :class:`NetworkProber` — drives echo probes through a
+  :class:`LatencyNetwork`'s event queue and feeds the measured round
+  trips to a calibrator, the way a deployment would measure its shards;
+* a ``calibrator`` hook on :class:`BatchedCostModel` (see
+  :mod:`repro.extensions.batching`): calibrated estimates override the
+  manual maps wherever enough observations exist, and fall back to the
+  configured priors elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import SimulationError, TrappError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.clock import Clock
+    from repro.simulation.events import EventQueue
+    from repro.simulation.network import LatencyNetwork
+
+__all__ = ["CostCalibrator", "NetworkProber"]
+
+#: Below this weighted variance of batch size the regression slope is
+#: numerically meaningless (all probes the same size) and the marginal
+#: estimate stays unavailable.
+_MIN_SIZE_VARIANCE = 1e-9
+
+
+@dataclass(slots=True)
+class _SourceMoments:
+    """EWMA moments of (batch size k, delay d) for one source."""
+
+    observations: int = 0
+    mean_k: float = 0.0
+    mean_d: float = 0.0
+    mean_kk: float = 0.0
+    mean_kd: float = 0.0
+
+    def observe(self, alpha: float, k: float, d: float) -> None:
+        if self.observations == 0:
+            self.mean_k, self.mean_d = k, d
+            self.mean_kk, self.mean_kd = k * k, k * d
+        else:
+            blend = lambda old, new: old + alpha * (new - old)  # noqa: E731
+            self.mean_k = blend(self.mean_k, k)
+            self.mean_d = blend(self.mean_d, d)
+            self.mean_kk = blend(self.mean_kk, k * k)
+            self.mean_kd = blend(self.mean_kd, k * d)
+        self.observations += 1
+
+    def regress(self) -> tuple[float, float] | None:
+        """``(setup, marginal)`` from the weighted moments, or ``None``.
+
+        Ordinary least squares on the EWMA moments: ``marginal`` is the
+        delay-vs-size slope, ``setup`` the intercept; both clamped at 0
+        (a negative round-trip component is measurement noise).
+        """
+        variance = self.mean_kk - self.mean_k * self.mean_k
+        if variance <= _MIN_SIZE_VARIANCE:
+            return None
+        marginal = (self.mean_kd - self.mean_k * self.mean_d) / variance
+        marginal = max(0.0, marginal)
+        setup = max(0.0, self.mean_d - marginal * self.mean_k)
+        return setup, marginal
+
+
+class CostCalibrator:
+    """Online per-source ``(setup, marginal)`` estimates from round trips.
+
+    ``alpha`` is the EWMA gain (1 = trust only the latest probe);
+    ``min_observations`` is how many round trips of *different* batch
+    sizes a source needs before its estimates are served — before that,
+    :meth:`setup_for`/:meth:`marginal_for` return ``None`` and the cost
+    model falls back to its configured priors.
+    """
+
+    def __init__(self, alpha: float = 0.25, min_observations: int = 2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise TrappError(f"EWMA alpha must lie in (0, 1], got {alpha}")
+        if min_observations < 2:
+            raise TrappError(
+                "estimating setup and marginal needs at least 2 observations"
+            )
+        self.alpha = alpha
+        self.min_observations = min_observations
+        self._moments: dict[str, _SourceMoments] = {}
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, source_id: str, n_tuples: int, delay: float) -> None:
+        """Record one measured round trip: ``n_tuples`` cost ``delay``."""
+        if n_tuples < 1:
+            raise TrappError(f"a round trip carries >= 1 tuple, got {n_tuples}")
+        if delay < 0:
+            raise TrappError(f"delay must be non-negative, got {delay}")
+        moments = self._moments.get(source_id)
+        if moments is None:
+            moments = self._moments[source_id] = _SourceMoments()
+        moments.observe(self.alpha, float(n_tuples), float(delay))
+        self.observations += 1
+
+    # ------------------------------------------------------------------
+    def estimate_for(self, source_id: str) -> tuple[float, float] | None:
+        """``(setup, marginal)`` for one source, or ``None`` if unmeasured."""
+        moments = self._moments.get(source_id)
+        if moments is None or moments.observations < self.min_observations:
+            return None
+        return moments.regress()
+
+    def setup_for(self, source_id: str) -> float | None:
+        estimate = self.estimate_for(source_id)
+        return estimate[0] if estimate is not None else None
+
+    def marginal_for(self, source_id: str) -> float | None:
+        estimate = self.estimate_for(source_id)
+        return estimate[1] if estimate is not None else None
+
+    def estimates(self) -> dict[str, tuple[float, float]]:
+        """Every source with a servable ``(setup, marginal)`` estimate."""
+        out: dict[str, tuple[float, float]] = {}
+        for source_id in sorted(self._moments):
+            estimate = self.estimate_for(source_id)
+            if estimate is not None:
+                out[source_id] = estimate
+        return out
+
+    def sources(self) -> list[str]:
+        return sorted(self._moments)
+
+
+class NetworkProber:
+    """Measures source round trips over a simulated network.
+
+    Attaches one echo endpoint per source name (the source side of the
+    probe) plus a collector endpoint for the prober itself, then drives
+    ``(probe out, echo back)`` pairs through the event queue: the observed
+    delay is the *round trip* — both directions' latency plus the
+    per-item transfer cost of ``n_tuples`` items each way — exactly what
+    a batched refresh of ``n_tuples`` pays on this substrate.
+    """
+
+    def __init__(
+        self,
+        network: "LatencyNetwork",
+        events: "EventQueue",
+        clock: "Clock",
+        prober_id: str = "cost-prober",
+    ) -> None:
+        self.network = network
+        self.events = events
+        self.clock = clock
+        self.prober_id = prober_id
+        self._sent_at: dict[int, tuple[str, int, float]] = {}
+        self._next_probe = 0
+        self._pending: list[tuple[str, int, float]] = []
+        self._echoes: set[str] = set()
+        network.attach(prober_id, self._on_echo)
+
+    def attach_echo(self, source_id: str) -> None:
+        """Attach the source-side echo endpoint (idempotent per name)."""
+        if source_id in self._echoes:
+            return
+
+        def echo(sender: str, message: object) -> None:
+            probe_id, n_tuples = message  # type: ignore[misc]
+            self.network.send(source_id, sender, message, items=n_tuples)
+
+        self.network.attach(source_id, echo)
+        self._echoes.add(source_id)
+
+    # ------------------------------------------------------------------
+    def probe(
+        self,
+        calibrator: CostCalibrator,
+        source_ids: Iterable[str],
+        batch_sizes: Sequence[int] = (1, 4, 16),
+        rounds: int = 1,
+    ) -> CostCalibrator:
+        """Round-trip every source at every batch size, feeding estimates.
+
+        Probes are scheduled through the event queue and the queue is
+        stepped only until this round's echoes are all back, so
+        latencies accumulate on the simulated clock the same way refresh
+        traffic would — without executing unrelated events scheduled for
+        *after* the probes or fast-forwarding the containing simulation's
+        clock past them.
+        """
+        if rounds < 1:
+            raise SimulationError(f"probe rounds must be >= 1, got {rounds}")
+        # Materialize once: a generator argument would silently yield
+        # nothing from round 2 on.
+        source_ids = list(source_ids)
+        for _ in range(rounds):
+            for source_id in source_ids:
+                for n_tuples in batch_sizes:
+                    probe_id = self._next_probe
+                    self._next_probe += 1
+                    self._sent_at[probe_id] = (
+                        source_id,
+                        n_tuples,
+                        self.clock.now(),
+                    )
+                    self.network.send(
+                        self.prober_id,
+                        source_id,
+                        (probe_id, n_tuples),
+                        items=n_tuples,
+                    )
+            while self._sent_at and self.events.step():
+                pass
+            for source_id, n_tuples, delay in self._pending:
+                calibrator.observe(source_id, n_tuples, delay)
+            self._pending.clear()
+        return calibrator
+
+    def _on_echo(self, sender: str, message: object) -> None:
+        probe_id, _ = message  # type: ignore[misc]
+        source_id, n_tuples, sent_at = self._sent_at.pop(probe_id)
+        self._pending.append((source_id, n_tuples, self.clock.now() - sent_at))

@@ -1,0 +1,476 @@
+"""Multi-cache replication fan-out: groups of bounded-replica caches.
+
+TRAPP is a *replication* system — bounded values live in caches near
+users while masters stay at the sources (§1, Figure 3) — and one cache
+per deployment was the last single-box assumption left in this repo.  A
+:class:`CacheGroup` organizes N :class:`~repro.replication.cache.DataCache`
+replicas subscribing to overlapping source/shard sets into one logical
+serving tier:
+
+* **subscription registry** — the group tracks which caches hold which
+  table (and, through each cache's tables, which tuples), so routers and
+  schedulers can answer "who can serve this query / absorb this refresh"
+  without probing every cache;
+* **source-side update fan-out** — joining a group flips
+  :attr:`~repro.replication.source.DataSource.refresh_fanout` on every
+  source its members subscribe to, so one cache's paid query-initiated
+  refresh pushes the fresh master value to every sibling tracking the
+  object (a refresh any cache pays for tightens bounds group-wide), and
+  master mutations keep reaching every subscribed cache through the
+  ordinary value-initiated/cardinality protocol;
+* **per-cache placement state** — region labels and per-cache
+  :class:`~repro.extensions.batching.BatchedCostModel`\\ s (a replica near
+  a shard refreshes it cheaply), which the refresh scheduler uses to
+  dispatch each source's batched message from the *cheapest* subscribed
+  replica.
+
+Replicas that subscribe to the same tables at the same time with the same
+width policies evolve in lockstep under fan-out (the source advances every
+sibling's policy through the same feedback sequence), which is what makes
+K caches behind a group answer bit-identically to a single cache — the
+acceptance property in ``tests/property/test_group_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.errors import ReplicationProtocolError, TrappError
+from repro.replication.cache import DataCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.extensions.batching import BatchedCostModel
+    from repro.replication.source import DataSource
+
+__all__ = ["CacheGroup"]
+
+
+_MIN_MODEL_CLS = None
+
+
+def _min_cost_model_class():
+    """Deferred, memoized: fanout must stay importable below extensions."""
+    global _MIN_MODEL_CLS
+    if _MIN_MODEL_CLS is None:
+        from repro.extensions.batching import BatchedCostModel
+
+        class _MinCostModel(BatchedCostModel):
+            """Per-source minimum over several members' cost models."""
+
+            def __init__(self, models) -> None:
+                super().__init__(
+                    setup=min(model.setup for model in models),
+                    marginal=min(model.marginal for model in models),
+                )
+                self._models = tuple(models)
+
+            def setup_for(self, source_id: str) -> float:
+                return min(model.setup_for(source_id) for model in self._models)
+
+            def marginal_for(self, source_id: str) -> float:
+                return min(
+                    model.marginal_for(source_id) for model in self._models
+                )
+
+        _MIN_MODEL_CLS = _MinCostModel
+    return _MIN_MODEL_CLS
+
+
+class CacheGroup:
+    """N bounded-replica caches serving one logical tier.
+
+    ``fanout=True`` (the default) turns on source-side refresh fan-out for
+    every source the members subscribe to; ``fanout=False`` keeps replicas
+    independent (each pays its own refreshes), which the cache-hierarchy
+    benchmark uses as the ablation baseline.
+    """
+
+    def __init__(self, group_id: str, fanout: bool = True) -> None:
+        self.group_id = group_id
+        self.fanout = fanout
+        self._caches: dict[str, DataCache] = {}
+        self._regions: dict[str, str | None] = {}
+        self._cost_models: dict[str, "BatchedCostModel"] = {}
+        #: Subscription registry: table name → cache ids holding it.
+        self._tables: dict[str, set[str]] = {}
+        #: Replica-set invariant: table name → the source (shard) ids its
+        #: replicas subscribe from.  Cross-cache merging and leader
+        #: redirects assume any member can refresh the table's tuples, so
+        #: divergent source sets are rejected at subscribe time.
+        self._table_sources: dict[str, frozenset[str]] = {}
+        #: The subset of ``_table_sources`` that came from *declared*
+        #: subscriptions (subscribe-time shard lists, which see empty
+        #: shards too) — declared sets must match exactly; only
+        #: subscription-derived sets get subset tolerance.
+        self._declared_sources: dict[str, frozenset[str]] = {}
+        #: Tables some member subscribes 1:1 (classic table↔source, no
+        #: shard map).  A 1:1 member can only replicate a 1:1 table, so
+        #: these admit no subset tolerance at all — the discriminator
+        #: that keeps a single-*shard* subscription of a striped table
+        #: (also unsharded from the cache's view) out of the group.
+        self._one_to_one_tables: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_replica(
+        self,
+        cache: DataCache,
+        region: str | None = None,
+        cost_model: "BatchedCostModel | None" = None,
+    ) -> DataCache:
+        """Enroll one cache: registry, region label, cost model, fan-out.
+
+        Subscriptions the cache already holds are absorbed into the
+        registry; later ``subscribe_table`` calls report back through the
+        cache's group pointer.
+        """
+        if cache.cache_id in self._caches:
+            raise ReplicationProtocolError(
+                f"group {self.group_id!r} already contains cache "
+                f"{cache.cache_id!r}"
+            )
+        if cache.group is not None:
+            raise ReplicationProtocolError(
+                f"cache {cache.cache_id!r} already belongs to group "
+                f"{cache.group.group_id!r}; caches replicate within one group"
+            )
+        # Validate everything that can fail *before* mutating any state —
+        # a rejected replica must leave the group, the cache, and every
+        # source exactly as they were.
+        self._check_fanout_conflict(cache.subscribed_sources())
+        absorbed = {
+            table.name: (
+                cache.source_ids_of_table(table.name),
+                not table.is_sharded,
+            )
+            for table in cache.catalog
+        }
+        for table_name, (source_ids, one_to_one) in absorbed.items():
+            self._check_table_sources(
+                table_name, source_ids, declared=False, one_to_one=one_to_one
+            )
+        self._caches[cache.cache_id] = cache
+        self._regions[cache.cache_id] = region
+        if cost_model is not None:
+            self._cost_models[cache.cache_id] = cost_model
+        cache.group = self
+        for table_name, (source_ids, one_to_one) in absorbed.items():
+            self._tables.setdefault(table_name, set()).add(cache.cache_id)
+            self._record_table_sources(
+                table_name, source_ids, declared=False, one_to_one=one_to_one
+            )
+        self._enable_fanout(cache.subscribed_sources())
+        return cache
+
+    def _discard_replica(self, cache: DataCache) -> None:
+        """Undo a just-completed enrollment (creation rollback only).
+
+        Valid only while the cache holds no subscriptions — nothing was
+        recorded in the table registry or the fan-out memberships yet, so
+        dropping the membership entries restores the group exactly.
+        """
+        self._caches.pop(cache.cache_id, None)
+        self._regions.pop(cache.cache_id, None)
+        self._cost_models.pop(cache.cache_id, None)
+        for cache_ids in self._tables.values():
+            cache_ids.discard(cache.cache_id)
+        if cache.group is self:
+            cache.group = None
+
+    def check_subscription(
+        self,
+        cache: DataCache,
+        table_name: str,
+        sources: Iterable["DataSource"],
+        one_to_one: bool = False,
+    ) -> None:
+        """Raise-only pre-check for a member's upcoming subscription.
+
+        Called by :meth:`DataCache.subscribe_table` *before* it touches
+        any state, so a rejected subscription (fan-out conflict, or a
+        source set diverging from the table's other replicas) leaves the
+        cache, the group registry, and the sources untouched.
+        ``one_to_one`` marks the classic unsharded table↔source layout.
+        """
+        sources = tuple(sources)
+        self._check_fanout_conflict(sources)
+        self._check_table_sources(
+            table_name,
+            frozenset(source.source_id for source in sources),
+            declared=True,
+            one_to_one=one_to_one,
+        )
+
+    def _on_subscribe(
+        self,
+        cache: DataCache,
+        table_name: str,
+        sources: Iterable["DataSource"],
+        one_to_one: bool = False,
+    ) -> None:
+        """Registry + fan-out upkeep for one (cache, table) subscription.
+
+        Infallible by construction: :meth:`check_subscription` vetted the
+        same inputs before the subscription was committed.
+        """
+        sources = tuple(sources)
+        self._tables.setdefault(table_name, set()).add(cache.cache_id)
+        self._record_table_sources(
+            table_name,
+            frozenset(source.source_id for source in sources),
+            declared=True,
+            one_to_one=one_to_one,
+        )
+        self._enable_fanout(sources)
+
+    # ------------------------------------------------------------------
+    # Replica-set invariants
+    # ------------------------------------------------------------------
+    def _check_table_sources(
+        self,
+        table_name: str,
+        source_ids: frozenset[str],
+        declared: bool,
+        one_to_one: bool = False,
+    ) -> None:
+        """Replicas of one table must share its source (shard) set.
+
+        The scheduler's cross-cache merge and leader redirect are only
+        sound when any member can refresh the table's tuples from the
+        same sources; two members serving the same table name from
+        different sources would route a redirected batch to the wrong
+        masters — including a member that subscribed a *single shard* of
+        a striped table (each shard's partition carries the table's
+        name), which would answer group queries over a fraction of the
+        tuples.  Two ``declared`` (subscribe-time) sets must therefore be
+        *equal*; subset tolerance applies only when a subscription-derived
+        set is involved, because those cannot see shards that currently
+        own no tuples — and never when either side is a ``one_to_one``
+        (unsharded) layout, whose single source IS its full extent.
+        """
+        if not source_ids:
+            return
+        # 1:1 layouts admit no tolerance in either direction: a member
+        # holding the table unsharded can only be a replica of a table
+        # every other member holds from exactly the same single source.
+        if one_to_one or table_name in self._one_to_one_tables:
+            recorded = self._declared_sources.get(table_name)
+            if recorded is None:
+                recorded = self._table_sources.get(table_name)
+            if recorded is not None and source_ids != recorded:
+                self._raise_divergent(table_name, recorded, source_ids)
+            return
+        declared_recorded = self._declared_sources.get(table_name)
+        if declared and declared_recorded is not None:
+            if source_ids != declared_recorded:
+                self._raise_divergent(table_name, declared_recorded, source_ids)
+            return
+        recorded = declared_recorded
+        if recorded is None:
+            recorded = self._table_sources.get(table_name)
+        if recorded is None:
+            return
+        if not (source_ids <= recorded or recorded <= source_ids):
+            self._raise_divergent(table_name, recorded, source_ids)
+
+    def _raise_divergent(
+        self, table_name: str, recorded: frozenset[str], incoming: frozenset[str]
+    ) -> None:
+        raise ReplicationProtocolError(
+            f"group {self.group_id!r} replicates table {table_name!r} "
+            f"from sources {sorted(recorded)}; a replica subscribing "
+            f"it from {sorted(incoming)} would break cross-cache "
+            "refresh interchangeability"
+        )
+
+    def _record_table_sources(
+        self,
+        table_name: str,
+        source_ids: frozenset[str],
+        declared: bool,
+        one_to_one: bool = False,
+    ) -> None:
+        self._table_sources[table_name] = (
+            self._table_sources.get(table_name, frozenset()) | source_ids
+        )
+        if declared and table_name not in self._declared_sources:
+            self._declared_sources[table_name] = source_ids
+        if one_to_one and source_ids:
+            self._one_to_one_tables.add(table_name)
+
+    def _check_fanout_conflict(self, sources: Iterable["DataSource"]) -> None:
+        """Raise if any source already fans out to a *different* group."""
+        if not self.fanout:
+            return
+        for source in sources:
+            current = source.refresh_fanout
+            if current and current is not True and current is not self:
+                raise ReplicationProtocolError(
+                    f"source {source.source_id!r} already fans out to group "
+                    f"{getattr(current, 'group_id', current)!r}; a source "
+                    "feeds one fan-out group"
+                )
+
+    def _enable_fanout(self, sources: Iterable["DataSource"]) -> None:
+        """Install this group as each source's fan-out membership.
+
+        The group object itself is the membership test (``cache_id in
+        group``), so pushes reach only member caches — a standalone cache
+        sharing the source keeps its own refresh schedule and width
+        policies.  ``refresh_fanout=True`` (set manually) means "push to
+        everyone" and is left alone; a *different* group on the same
+        source was rejected by :meth:`_check_fanout_conflict` before any
+        state changed.
+        """
+        if not self.fanout:
+            return
+        self._check_fanout_conflict(sources)
+        for source in sources:
+            if source.refresh_fanout is True:
+                continue
+            source.refresh_fanout = self
+
+    # ------------------------------------------------------------------
+    # Introspection (the registry routers and schedulers read)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._caches)
+
+    def __iter__(self) -> Iterator[DataCache]:
+        for cache_id in sorted(self._caches):
+            yield self._caches[cache_id]
+
+    def __contains__(self, cache: object) -> bool:
+        if isinstance(cache, DataCache):
+            return cache.group is self
+        return cache in self._caches
+
+    def cache_ids(self) -> list[str]:
+        return sorted(self._caches)
+
+    def cache(self, cache_id: str) -> DataCache:
+        try:
+            return self._caches[cache_id]
+        except KeyError:
+            raise TrappError(
+                f"group {self.group_id!r} has no cache {cache_id!r}"
+            ) from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def caches_of_table(self, table_name: str) -> list[DataCache]:
+        """Replicas subscribed to one table, in deterministic id order."""
+        return [
+            self._caches[cache_id]
+            for cache_id in sorted(self._tables.get(table_name, ()))
+        ]
+
+    def caches_holding(self, table_name: str, tid: int) -> list[str]:
+        """Cache ids currently holding one tuple of a table (tuple-level
+        registry view: subscription minus any straggling deletes)."""
+        return [
+            cache.cache_id
+            for cache in self.caches_of_table(table_name)
+            if tid in cache.table(table_name)
+        ]
+
+    def region_of(self, cache_id: str) -> str | None:
+        self.cache(cache_id)  # raise on unknown ids
+        return self._regions.get(cache_id)
+
+    def cost_model_for(self, cache_id: str) -> "BatchedCostModel | None":
+        """The per-cache refresh cost model, or ``None`` (caller default)."""
+        return self._cost_models.get(cache_id)
+
+    # ------------------------------------------------------------------
+    # Scheduler support: where should a source's batched message go from?
+    # ------------------------------------------------------------------
+    def leader_for_source(
+        self,
+        table_name: str,
+        source_id: str,
+        n_tuples: int,
+        default_model: "BatchedCostModel | None" = None,
+    ) -> tuple[DataCache, "BatchedCostModel | None"]:
+        """The cheapest subscribed replica to dispatch one source's batch.
+
+        Prices ``setup + marginal · n_tuples`` under each candidate's own
+        cost model (falling back to ``default_model``); deterministic
+        cache-id tie-break.  This is the replication win the §8.2 model
+        predicts: with per-region cost heterogeneity, every source's
+        message travels its cheapest path, and fan-out hands the refreshed
+        values to everyone else for free.
+        """
+        candidates = self.caches_of_table(table_name)
+        if not candidates:
+            raise ReplicationProtocolError(
+                f"group {self.group_id!r} has no cache subscribed to table "
+                f"{table_name!r}"
+            )
+        # A replica without any cost model would price as a unit-less
+        # uniform cost and systematically "win" against genuinely cheaper
+        # modeled replicas; rank only candidates the deployment actually
+        # prices (all of them, when nothing is priced).
+        modeled = [
+            cache
+            for cache in candidates
+            if self._model_or_default(cache, default_model) is not None
+        ]
+        pool = modeled if modeled else candidates
+        best: tuple[float, str] | None = None
+        leader = pool[0]
+        leader_model = self._model_or_default(leader, default_model)
+        for cache in pool:
+            model = self._model_or_default(cache, default_model)
+            price = (
+                model.batch_cost(source_id, n_tuples)
+                if model is not None
+                else float(n_tuples)
+            )
+            rank = (price, cache.cache_id)
+            if best is None or rank < best:
+                best = rank
+                leader = cache
+                leader_model = model
+        return leader, leader_model
+
+    def _model_or_default(
+        self, cache: DataCache, default_model: "BatchedCostModel | None"
+    ) -> "BatchedCostModel | None":
+        model = self._cost_models.get(cache.cache_id)
+        return model if model is not None else default_model
+
+    def pricing_model(
+        self, default_model: "BatchedCostModel | None" = None
+    ) -> "BatchedCostModel | None":
+        """The group's *effective* per-source pricing: the cheapest member.
+
+        Leader selection dispatches every source's batch through the
+        member whose model prices it lowest, so what a grouped refresh
+        actually pays for source S is ``min`` over member models — this
+        is the model plan-improvement passes (cross-query rebatching)
+        should optimize against, not any single member's own prices.
+        ``None`` when nothing prices refreshes anywhere.
+        """
+        models = []
+        seen: set[int] = set()
+        for cache_id in sorted(self._caches):
+            model = self._cost_models.get(cache_id)
+            if model is None:
+                model = default_model
+            if model is not None and id(model) not in seen:
+                seen.add(id(model))
+                models.append(model)
+        if not models:
+            return None
+        if len(models) == 1:
+            return models[0]
+        return _min_cost_model_class()(models)
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheGroup({self.group_id!r}, caches={self.cache_ids()!r}, "
+            f"tables={self.table_names()!r}, fanout={self.fanout})"
+        )

@@ -38,6 +38,12 @@ class RefreshReason(enum.Enum):
     VALUE_INITIATED = "value"
     #: A query needed the exact value to meet its precision constraint.
     QUERY_INITIATED = "query"
+    #: Another replica's query-initiated refresh was fanned out to this
+    #: cache: the source piggybacked the fresh master value onto every
+    #: sibling tracking the object, so one paid refresh tightens bounds
+    #: group-wide (the replication fan-out regime of §8.1's multi-cache
+    #: architecture).
+    FANOUT = "fanout"
 
 
 @dataclass(frozen=True, slots=True)

@@ -54,12 +54,18 @@ class RefreshMonitor:
 
     def __init__(self) -> None:
         self._tracked: dict[tuple[str, ObjectKey], _TrackedBound] = {}
+        # Per-object cache index, maintained alongside _tracked: master
+        # updates and fan-out pushes touch one object across many caches,
+        # and scanning every tracked entry per object is O(caches ×
+        # objects) — the index makes both O(caches tracking the object).
+        self._by_key: dict[ObjectKey, set[str]] = {}
 
     def track(
         self, cache_id: str, key: ObjectKey, bound_function: BoundFunction,
         policy: WidthPolicy,
     ) -> None:
         self._tracked[(cache_id, key)] = _TrackedBound(bound_function, policy)
+        self._by_key.setdefault(key, set()).add(cache_id)
 
     def update(self, cache_id: str, key: ObjectKey, bound_function: BoundFunction) -> None:
         entry = self._entry(cache_id, key)
@@ -68,10 +74,15 @@ class RefreshMonitor:
     def forget_cache(self, cache_id: str) -> None:
         for tracked_key in [k for k in self._tracked if k[0] == cache_id]:
             del self._tracked[tracked_key]
+            caches = self._by_key.get(tracked_key[1])
+            if caches is not None:
+                caches.discard(cache_id)
+                if not caches:
+                    del self._by_key[tracked_key[1]]
 
     def forget_object(self, key: ObjectKey) -> None:
-        for tracked_key in [k for k in self._tracked if k[1] == key]:
-            del self._tracked[tracked_key]
+        for cache_id in self._by_key.pop(key, set()):
+            del self._tracked[(cache_id, key)]
 
     def policy(self, cache_id: str, key: ObjectKey) -> WidthPolicy:
         return self._entry(cache_id, key).policy
@@ -81,13 +92,14 @@ class RefreshMonitor:
     ) -> list[tuple[str, _TrackedBound]]:
         """Caches whose bound for ``key`` no longer contains ``value``."""
         out: list[tuple[str, _TrackedBound]] = []
-        for (cache_id, tracked_key), entry in self._tracked.items():
-            if tracked_key == key and not entry.bound_function.contains(value, now):
+        for cache_id in sorted(self._by_key.get(key, ())):
+            entry = self._tracked[(cache_id, key)]
+            if not entry.bound_function.contains(value, now):
                 out.append((cache_id, entry))
         return out
 
     def caches_tracking(self, key: ObjectKey) -> list[str]:
-        return [cid for (cid, k) in self._tracked if k == key]
+        return sorted(self._by_key.get(key, ()))
 
     def entries_for_cache(self, cache_id: str) -> list[tuple[ObjectKey, "_TrackedBound"]]:
         """Every (key, tracked bound) pair held on behalf of one cache."""
@@ -128,6 +140,18 @@ class DataSource:
         #: carry extra payloads for objects near their bound edges.
         self.piggyback = piggyback
         self.piggybacked_refreshes = 0
+        #: Replication fan-out (multi-cache groups): when set, answering
+        #: one cache's query-initiated refresh also pushes the fresh master
+        #: value to sibling caches tracking the object, so a refresh any
+        #: replica pays for tightens bounds group-wide.  ``False`` (the
+        #: default) keeps the classic per-cache protocol; a
+        #: :class:`~repro.replication.fanout.CacheGroup` installs *itself*
+        #: here so pushes reach only its members — caches outside the
+        #: group (a standalone pinned cache sharing the source) keep their
+        #: own refresh schedules and width-policy state; ``True`` pushes
+        #: to every tracking cache regardless.
+        self.refresh_fanout: "bool | object" = False
+        self.fanout_refreshes = 0
         self._tables: dict[str, Table] = {}
         self.monitor = RefreshMonitor()
         self._deliver: dict[str, DeliverFunc] = {}
@@ -203,13 +227,72 @@ class DataSource:
             self.monitor.update(request.cache_id, key, bound_function)
             payloads.append(RefreshPayload(key, value, bound_function))
             self.query_initiated_refreshes += 1
-        payloads.extend(self._piggyback_payloads(request, now))
+        piggybacked = self._piggyback_payloads(request, now)
+        payloads.extend(piggybacked)
+        if self.refresh_fanout:
+            self._fanout_refresh(
+                request, tuple(payload.key for payload in piggybacked), now
+            )
         return Refresh(
             source_id=self.source_id,
             reason=RefreshReason.QUERY_INITIATED,
             payloads=tuple(payloads),
             sent_at=now,
         )
+
+    def _fanout_refresh(
+        self,
+        request: RefreshRequest,
+        piggyback_keys: "tuple[ObjectKey, ...]",
+        now: float,
+    ) -> None:
+        """Push the refreshed objects' fresh values to sibling caches.
+
+        Each sibling's entry advances through the *same* policy sequence
+        as the requester's — ``on_query_initiated`` + ``next_width`` for
+        requested keys, ``next_width`` alone for piggybacked ones — so
+        replicas that subscribed in lockstep stay in lockstep, the
+        invariant behind the group's K-cache ≡ 1-cache answer
+        equivalence.  One :class:`Refresh` message per sibling carries
+        every refreshed object that sibling tracks.  When
+        :attr:`refresh_fanout` is a membership (a
+        :class:`~repro.replication.fanout.CacheGroup`), only its member
+        caches receive pushes.
+        """
+        membership = self.refresh_fanout
+        per_cache: dict[str, list[RefreshPayload]] = {}
+        for keys, query_feedback in ((request.keys, True), (piggyback_keys, False)):
+            for key in keys:
+                value = self._master_value(key)
+                for cache_id in self.monitor.caches_tracking(key):
+                    if cache_id == request.cache_id:
+                        continue
+                    if membership is not True and cache_id not in membership:
+                        continue
+                    policy = self.monitor.policy(cache_id, key)
+                    if query_feedback:
+                        policy.on_query_initiated()
+                    bound_function = BoundFunction(
+                        value_at_refresh=value,
+                        width_parameter=policy.next_width(),
+                        refreshed_at=now,
+                        shape=self.shape,
+                    )
+                    self.monitor.update(cache_id, key, bound_function)
+                    per_cache.setdefault(cache_id, []).append(
+                        RefreshPayload(key, value, bound_function)
+                    )
+        for cache_id, payloads in per_cache.items():
+            self.fanout_refreshes += len(payloads)
+            self._send(
+                cache_id,
+                Refresh(
+                    source_id=self.source_id,
+                    reason=RefreshReason.FANOUT,
+                    payloads=tuple(payloads),
+                    sent_at=now,
+                ),
+            )
 
     def _piggyback_payloads(
         self, request: RefreshRequest, now: float

@@ -29,7 +29,8 @@ from repro.errors import TrappError
 from repro.predicates.ast import Predicate
 from repro.replication.cache import DataCache
 from repro.replication.costs import CostModel
-from repro.replication.sharding import ShardedSource
+from repro.replication.fanout import CacheGroup
+from repro.replication.sharding import Partitioner, ShardedSource, round_robin
 from repro.replication.source import DataSource
 from repro.simulation.clock import Clock
 
@@ -53,6 +54,9 @@ class TrappSystem:
         self.vector_planner = vector_planner
         self._sources: dict[str, DataSource] = {}
         self._caches: dict[str, DataCache] = {}
+        #: Replication fan-out tiers; group ids share the cache-id
+        #: namespace so the query service can route ``query(group_id, …)``.
+        self._groups: dict[str, CacheGroup] = {}
         # Executors are stateless across execute() calls, so one per
         # (cache, epsilon) is reused for every query — the query service
         # calls this path at high rate and must not pay a constructor
@@ -63,7 +67,11 @@ class TrappSystem:
     # Topology
     # ------------------------------------------------------------------
     def add_source(
-        self, source_id: str, shards: int | None = None, **kwargs
+        self,
+        source_id: str,
+        shards: int | None = None,
+        partitioner: Partitioner | None = None,
+        **kwargs,
     ) -> "DataSource | ShardedSource":
         """Create a data source, optionally sharded.
 
@@ -72,19 +80,32 @@ class TrappSystem:
         registered individually, so ``system.source("s1/2")`` resolves);
         master tables added to it are horizontally partitioned, and a
         cache subscribing to it serves one logical table whose refreshes
-        fan out per shard.  ``shards=None`` keeps the classic single
-        source.  ``**kwargs`` (bound shapes, width policies, piggyback)
-        are forwarded to every underlying :class:`DataSource`.
+        fan out per shard.  ``partitioner`` selects the placement policy:
+        the default round-robin on tuple id, or a key-based policy such as
+        :func:`~repro.replication.sharding.hash_by_key` /
+        :func:`~repro.replication.sharding.range_by_key`.  ``shards=None``
+        keeps the classic single source.  ``**kwargs`` (bound shapes,
+        width policies, piggyback) are forwarded to every underlying
+        :class:`DataSource`.
         """
         if source_id in self._sources:
             raise TrappError(f"source {source_id!r} already exists")
         if shards is None:
+            if partitioner is not None:
+                raise TrappError(
+                    "partitioner= requires shards=N; an unsharded source "
+                    "has nothing to partition"
+                )
             source: DataSource | ShardedSource = DataSource(
                 source_id, clock=self.clock.now, **kwargs
             )
         else:
             source = ShardedSource.create(
-                source_id, shards, clock=self.clock.now, **kwargs
+                source_id,
+                shards,
+                partitioner=partitioner if partitioner is not None else round_robin,
+                clock=self.clock.now,
+                **kwargs,
             )
             for shard in source.shards:
                 if shard.source_id in self._sources:
@@ -100,6 +121,9 @@ class TrappSystem:
         self,
         cache_id: str,
         shards: "dict[str, DataSource | ShardedSource | str] | None" = None,
+        group: "CacheGroup | str | None" = None,
+        region: str | None = None,
+        cost_model: "object | None" = None,
     ) -> DataCache:
         """Create a cache, optionally pre-subscribed to (sharded) tables.
 
@@ -111,16 +135,108 @@ class TrappSystem:
 
             system.add_source("feeds", shards=4).add_table(master)
             cache = system.add_cache("monitor", shards={"links": "feeds"})
+
+        ``group`` enrolls the cache in a replication fan-out tier (a
+        :class:`~repro.replication.fanout.CacheGroup` or its id; naming a
+        group that does not exist yet creates it), with an optional
+        ``region`` label and per-cache refresh ``cost_model`` — a
+        :class:`~repro.extensions.batching.BatchedCostModel` pricing this
+        replica's round trips to each source, which the refresh scheduler
+        uses to dispatch every source's batch from the cheapest replica.
+        A regional deployment is then one expression per region::
+
+            system.add_cache("eu", shards={"links": "feeds"},
+                             group="edge", region="eu",
+                             cost_model=eu_costs)
         """
-        if cache_id in self._caches:
+        if cache_id in self._caches or cache_id in self._groups:
             raise TrappError(f"cache {cache_id!r} already exists")
+        if group is None and (region is not None or cost_model is not None):
+            raise TrappError(
+                "region=/cost_model= describe a cache's place in a "
+                "replication tier; pass group= as well"
+            )
+        # Resolve and validate the group *before* registering the cache:
+        # a failure here must not leave a half-registered cache squatting
+        # on the id.
+        group_obj: CacheGroup | None = None
+        #: Set when this call itself put the group into the registry, so
+        #: a creation failure can take it back out.
+        group_registered_here = False
+        if group is not None:
+            if isinstance(group, CacheGroup):
+                registered = self._groups.get(group.group_id)
+                if registered is None:
+                    # Adopt the instance so id-based routing
+                    # (``service.query(group_id, …)``) resolves it, and so
+                    # a later ``add_cache(group="<same id>")`` joins this
+                    # group instead of silently minting a second one.
+                    if group.group_id in self._caches or group.group_id == cache_id:
+                        raise TrappError(
+                            f"group {group.group_id!r} collides with an "
+                            "existing cache id"
+                        )
+                    self._groups[group.group_id] = group
+                    group_registered_here = True
+                elif registered is not group:
+                    raise TrappError(
+                        f"a different cache group {group.group_id!r} is "
+                        "already registered with this system"
+                    )
+                group_obj = group
+            else:
+                if group == cache_id:
+                    # Same namespace check as the instance branch: the
+                    # service resolves group ids before cache ids, so a
+                    # cache shadowed by its own group could never be
+                    # pinned.
+                    raise TrappError(
+                        f"group {group!r} collides with the cache id being "
+                        "created"
+                    )
+                group_obj = self._groups.get(group)
+                if group_obj is None:
+                    group_obj = self.add_group(group)
+                    group_registered_here = True
         cache = DataCache(cache_id, clock=self.clock.now)
         self._caches[cache_id] = cache
-        for table_name, source in (shards or {}).items():
-            if isinstance(source, str):
-                source = self.source(source)
-            cache.subscribe_table(source, table_name)
+        try:
+            if group_obj is not None:
+                group_obj.add_replica(cache, region=region, cost_model=cost_model)
+            for table_name, source in (shards or {}).items():
+                if isinstance(source, str):
+                    source = self.source(source)
+                cache.subscribe_table(source, table_name)
+        except BaseException:
+            # Creation failed.  While the cache holds no subscriptions
+            # (enrollment rejected, or a subscription pre-check fired
+            # before mutating) the whole add is undone — the id and the
+            # group stay reusable for a corrected retry.  A failure *after*
+            # subscriptions were committed keeps the cache registered, as
+            # live monitor registrations cannot be silently dropped.
+            if not cache.subscribed_sources():
+                if group_obj is not None and cache.group is group_obj:
+                    group_obj._discard_replica(cache)
+                del self._caches[cache_id]
+                # A group this very call minted (and that stayed empty)
+                # must not squat on the shared id namespace either.
+                if group_registered_here and len(group_obj) == 0:
+                    del self._groups[group_obj.group_id]
+            raise
         return cache
+
+    def add_group(self, group_id: str, fanout: bool = True) -> CacheGroup:
+        """Create a replication fan-out tier (see :class:`CacheGroup`).
+
+        Group ids live in the cache-id namespace: the query service routes
+        ``query(group_id, …)`` across the group's replicas the same way
+        ``query(cache_id, …)`` pins one cache.
+        """
+        if group_id in self._groups or group_id in self._caches:
+            raise TrappError(f"group {group_id!r} already exists")
+        group = CacheGroup(group_id, fanout=fanout)
+        self._groups[group_id] = group
+        return group
 
     def source(self, source_id: str) -> "DataSource | ShardedSource":
         try:
@@ -133,6 +249,16 @@ class TrappSystem:
             return self._caches[cache_id]
         except KeyError:
             raise TrappError(f"unknown cache {cache_id!r}") from None
+
+    def group(self, group_id: str) -> CacheGroup:
+        try:
+            return self._groups[group_id]
+        except KeyError:
+            raise TrappError(f"unknown cache group {group_id!r}") from None
+
+    def is_group(self, name: str) -> bool:
+        """True when ``name`` is a cache-group id (vs a single cache)."""
+        return name in self._groups
 
     # ------------------------------------------------------------------
     # Querying

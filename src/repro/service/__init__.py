@@ -8,16 +8,27 @@ package is the serving layer that realizes both observations:
 * :class:`RefreshScheduler` — collects the refresh plans of every
   in-flight query per tick, deduplicates tuple ids, rebatches plans
   toward already-contacted sources, and dispatches one amortized batch
-  per source, so N concurrent queries wanting the same hot tuples
-  trigger one refresh instead of N;
-* :class:`QueryService` — per-client sessions, admission control, and a
-  short-TTL bounded-answer result cache in front of the executor;
+  per source — merging across queries *and* across the replicas of a
+  :class:`~repro.replication.fanout.CacheGroup`, each source's batch
+  travelling through the cheapest subscribed replica — so N concurrent
+  queries wanting the same hot tuples trigger one refresh instead of N;
+* :class:`QueryService` — per-client sessions, admission control,
+  cache-aware routing of group queries (:mod:`repro.service.routing`),
+  and a short-TTL bounded-answer result cache (cache-scoped with a
+  group-level shared tier, invalidated by dispatched refreshes) in
+  front of the executor;
 * :func:`serve` / :class:`TrappClient` — a newline-delimited-JSON wire
   protocol so multiple processes can issue TRAPP SQL concurrently.
 """
 
 from repro.service.client import ClientAnswer, TrappClient
 from repro.service.results import ResultCache
+from repro.service.routing import (
+    CacheRouter,
+    LeastLoadedRouter,
+    StickyRouter,
+    WidestBoundsRouter,
+)
 from repro.service.scheduler import RefreshScheduler, SchedulerStats
 from repro.service.server import TrappServer, serve
 from repro.service.service import ClientSession, QueryService, ServiceResult
@@ -26,6 +37,10 @@ __all__ = [
     "RefreshScheduler",
     "SchedulerStats",
     "ResultCache",
+    "CacheRouter",
+    "StickyRouter",
+    "LeastLoadedRouter",
+    "WidestBoundsRouter",
     "QueryService",
     "ClientSession",
     "ServiceResult",

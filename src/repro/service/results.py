@@ -20,7 +20,7 @@ defaults are therefore tiny, and the cache re-checks
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Iterable
 
 from repro.core.answer import BoundedAnswer
 from repro.predicates.ast import Predicate
@@ -43,10 +43,16 @@ class ResultCache:
         self._entries: OrderedDict[Hashable, tuple[BoundedAnswer, float]] = (
             OrderedDict()
         )
+        # Refresh-driven invalidation index: (scope, table) → keys, where
+        # scope is the cache or group id the entry was stored under.  A
+        # dispatched refresh that updates table T evicts T's entries
+        # directly instead of waiting for TTL/width expiry.
+        self._by_table: dict[tuple[str, str], set[Hashable]] = {}
         self.hits = 0
         self.misses = 0
         self.expirations = 0
         self.evictions = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -83,7 +89,7 @@ class ResultCache:
             return None
         answer, stored_at = entry
         if self.clock() - stored_at > self.ttl:
-            del self._entries[key]
+            self._drop(key)
             self.expirations += 1
             self.misses += 1
             return None
@@ -97,12 +103,68 @@ class ResultCache:
     def put(self, key: Hashable, answer: BoundedAnswer) -> None:
         self._entries[key] = (answer, self.clock())
         self._entries.move_to_end(key)
+        self._index_of(key).add(key)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._index_of(evicted).discard(evicted)
             self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def invalidate_table(
+        self, table: str, scopes: "Iterable[str] | None" = None
+    ) -> int:
+        """Evict entries whose query read ``table`` (refresh-driven).
+
+        A dispatched refresh revealed new master values for the table's
+        tuples; answers computed before it may no longer contain the
+        current truth, so they must not be served for their remaining
+        TTL.  ``scopes`` limits eviction to entries stored under the
+        named cache/group ids (the replicas the refresh actually
+        tightened); ``None`` evicts the table's entries everywhere.
+        Returns the number of entries dropped.
+        """
+        if scopes is None:
+            buckets = [
+                index_key
+                for index_key in self._by_table
+                if index_key[1] == table
+            ]
+        else:
+            buckets = [(scope, table) for scope in scopes]
+        dropped = 0
+        for index_key in buckets:
+            for key in list(self._by_table.get(index_key, ())):
+                if key in self._entries:
+                    del self._entries[key]
+                    dropped += 1
+            self._by_table.pop(index_key, None)
+        self.invalidations += dropped
+        return dropped
+
+    #: Bucket for keys not shaped like :meth:`make_key` tuples — they
+    #: stay cacheable but are invisible to table-scoped invalidation.
+    _UNINDEXED = ("", "")
+
+    def _index_of(self, key: Hashable) -> set[Hashable]:
+        """The (scope, table) bucket a full query key belongs to.
+
+        Only :meth:`make_key`-shaped tuples participate in refresh-driven
+        invalidation; any other hashable key (the cache accepts them)
+        lands in a shared unindexed bucket.
+        """
+        if isinstance(key, tuple) and len(key) >= 2:
+            scope, table = key[0], key[1]
+            if isinstance(scope, str) and isinstance(table, str):
+                return self._by_table.setdefault((scope, table), set())
+        return self._by_table.setdefault(self._UNINDEXED, set())
+
+    def _drop(self, key: Hashable) -> None:
+        del self._entries[key]
+        self._index_of(key).discard(key)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._by_table.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -114,4 +176,5 @@ class ResultCache:
             "misses": self.misses,
             "expirations": self.expirations,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }

@@ -1,28 +1,42 @@
-"""Cross-query refresh coalescing (paper §8.2 applied across queries).
+"""Cross-query *and* cross-cache refresh coalescing (paper §8.2 scaled out).
 
 Each in-flight query suspends at its refresh point
 (:meth:`~repro.core.executor.QueryExecutor.execute_steps` yields a
 :class:`~repro.core.executor.PlannedRefresh`) and submits the plan here.
 The scheduler buffers submissions for one *tick*, then:
 
-1. **rebatches** each plan that carries SUM metadata toward sources other
-   queries in the tick already pay setup for
+1. **clusters** the tick's plans: plans against caches replicating within
+   one :class:`~repro.replication.fanout.CacheGroup` share a cluster per
+   table (their refreshes are interchangeable — source-side fan-out hands
+   any replica's refreshed values to every sibling), while standalone
+   caches cluster alone per (cache, table) exactly as before;
+2. **rebatches** each plan that carries SUM metadata toward sources the
+   cluster already pays setup for
    (:func:`repro.extensions.batching.rebatch_plan` with a tick-aware cost
-   model whose sunk setups are free);
-2. **merges** the plans per (cache, table) and deduplicates tuple ids —
-   N queries wanting the same hot tuples trigger one refresh;
-3. dispatches one batched request per source through
-   :meth:`~repro.replication.cache.DataCache.refresh_batched`, paying the
-   amortized ``setup + marginal · k`` price once;
-4. **attributes** the cost actually paid back to the queries: each
+   model whose sunk setups are free) — with a group cluster, a source
+   another *cache's* query contacts this tick counts as sunk too;
+3. **merges** the cluster per *source* and deduplicates tuple ids — N
+   queries wanting the same hot tuples trigger one refresh even when they
+   run against different replicas;
+4. dispatches one batched request per source through the *cheapest
+   subscribed replica* (per-cache cost models: a regional cache near a
+   shard pays less for its round trip), paying the amortized
+   ``setup + marginal · k`` price once for the whole group — fan-out then
+   tightens every sibling's bounds from the same message;
+5. **attributes** the cost actually paid back to the queries: each
    source's setup is split evenly among the queries that used it, each
-   tuple's marginal cost evenly among the queries that requested it.
+   tuple's marginal cost evenly among the queries that requested it; and
+6. reports every dispatched (caches, table, tuple ids) batch to
+   ``on_refresh`` so the service can proactively invalidate result-cache
+   entries whose plans read the refreshed table.
 
 Every query then resumes step 3 of its pipeline against the now-refreshed
 cache.  Refreshing the union of plans only ever *narrows* bounds beyond
-what each query planned for, so per-query precision guarantees survive
-coalescing unchanged (property-tested in
-``tests/service/test_concurrency_equivalence.py``).
+what each query planned for — on the query's own cache directly, on
+sibling replicas through fan-out — so per-query precision guarantees
+survive coalescing unchanged (property-tested in
+``tests/service/test_concurrency_equivalence.py`` and, across replicas,
+``tests/property/test_group_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -40,6 +54,11 @@ from repro.storage.table import Table
 
 __all__ = ["RefreshScheduler", "SchedulerStats"]
 
+#: ``(tightened caches, table name, refreshed tids)`` — fired after each
+#: dispatched batch so the serving layer can invalidate derived state
+#: (cached answers) that read the refreshed table.
+RefreshListener = Callable[[list[DataCache], str, frozenset[int]], None]
+
 
 @dataclass(slots=True)
 class SchedulerStats:
@@ -53,6 +72,16 @@ class SchedulerStats:
     tuples_refreshed: int = 0
     source_requests: int = 0
     total_cost_paid: float = 0.0
+    #: Clusters (one per group × table per tick) in which plans from two
+    #: or more *different* caches merged into shared source messages —
+    #: may exceed ``ticks`` when one tick carries several such tables.
+    cross_cache_merges: int = 0
+    #: Source batches dispatched through a cheaper sibling replica than
+    #: the one the requesting query ran against.
+    leader_redirects: int = 0
+    #: ``on_refresh`` listener invocations that raised (the refresh
+    #: itself succeeded; the invalidation hook is broken).
+    listener_errors: int = 0
     #: Adaptive-tick adjustments (0 unless ``adaptive_tick`` is on).
     tick_grows: int = 0
     tick_shrinks: int = 0
@@ -65,6 +94,9 @@ class SchedulerStats:
             "tuples_refreshed": self.tuples_refreshed,
             "source_requests": self.source_requests,
             "total_cost_paid": self.total_cost_paid,
+            "cross_cache_merges": self.cross_cache_merges,
+            "leader_redirects": self.leader_redirects,
+            "listener_errors": self.listener_errors,
             "tick_grows": self.tick_grows,
             "tick_shrinks": self.tick_shrinks,
         }
@@ -84,11 +116,12 @@ class _Pending:
 class _TickCostModel(BatchedCostModel):
     """Amortized costs as seen mid-tick: sunk setups are free.
 
-    Same pricing as the wrapped :class:`BatchedCostModel` — including
-    any per-source (per-shard) setup/marginal overrides — except sources
-    some other query in the same tick already contacts charge no setup,
-    which is exactly what makes pulling tuples from those sources
-    attractive during cross-query rebatching.
+    Per-source pricing *delegates* to the wrapped model — preserving
+    per-source (per-shard) overrides, calibrated estimates, and
+    group-projected minimum pricing alike — except sources some other
+    query in the same tick already contacts charge no setup, which is
+    exactly what makes pulling tuples from those sources attractive
+    during cross-query rebatching.
     """
 
     def __init__(
@@ -98,13 +131,16 @@ class _TickCostModel(BatchedCostModel):
         contacted: set[str],
     ) -> None:
         super().__init__(
-            setup=model.setup,
-            marginal=model.marginal,
-            source_of=source_of,
-            setup_by_source=model.setup_by_source,
-            marginal_by_source=model.marginal_by_source,
+            setup=model.setup, marginal=model.marginal, source_of=source_of
         )
+        self._base = model
         self._contacted = contacted
+
+    def setup_for(self, source_id: str) -> float:
+        return self._base.setup_for(source_id)
+
+    def marginal_for(self, source_id: str) -> float:
+        return self._base.marginal_for(source_id)
 
     def cost_of_set(self, rows: Iterable[Row]) -> float:
         rows = list(rows)
@@ -115,17 +151,23 @@ class _TickCostModel(BatchedCostModel):
 
 
 class RefreshScheduler:
-    """Coalesces the refresh plans of concurrent queries, tick by tick.
+    """Coalesces concurrent queries' refresh plans, tick by tick.
 
     ``tick_interval`` is the coalescing window in seconds; ``0`` flushes
     as soon as every currently-runnable query task has reached its refresh
     point (one trip around the event loop), which keeps simulated-clock
     tests deterministic.  ``cost_model`` enables §8.2 amortized accounting
     and cross-query rebatching; without one, costs are uniform (1 per
-    tuple) and plans are only deduplicated.  ``network_delay`` simulates
-    one source round-trip time per tick (round trips to distinct sources
-    proceed in parallel), letting benchmarks measure the wall-clock value
-    of coalescing, not just the cost-model value.
+    tuple) and plans are only deduplicated.  ``cross_cache=True`` (the
+    default) additionally merges plans across the replicas of a
+    :class:`~repro.replication.fanout.CacheGroup` — per-cache cost models
+    registered with the group override ``cost_model`` when pricing (and
+    choosing) the replica that dispatches each source's batch.  ``False``
+    keeps every cache's schedule independent (the benchmark ablation).
+    ``network_delay`` simulates one source round-trip time per tick
+    (round trips to distinct sources proceed in parallel), letting
+    benchmarks measure the wall-clock value of coalescing, not just the
+    cost-model value.
     """
 
     #: Smallest non-zero window the adaptive controller grows from.
@@ -141,10 +183,15 @@ class RefreshScheduler:
         adaptive_tick: bool = False,
         tick_min: float = 0.0,
         tick_max: float = 0.05,
+        cross_cache: bool = True,
+        on_refresh: RefreshListener | None = None,
     ) -> None:
         self.cost_model = cost_model
         self.tick_interval = tick_interval
-        self.rebatch = rebatch and cost_model is not None
+        #: Intent flag; rebatching additionally needs a cost model for
+        #: the pending's cache — the scheduler default, or a per-cache
+        #: model registered with its group (see :meth:`wants_metadata_for`).
+        self.rebatch = rebatch
         #: Plans larger than this skip the rebatch post-pass: rebatching
         #: probes O(plan²) candidate sets for a payoff bounded by a few
         #: setup costs, a bad trade once plans dwarf the setup/marginal
@@ -159,6 +206,8 @@ class RefreshScheduler:
         self.adaptive_tick = adaptive_tick
         self.tick_min = tick_min
         self.tick_max = tick_max
+        self.cross_cache = cross_cache
+        self.on_refresh = on_refresh
         self.stats = SchedulerStats()
         self._pending: list[_Pending] = []
         self._flush_task: asyncio.Task | None = None
@@ -200,16 +249,40 @@ class RefreshScheduler:
         finally:
             self._flush_task = None
 
+    def _cluster_key(self, pending: _Pending) -> tuple[object, str]:
+        """Plans sharing a key may merge into shared source messages.
+
+        Replicas of a fan-out group are interchangeable refresh targets,
+        so their plans cluster per (group, table); a standalone cache (or
+        a group whose fan-out is off) clusters alone, preserving the
+        classic per-cache behavior.
+        """
+        group = getattr(pending.cache, "group", None)
+        if (
+            self.cross_cache
+            and group is not None
+            and group.fanout
+        ):
+            return (group.group_id, pending.request.table.name)
+        return (id(pending.cache), pending.request.table.name)
+
     async def _run_tick(self, batch: list[_Pending]) -> None:
         self.stats.ticks += 1
-        groups: dict[tuple[int, str], list[_Pending]] = {}
-        for pending in batch:
-            key = (id(pending.cache), pending.request.table.name)
-            groups.setdefault(key, []).append(pending)
-        if self.network_delay > 0:
-            await asyncio.sleep(self.network_delay)
-        for group in groups.values():
-            self._dispatch_group(group)
+        try:
+            clusters: dict[tuple[object, str], list[_Pending]] = {}
+            for pending in batch:
+                clusters.setdefault(self._cluster_key(pending), []).append(pending)
+            if self.network_delay > 0:
+                await asyncio.sleep(self.network_delay)
+            for cluster in clusters.values():
+                self._dispatch_cluster(cluster)
+        except Exception as exc:
+            # _dispatch_cluster settles its own cluster; anything that
+            # escapes here (clustering itself failed) must still settle
+            # every waiter or their queries hang forever.
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
         self._adapt_tick(len(batch))
 
     def _adapt_tick(self, plans_in_tick: int) -> None:
@@ -244,29 +317,120 @@ class RefreshScheduler:
                 self.tick_interval = shrunk
 
     # ------------------------------------------------------------------
-    def _dispatch_group(self, pendings: list[_Pending]) -> None:
-        """Rebatch, merge, refresh, and settle one (cache, table) group."""
-        cache = pendings[0].cache
-        table = pendings[0].request.table
-        try:
-            if self.rebatch and self.cost_model is not None:
-                self._rebatch_group(cache, table, pendings, self.cost_model)
+    def _model_for(self, cache: DataCache) -> BatchedCostModel | None:
+        """The cost model pricing one cache's round trips."""
+        group = getattr(cache, "group", None)
+        if group is not None:
+            model = group.cost_model_for(cache.cache_id)
+            if model is not None:
+                return model
+        return self.cost_model
 
-            merged: set[int] = set()
+    def wants_metadata_for(self, cache: DataCache) -> bool:
+        """Whether queries on ``cache`` should collect §8.2 rebatch
+        metadata — i.e. whether submitting here can actually rebatch them.
+
+        True when rebatching is enabled and *some* amortized model prices
+        this cache's refreshes: the scheduler default, or a per-cache
+        model registered with the cache's group.
+        """
+        return self.rebatch and self._model_for(cache) is not None
+
+    def _dispatch_cluster(self, pendings: list[_Pending]) -> None:
+        """Rebatch, merge per source, refresh via leaders, settle a cluster."""
+        table_name = pendings[0].request.table.name
+        try:
+            group = getattr(pendings[0].cache, "group", None)
+            grouped = (
+                self.cross_cache and group is not None and group.fanout
+            )
+            # Rebatch against the prices dispatch will actually pay: the
+            # group-projected per-source minimum under leader selection,
+            # or each cache's own model when scheduling stays per-cache.
+            # The per-tid routing sweep inside _rebatch_cluster is wasted
+            # when no amortized model prices any of these caches.
+            pricing = (
+                group.pricing_model(self.cost_model) if grouped else None
+            )
+            if self.rebatch and (
+                pricing is not None
+                or any(
+                    self._model_for(pending.cache) is not None
+                    for pending in pendings
+                )
+            ):
+                self._rebatch_cluster(pendings, pricing)
+
             requesters: dict[int, int] = {}
+            merged: set[int] = set()
             for pending in pendings:
                 merged |= pending.tids
                 for tid in pending.tids:
                     requesters[tid] = requesters.get(tid, 0) + 1
+            if grouped and len({id(p.cache) for p in pendings}) > 1:
+                self.stats.cross_cache_merges += 1
 
-            receipt = cache.refresh_batched(
-                table, merged, batch_cost=self._batch_cost()
-            )
-            self.stats.tuples_refreshed += len(receipt.tids)
-            self.stats.source_requests += receipt.requests_sent
-            self.stats.total_cost_paid += receipt.total_cost
+            # One batched message per source, dispatched from the replica
+            # whose cost model prices that source's round trip cheapest.
+            # Leader choice needs the per-source demand split; a
+            # standalone cluster has exactly one eligible dispatcher, so
+            # it skips the per-tid routing pass entirely — refresh_batched
+            # re-derives the per-source grouping itself, as it always did.
+            by_leader: dict[int, tuple[DataCache, BatchedCostModel | None, set[int]]] = {}
+            if grouped:
+                demand: dict[str, set[int]] = {}
+                for pending in pendings:
+                    table = pending.request.table
+                    for tid in pending.tids:
+                        source_id = pending.cache.source_of_tuple(table, tid)
+                        demand.setdefault(source_id, set()).add(tid)
+                for source_id, tids in sorted(demand.items()):
+                    leader, model = group.leader_for_source(
+                        table_name, source_id, len(tids), self.cost_model
+                    )
+                    entry = by_leader.setdefault(
+                        id(leader), (leader, model, set())
+                    )
+                    entry[2].update(tids)
+            else:
+                leader = pendings[0].cache
+                by_leader[id(leader)] = (leader, self._model_for(leader), merged)
 
-            shares = self._attribute(receipt, pendings, requesters)
+            receipts: list[tuple[object, BatchedCostModel | None]] = []
+            refreshed: set[int] = set()
+            for leader, model, tids in by_leader.values():
+                # The submitting query's table object *is* the leader's
+                # table when the leader is the query's own cache; a
+                # redirected batch resolves the same logical table on the
+                # leader replica.
+                leader_table = (
+                    pendings[0].request.table
+                    if leader is pendings[0].cache
+                    else leader.table(table_name)
+                )
+                receipt = leader.refresh_batched(
+                    leader_table,
+                    tids,
+                    batch_cost=model.batch_cost if model is not None else None,
+                )
+                refreshed |= set(receipt.tids)
+                self.stats.source_requests += receipt.requests_sent
+                self.stats.total_cost_paid += receipt.total_cost
+                receipts.append((receipt, model))
+                # One redirect per *source batch* that served some other
+                # cache's query through this leader.
+                self.stats.leader_redirects += sum(
+                    1
+                    for source_receipt in receipt.per_source
+                    if any(
+                        leader is not pending.cache
+                        and pending.tids & source_receipt.tids
+                        for pending in pendings
+                    )
+                )
+            self.stats.tuples_refreshed += len(refreshed)
+
+            shares = self._attribute(receipts, pendings, requesters)
             for pending, share in zip(pendings, shares):
                 # A waiter may have been cancelled (connection drop) while
                 # the batch executed; settling it would raise and poison
@@ -275,57 +439,78 @@ class RefreshScheduler:
                     pending.future.set_result(
                         RefreshPlan(frozenset(pending.tids), share)
                     )
+
+            if self.on_refresh is not None and refreshed:
+                # Invalidation scope follows *fan-out*, not the scheduling
+                # mode: even with cross_cache=False, a fanout=True group's
+                # source still pushed the fresh values to every sibling,
+                # staling their cache-scoped result entries too.
+                if group is not None and group.fanout:
+                    tightened = group.caches_of_table(table_name)
+                else:
+                    tightened = [pendings[0].cache]
+                try:
+                    self.on_refresh(tightened, table_name, frozenset(refreshed))
+                except Exception:
+                    # Every future is already settled, so the enclosing
+                    # handler would discard a listener error silently —
+                    # count it instead of masking a broken invalidation
+                    # hook (stale answers with zero signal).
+                    self.stats.listener_errors += 1
         except Exception as exc:  # settle everyone; queries surface it
             for pending in pendings:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
 
-    def _batch_cost(self) -> Callable[[str, int], float] | None:
-        model = self.cost_model
-        if model is None:
-            return None
-        # model.batch_cost prices each shard's message with that shard's
-        # own setup/marginal (heterogeneous-shard deployments).
-        return model.batch_cost
-
-    def _rebatch_group(
+    def _rebatch_cluster(
         self,
-        cache: DataCache,
-        table: Table,
         pendings: list[_Pending],
-        model: BatchedCostModel,
+        pricing: BatchedCostModel | None = None,
     ) -> None:
-        """§8.2 across queries: steer plans toward already-paid sources."""
+        """§8.2 across queries *and* caches: steer plans toward sources the
+        cluster already pays setup for this tick.
+
+        ``pricing`` overrides each pending's own model (the
+        group-projected minimum for fan-out clusters, whose batches are
+        dispatched through the cheapest member per source).
+        """
         # rebatch_plan probes O(plan²) candidate sets, each probe reading
         # every member's source — memoize the subscription lookup once per
-        # tick so probes are dict reads.
+        # tick so probes are dict reads.  Tuple→source routing is a
+        # property of the logical table, identical on every replica, so
+        # one memo serves the whole cluster.
         source_by_tid: dict[int, str] = {}
 
-        def source_of_tid(tid: int) -> str:
+        def source_of_tid(cache: DataCache, table: Table, tid: int) -> str:
             source_id = source_by_tid.get(tid)
             if source_id is None:
                 source_id = cache.source_of_tuple(table, tid)
                 source_by_tid[tid] = source_id
             return source_id
 
-        def source_of(row: Row) -> str:
-            return source_of_tid(row.tid)
-
-        def sources_of(tids: set[int]) -> set[str]:
-            return {source_of_tid(tid) for tid in tids}
+        def sources_of(pending: _Pending, tids: set[int]) -> set[str]:
+            table = pending.request.table
+            return {source_of_tid(pending.cache, table, tid) for tid in tids}
 
         # Sources pinned by plans we cannot rebatch pay setup regardless.
         contacted: set[str] = set()
         for pending in pendings:
             if not pending.request.can_rebatch:
-                contacted |= sources_of(pending.tids)
+                contacted |= sources_of(pending, pending.tids)
         for pending in pendings:
             request = pending.request
+            model = pricing if pricing is not None else self._model_for(pending.cache)
             if (
                 request.can_rebatch
+                and model is not None
                 and 0 < len(pending.tids) <= self.rebatch_limit
-                and len(sources_of({row.tid for row in request.rows})) > 1
+                and len(sources_of(pending, {row.tid for row in request.rows})) > 1
             ):
+                table = pending.request.table
+
+                def source_of(row: Row) -> str:
+                    return source_of_tid(pending.cache, table, row.tid)
+
                 tick_model = _TickCostModel(model, source_of, set(contacted))
                 improved = rebatch_plan(
                     RefreshPlan(frozenset(pending.tids), 0.0),
@@ -336,35 +521,40 @@ class RefreshScheduler:
                     extra_contacted=contacted,
                 )
                 pending.tids = set(improved.tids)
-            contacted |= sources_of(pending.tids)
+            contacted |= sources_of(pending, pending.tids)
 
     def _attribute(
-        self, receipt, pendings: list[_Pending], requesters: dict[int, int]
+        self,
+        receipts: "list[tuple[object, BatchedCostModel | None]]",
+        pendings: list[_Pending],
+        requesters: dict[int, int],
     ) -> list[float]:
         """Split each source's paid cost fairly among its requesters.
 
         Setup is divided evenly among the queries that touched the source;
         each tuple's marginal cost evenly among the queries that requested
-        that tuple.  Shares sum exactly to the receipt's total (both are
-        ``setup + marginal · k`` per source, with each shard priced by
-        its own parameters under a per-source model).
+        that tuple.  Shares sum exactly to the receipts' total (both are
+        ``setup + marginal · k`` per source, with each source priced by
+        the model of the replica that dispatched its batch).
         """
-        model = self.cost_model
         shares = [0.0] * len(pendings)
-        for source_receipt in receipt.per_source:
-            source_id = source_receipt.source_id
-            setup = model.setup_for(source_id) if model is not None else 0.0
-            marginal = model.marginal_for(source_id) if model is not None else 1.0
-            users = [
-                index
-                for index, pending in enumerate(pendings)
-                if pending.tids & source_receipt.tids
-            ]
-            if not users:  # pragma: no cover - merged set implies a user
-                continue
-            for index in users:
-                mine = pendings[index].tids & source_receipt.tids
-                shares[index] += setup / len(users) + sum(
-                    marginal / requesters[tid] for tid in mine
+        for receipt, model in receipts:
+            for source_receipt in receipt.per_source:
+                source_id = source_receipt.source_id
+                setup = model.setup_for(source_id) if model is not None else 0.0
+                marginal = (
+                    model.marginal_for(source_id) if model is not None else 1.0
                 )
+                users = [
+                    index
+                    for index, pending in enumerate(pendings)
+                    if pending.tids & source_receipt.tids
+                ]
+                if not users:  # pragma: no cover - merged set implies a user
+                    continue
+                for index in users:
+                    mine = pendings[index].tids & source_receipt.tids
+                    shares[index] += setup / len(users) + sum(
+                        marginal / requesters[tid] for tid in mine
+                    )
         return shares

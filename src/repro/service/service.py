@@ -2,8 +2,9 @@
 
 :class:`QueryService` wraps a :class:`~repro.replication.system.TrappSystem`
 with the serving layer the paper's Figure 3 assumes but never specifies:
-many clients issuing bounded aggregate queries against shared caches, one
-refresh pipeline.
+many clients issuing bounded aggregate queries against shared caches —
+now possibly a whole :class:`~repro.replication.fanout.CacheGroup` of
+regional replicas — and one refresh pipeline.
 
 Per query the flow is:
 
@@ -13,23 +14,40 @@ Per query the flow is:
    per-client *precision floor* — clients may not demand answers tighter
    than their floor (:class:`~repro.errors.AdmissionError`), which caps
    the refresh spend any one client can trigger;
-2. **result cache** — repeat queries whose cached bounded answer is young
+2. **routing** — ``query(cache_id, …)`` pins a cache; ``query(group_id,
+   …)`` asks the pluggable :class:`~repro.service.routing.CacheRouter`
+   (sticky-by-client by default; least-loaded and widest-bounds-aware
+   ship too) to pick a replica subscribed to the queried table;
+3. **result cache** — repeat queries whose cached bounded answer is young
    and still satisfies the constraint are served without touching the
-   executor (:class:`~repro.service.results.ResultCache`);
-3. **execution** — the shared per-cache executor runs as a resumable
+   executor (:class:`~repro.service.results.ResultCache`).  Entries are
+   scoped to the sharing domain: one *group-scoped* entry per query for
+   the replicas of a fan-out group (fan-out keeps them interchangeable,
+   so any replica's answer serves a query routed or pinned to any
+   other), one *cache-scoped* entry otherwise.  Dispatched refreshes
+   *invalidate* affected entries immediately (the scheduler reports
+   every refreshed table through ``on_refresh``) instead of waiting for
+   TTL/width expiry;
+4. **execution** — the shared per-cache executor runs as a resumable
    generator; at its refresh point the query suspends into the
    :class:`~repro.service.scheduler.RefreshScheduler`, which merges it
-   with every other in-flight query's refresh before resuming step 3.
+   with every other in-flight query's refresh — across queries and, for
+   grouped replicas, across caches — before resuming step 3.
 
 Concurrency safety rests on two properties: query planning (step 1 +
 CHOOSE_REFRESH) runs synchronously between await points, so no other
 query can mutate the cache mid-plan; and coalesced refreshes only ever
 collapse *more* bounds than a query planned for, which never widens its
 answer.  ``sync_bounds`` is likewise skipped while any query sits
-suspended at its refresh point — it planned against the current
-materialization, and widening bounds under it could void its step-3
-guarantee.  (Under sustained refresh-heavy overlap this can defer
-re-syncing; bounding that staleness is a ROADMAP open item.)
+suspended at its refresh point on that cache — it planned against the
+current materialization, and widening bounds under it could void its
+step-3 guarantee.  Under sustained refresh-heavy overlap that deferral
+used to be unbounded; ``max_sync_deferrals`` now caps it: on the Nth
+consecutive deferral the service syncs anyway, and every query that was
+suspended across the forced sync is *re-validated* when it completes —
+an answer still meeting its constraint passes through, one widened past
+it is aborted and retried once, then surfaced as the retryable
+:class:`~repro.errors.StaleRefreshError`.
 """
 
 from __future__ import annotations
@@ -40,11 +58,19 @@ from dataclasses import dataclass
 from repro.core.answer import BoundedAnswer
 from repro.core.constraints import AbsolutePrecision
 from repro.core.refresh.base import CostFunc
-from repro.errors import AdmissionError, ServiceError, ServiceOverloadError
+from repro.errors import (
+    AdmissionError,
+    ConstraintUnsatisfiableError,
+    ServiceError,
+    ServiceOverloadError,
+    StaleRefreshError,
+)
 from repro.extensions.batching import BatchedCostModel
+from repro.replication.cache import DataCache
 from repro.replication.costs import CostModel
 from repro.replication.system import TrappSystem
 from repro.service.results import ResultCache
+from repro.service.routing import CacheRouter, StickyRouter
 from repro.service.scheduler import RefreshScheduler
 from repro.sql.compiler import QueryPlan, compile_statement
 from repro.sql.parser import parse_statement
@@ -63,6 +89,9 @@ class ServiceResult:
     #: describe the execution that produced the shared answer.
     cached: bool
     client_id: str
+    #: The cache that served (or would have served) the query — the pinned
+    #: cache, or the replica the router picked for a group query.
+    cache_id: str = ""
 
 
 class ClientSession:
@@ -99,7 +128,7 @@ class ClientSession:
 
 
 class QueryService:
-    """Admission control + result cache + coalesced refreshes over one system."""
+    """Admission + routing + result cache + coalesced refreshes over one system."""
 
     def __init__(
         self,
@@ -116,10 +145,20 @@ class QueryService:
         adaptive_tick: bool = False,
         tick_min: float = 0.0,
         tick_max: float = 0.05,
+        router: CacheRouter | None = None,
+        cross_cache: bool = True,
+        max_sync_deferrals: int | None = None,
     ) -> None:
         self.system = system
         self.max_inflight_per_client = max_inflight_per_client
         self.precision_floor = precision_floor
+        #: Replica selection for group queries; sticky-by-client default.
+        self.router = router if router is not None else StickyRouter()
+        #: Bound-staleness cap: after this many consecutive deferred
+        #: ``sync_bounds`` on one cache, sync anyway and re-validate the
+        #: queries suspended across it.  ``None`` = defer indefinitely
+        #: (the pre-cap behavior).
+        self.max_sync_deferrals = max_sync_deferrals
         self.scheduler = RefreshScheduler(
             cost_model=cost_model,
             tick_interval=tick_interval,
@@ -128,20 +167,32 @@ class QueryService:
             adaptive_tick=adaptive_tick,
             tick_min=tick_min,
             tick_max=tick_max,
+            cross_cache=cross_cache,
+            on_refresh=self._on_refresh_dispatched,
         )
         self.results = ResultCache(
             ttl=result_ttl, clock=system.clock.now, max_entries=result_cache_size
         )
         self._semaphore = asyncio.Semaphore(max_inflight)
         self._inflight_by_client: dict[str, int] = {}
+        self._inflight_by_cache: dict[str, int] = {}
         #: Queries currently suspended at a refresh tick, per cache — the
         #: only state in which re-syncing bounds under them is unsafe.
         self._suspended_by_cache: dict[str, int] = {}
+        #: Consecutive sync_bounds deferrals per cache (staleness cap).
+        self._sync_deferrals: dict[str, int] = {}
+        #: Bumped on every cap-forced sync; queries re-validate when the
+        #: generation moved while they were in flight.
+        self._sync_generation: dict[str, int] = {}
         #: Single-flight: identical queries already executing, by cache key.
         self._inflight_results: dict = {}
         self.queries_served = 0
         self.queries_rejected = 0
         self.singleflight_joins = 0
+        self.forced_syncs = 0
+        self.revalidations = 0
+        self.stale_retries = 0
+        self.stale_aborts = 0
 
     # ------------------------------------------------------------------
     def session(
@@ -154,6 +205,31 @@ class QueryService:
         return ClientSession(self, client_id, precision_floor, max_inflight)
 
     # ------------------------------------------------------------------
+    def _resolve_cache(
+        self, cache_id: str, client_id: str, table_name: str
+    ) -> tuple[DataCache, "object | None"]:
+        """``(replica, group)`` for one query's target name.
+
+        A concrete cache id pins that cache (its group, if any, still
+        scopes result sharing); a group id routes across the group's
+        replicas subscribed to the queried table.
+        """
+        if self.system.is_group(cache_id):
+            group = self.system.group(cache_id)
+            candidates = group.caches_of_table(table_name)
+            if not candidates:
+                raise ServiceError(
+                    f"no cache in group {cache_id!r} is subscribed to "
+                    f"table {table_name!r}"
+                )
+            cache = self.router.route(
+                candidates, client_id, table_name, self._inflight_by_cache
+            )
+            return cache, group
+        cache = self.system.cache(cache_id)
+        return cache, cache.group
+
+    # ------------------------------------------------------------------
     async def query(
         self,
         cache_id: str,
@@ -164,11 +240,9 @@ class QueryService:
         precision_floor: float | None = None,
         max_inflight: int | None = None,
     ) -> ServiceResult:
-        """Parse, admit, and execute one TRAPP SQL statement."""
-        cache = self.system.cache(cache_id)
+        """Parse, admit, route, and execute one TRAPP SQL statement."""
         statement = parse_statement(sql)
-        plan = compile_statement(statement, cache.catalog)
-        if not isinstance(plan, QueryPlan):
+        if statement.is_join:
             raise ServiceError(
                 "the concurrent service serves single-table queries only: "
                 "join refresh plans cannot be coalesced yet (they lack a "
@@ -177,38 +251,62 @@ class QueryService:
                 "executes them serially against the cache — see "
                 "docs/ARCHITECTURE.md, 'Known limitations'."
             )
+        cache, group = self._resolve_cache(cache_id, client_id, statement.table)
+        plan = compile_statement(statement, cache.catalog)
+        assert isinstance(plan, QueryPlan)
         self._admit(client_id, plan, precision_floor, max_inflight)
 
         # A caller-supplied cost model has no stable identity to key on,
         # so such queries neither read nor feed the shared answers.
         shareable = cost is None
         if not shareable:
-            answer = await self._execute(
-                cache_id, cache, plan, client_id, cost, epsilon
+            answer = await self._execute_revalidated(
+                cache, plan, client_id, cost, epsilon
             )
             self.queries_served += 1
-            return ServiceResult(answer=answer, cached=False, client_id=client_id)
+            return ServiceResult(
+                answer=answer,
+                cached=False,
+                client_id=client_id,
+                cache_id=cache.cache_id,
+            )
 
-        key = ResultCache.make_key(
-            cache_id,
-            plan.table.name,
-            plan.aggregate,
-            plan.column,
-            plan.predicate,
-            plan.constraint.width,
-            epsilon,
-        )
+        def scoped_key(scope: str):
+            return ResultCache.make_key(
+                scope,
+                plan.table.name,
+                plan.aggregate,
+                plan.column,
+                plan.predicate,
+                plan.constraint.width,
+                epsilon,
+            )
+
+        # Result scope: fan-out keeps a group's replicas interchangeable,
+        # so their answers share one group-scoped entry (and one
+        # single-flight leadership) — whether the query was routed or
+        # pinned.  Without fan-out (standalone caches, or a fanout=False
+        # group — the benchmark's independent-caches ablation) each cache
+        # scopes its own entries and nothing coalesces across replicas,
+        # mirroring the scheduler's gating exactly.
+        shared = group is not None and group.fanout
+        primary_key = scoped_key(group.group_id if shared else cache.cache_id)
         while True:
-            hit = self.results.get(key, plan.constraint.width)
+            hit = self.results.get(primary_key, plan.constraint.width)
             if hit is not None:
                 self.queries_served += 1
-                return ServiceResult(answer=hit, cached=True, client_id=client_id)
+                return ServiceResult(
+                    answer=hit,
+                    cached=True,
+                    client_id=client_id,
+                    cache_id=cache.cache_id,
+                )
 
             # Single-flight: an identical query is already executing —
             # await its answer instead of planning the same refresh again.
             # (The shield keeps one cancelled follower from cancelling the
             # shared future under the leader.)
-            leader = self._inflight_results.get(key)
+            leader = self._inflight_results.get(primary_key)
             if leader is None:
                 break
             try:
@@ -221,7 +319,12 @@ class QueryService:
                 raise
             self.singleflight_joins += 1
             self.queries_served += 1
-            return ServiceResult(answer=answer, cached=True, client_id=client_id)
+            return ServiceResult(
+                answer=answer,
+                cached=True,
+                client_id=client_id,
+                cache_id=cache.cache_id,
+            )
 
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         # Nobody may ever join before we finish; silence the "exception
@@ -229,10 +332,10 @@ class QueryService:
         future.add_done_callback(
             lambda f: f.exception() if not f.cancelled() else None
         )
-        self._inflight_results[key] = future
+        self._inflight_results[primary_key] = future
         try:
-            answer = await self._execute(
-                cache_id, cache, plan, client_id, cost, epsilon
+            answer = await self._execute_revalidated(
+                cache, plan, client_id, cost, epsilon
             )
         except BaseException as exc:
             if not future.done():
@@ -244,12 +347,17 @@ class QueryService:
                     future.set_exception(exc)
             raise
         finally:
-            self._inflight_results.pop(key, None)
+            self._inflight_results.pop(primary_key, None)
         if not future.done():
             future.set_result(answer)
-        self.results.put(key, answer)
+        self.results.put(primary_key, answer)
         self.queries_served += 1
-        return ServiceResult(answer=answer, cached=False, client_id=client_id)
+        return ServiceResult(
+            answer=answer,
+            cached=False,
+            client_id=client_id,
+            cache_id=cache.cache_id,
+        )
 
     # ------------------------------------------------------------------
     def _admit(
@@ -279,27 +387,90 @@ class QueryService:
                 f"client {client_id!r} already has {allowance} queries in flight"
             )
 
-    async def _execute(
+    # ------------------------------------------------------------------
+    def _on_refresh_dispatched(
+        self, caches: list, table_name: str, tids: frozenset
+    ) -> None:
+        """Scheduler hook: evict cached answers a dispatched refresh staled.
+
+        The refresh revealed fresh master values for ``table_name`` on
+        every cache in ``caches`` (fan-out included), so answers computed
+        from the pre-refresh values must not be served for their
+        remaining TTL.  Scopes cover the tightened caches and their
+        groups' shared tiers.
+        """
+        scopes = set()
+        for cache in caches:
+            scopes.add(cache.cache_id)
+            if cache.group is not None:
+                scopes.add(cache.group.group_id)
+        self.results.invalidate_table(table_name, scopes)
+
+    # ------------------------------------------------------------------
+    async def _execute_revalidated(
         self,
-        cache_id: str,
-        cache,
+        cache: DataCache,
         plan: QueryPlan,
         client_id: str,
         cost: CostFunc | CostModel | None,
         epsilon: float | None,
     ) -> BoundedAnswer:
+        """Execute with the staleness-cap protocol: re-validate, retry once.
+
+        :class:`~repro.errors.StaleRefreshError` from the first attempt
+        means a cap-forced sync widened bounds under the suspended query
+        past its constraint; the query re-plans from current bounds once
+        (its refresh spend was not wasted — the refreshed tuples stay
+        collapsed), then the error surfaces to the client as retryable.
+        """
+        try:
+            return await self._execute(cache, plan, client_id, cost, epsilon)
+        except StaleRefreshError:
+            self.stale_retries += 1
+            return await self._execute(cache, plan, client_id, cost, epsilon)
+
+    async def _execute(
+        self,
+        cache: DataCache,
+        plan: QueryPlan,
+        client_id: str,
+        cost: CostFunc | CostModel | None,
+        epsilon: float | None,
+    ) -> BoundedAnswer:
+        cache_id = cache.cache_id
         self._inflight_by_client[client_id] = (
             self._inflight_by_client.get(client_id, 0) + 1
+        )
+        self._inflight_by_cache[cache_id] = (
+            self._inflight_by_cache.get(cache_id, 0) + 1
         )
         try:
             async with self._semaphore:
                 # Re-evaluating bound functions could widen a bound a
                 # suspended query already planned against, so hold off
-                # while any query on this cache awaits a refresh tick.
-                # Planning and recomputation run synchronously between
-                # awaits and are never exposed.
+                # while any query on this cache awaits a refresh tick —
+                # up to the staleness cap, past which we sync anyway and
+                # re-validate the suspended queries afterwards.  Planning
+                # and recomputation run synchronously between awaits and
+                # are never exposed.
                 if self._suspended_by_cache.get(cache_id, 0) == 0:
                     cache.sync_bounds()
+                    self._sync_deferrals.pop(cache_id, None)
+                else:
+                    deferred = self._sync_deferrals.get(cache_id, 0) + 1
+                    self._sync_deferrals[cache_id] = deferred
+                    if (
+                        self.max_sync_deferrals is not None
+                        and deferred >= self.max_sync_deferrals
+                    ):
+                        cache.sync_bounds()
+                        self._sync_deferrals[cache_id] = 0
+                        self._sync_generation[cache_id] = (
+                            self._sync_generation.get(cache_id, 0) + 1
+                        )
+                        self.forced_syncs += 1
+                generation = self._sync_generation.get(cache_id, 0)
+                suspended_across_sync = False
                 executor = self.system.executor_for(cache_id, epsilon)
                 steps = executor.execute_steps(
                     plan.table,
@@ -309,8 +480,9 @@ class QueryService:
                     plan.predicate,
                     TrappSystem._resolve_cost(cost),
                     # The per-tuple metadata sweep is only worth paying
-                    # when the scheduler will actually rebatch.
-                    rebatch_metadata=self.scheduler.rebatch,
+                    # when the scheduler will actually rebatch this
+                    # cache's plans (an amortized model prices them).
+                    rebatch_metadata=self.scheduler.wants_metadata_for(cache),
                 )
                 try:
                     request = next(steps)
@@ -324,15 +496,60 @@ class QueryService:
                             self._suspended_by_cache[cache_id] -= 1
                             if self._suspended_by_cache[cache_id] <= 0:
                                 del self._suspended_by_cache[cache_id]
-                        request = steps.send(effective)
+                        if self._sync_generation.get(cache_id, 0) != generation:
+                            suspended_across_sync = True
+                        try:
+                            request = steps.send(effective)
+                        except ConstraintUnsatisfiableError:
+                            if not suspended_across_sync:
+                                raise
+                            # Not an optimizer bug: a cap-forced sync
+                            # widened unrefreshed tuples under this plan
+                            # after it was chosen.  Abort retryably.
+                            self.stale_aborts += 1
+                            raise StaleRefreshError(
+                                f"query for client {client_id!r} was "
+                                "suspended across a forced bound sync "
+                                f"(staleness cap {self.max_sync_deferrals}) "
+                                "and its refreshed answer no longer meets "
+                                f"WITHIN {plan.constraint.width:g}; retry"
+                            ) from None
                 except StopIteration as stop:
-                    return stop.value
+                    answer = stop.value
+                if suspended_across_sync:
+                    answer = self._revalidate(answer, plan, client_id)
+                return answer
         finally:
             self._inflight_by_client[client_id] -= 1
             # Drop zeroed entries: a long-running server sees unboundedly
-            # many distinct client ids.
+            # many distinct client ids (and routed cache sets change with
+            # group membership).
             if self._inflight_by_client[client_id] <= 0:
                 del self._inflight_by_client[client_id]
+            self._inflight_by_cache[cache_id] -= 1
+            if self._inflight_by_cache[cache_id] <= 0:
+                del self._inflight_by_cache[cache_id]
+
+    def _revalidate(
+        self, answer: BoundedAnswer, plan: QueryPlan, client_id: str
+    ) -> BoundedAnswer:
+        """The staleness-cap epilogue for a query suspended across a sync.
+
+        The forced ``sync_bounds`` widened unrefreshed tuples under the
+        suspended plan; its step-3 answer already reflects the widened
+        bounds, so meeting the constraint proves the plan survived.
+        """
+        max_width = plan.constraint.width
+        if answer.meets(max_width):
+            self.revalidations += 1
+            return answer
+        self.stale_aborts += 1
+        raise StaleRefreshError(
+            f"query for client {client_id!r} was suspended across a forced "
+            f"bound sync (staleness cap {self.max_sync_deferrals}) and its "
+            f"answer width {answer.width:g} no longer meets WITHIN "
+            f"{max_width:g}; retry"
+        )
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -341,6 +558,10 @@ class QueryService:
             "queries_served": self.queries_served,
             "queries_rejected": self.queries_rejected,
             "singleflight_joins": self.singleflight_joins,
+            "forced_syncs": self.forced_syncs,
+            "revalidations": self.revalidations,
+            "stale_retries": self.stale_retries,
+            "stale_aborts": self.stale_aborts,
             "result_cache": self.results.stats(),
             "scheduler": self.scheduler.stats.as_dict(),
         }

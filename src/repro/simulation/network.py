@@ -32,13 +32,26 @@ class _Endpoint:
 class LatencyNetwork:
     """Named endpoints exchanging messages with configurable latency."""
 
-    def __init__(self, events: EventQueue, default_latency: float = 0.0) -> None:
+    def __init__(
+        self,
+        events: EventQueue,
+        default_latency: float = 0.0,
+        default_per_item: float = 0.0,
+    ) -> None:
         if default_latency < 0:
             raise SimulationError("latency must be non-negative")
+        if default_per_item < 0:
+            raise SimulationError("per-item cost must be non-negative")
         self.events = events
         self.default_latency = default_latency
+        #: Transfer cost each carried item adds to a message's delivery
+        #: delay — the physical counterpart of the §8.2 ``marginal``
+        #: (``latency`` is the ``setup``).  Zero keeps the classic
+        #: latency-only behavior.
+        self.default_per_item = default_per_item
         self._endpoints: dict[str, _Endpoint] = {}
         self._latency: dict[tuple[str, str], float] = {}
+        self._per_item: dict[tuple[str, str], float] = {}
         self.messages_sent = 0
 
     # ------------------------------------------------------------------
@@ -57,9 +70,31 @@ class LatencyNetwork:
     def latency(self, sender: str, receiver: str) -> float:
         return self._latency.get((sender, receiver), self.default_latency)
 
+    def set_per_item_cost(self, sender: str, receiver: str, cost: float) -> None:
+        """Set the per-item transfer cost for a directed pair."""
+        if cost < 0:
+            raise SimulationError("per-item cost must be non-negative")
+        self._per_item[(sender, receiver)] = cost
+
+    def per_item_cost(self, sender: str, receiver: str) -> float:
+        return self._per_item.get((sender, receiver), self.default_per_item)
+
+    def transfer_delay(self, sender: str, receiver: str, items: int) -> float:
+        """Total delivery delay for a message carrying ``items`` items."""
+        return self.latency(sender, receiver) + self.per_item_cost(
+            sender, receiver
+        ) * max(0, items)
+
     # ------------------------------------------------------------------
-    def send(self, sender: str, receiver: str, message: object) -> None:
-        """Deliver ``message`` after the pair's latency via the event queue."""
+    def send(
+        self, sender: str, receiver: str, message: object, items: int = 0
+    ) -> None:
+        """Deliver ``message`` after latency + per-item transfer time.
+
+        ``items`` sizes the payload (tuples in a refresh batch); each item
+        adds the pair's per-item cost to the delay, so a batched message's
+        delivery time follows the §8.2 shape ``setup + marginal · k``.
+        """
         if receiver not in self._endpoints:
             raise SimulationError(f"unknown endpoint {receiver!r}")
         endpoint = self._endpoints[receiver]
@@ -69,7 +104,7 @@ class LatencyNetwork:
             endpoint.received += 1
             endpoint.handler(sender, message)
 
-        self.events.schedule(self.latency(sender, receiver), deliver)
+        self.events.schedule(self.transfer_delay(sender, receiver, items), deliver)
 
     def received_count(self, name: str) -> int:
         endpoint = self._endpoints.get(name)

@@ -25,6 +25,8 @@ __all__ = [
     "ClientScript",
     "ClosedLoopResult",
     "closed_loop_scripts",
+    "regional_cache_system",
+    "regional_setups",
     "run_closed_loop",
     "shard_marginals",
     "sharded_service_system",
@@ -229,6 +231,113 @@ def sharded_sum_scripts(
         )
         scripts.append(ClientScript(client_id=f"client-{index:02d}", sqls=sqls))
     return scripts
+
+
+# ----------------------------------------------------------------------
+# Regional variant: K replica caches behind one group, shared shard set
+# ----------------------------------------------------------------------
+def regional_setups(
+    n_caches: int,
+    n_shards: int,
+    setup_range: tuple[float, float] = (2.0, 12.0),
+    source_id: str = "net",
+    cache_prefix: str = "edge",
+) -> dict[str, dict[str, float]]:
+    """Per-(cache, shard) setup costs with a fan-out-independent mean.
+
+    Cache ``c`` of ``K`` pays shard ``s`` a setup of
+    ``lo + (hi − lo)·(((c + s) mod K) + ½)/K`` — a circulant layout: for
+    every *shard* the K caches' setups are evenly spaced over
+    ``setup_range`` with the *same mean* at every fan-out
+    (``(lo+hi)/2``), so the deployment-wide mean is K-independent too.
+    (Individual caches may average cheaper or dearer across shards when
+    K exceeds the shard count — only the per-shard and deployment means
+    are invariant.)  Sweeping the cache count therefore changes only how
+    much *placement choice* the scheduler has — the cheapest replica's
+    setup for any shard falls as ``lo + (hi − lo)/2K`` — never the
+    average price of the deployment.  This is the replication regime
+    where dispatching each shard's batched refresh from its nearest
+    replica pays.
+    """
+    lo, hi = setup_range
+    return {
+        f"{cache_prefix}/{c}": {
+            f"{source_id}/{s}": lo + (hi - lo) * (((c + s) % n_caches) + 0.5) / n_caches
+            for s in range(n_shards)
+        }
+        for c in range(n_caches)
+    }
+
+
+def regional_cache_system(
+    n_caches: int,
+    n_shards: int = 4,
+    n_links: int = 600,
+    seed: int = 11,
+    setup_range: tuple[float, float] = (2.0, 12.0),
+    marginal: float = 1.0,
+    source_id: str = "net",
+    group_id: str = "edge",
+    clock_advance: float = 50.0,
+    fanout: bool = True,
+):
+    """A TRAPP deployment with K regional caches replicating one table.
+
+    Builds the same ``links`` master data for every cache count (same
+    seed ⇒ same tuples, bounds, and widths), stripes it across
+    ``n_shards`` shard sources, and subscribes ``n_caches`` replica
+    caches — ``edge/0`` … ``edge/K-1`` — to the sharded table through one
+    :class:`~repro.replication.fanout.CacheGroup` named ``group_id``.
+    Each replica carries a per-cache
+    :class:`~repro.extensions.batching.BatchedCostModel` whose per-shard
+    setups come from :func:`regional_setups`, so the refresh scheduler
+    can dispatch every shard's batch from the cheapest replica.
+
+    ``fanout=False`` builds the *independent-caches* ablation: same
+    topology, same cost heterogeneity, but no source-side fan-out (and,
+    paired with ``cross_cache=False`` on the service, no cross-cache
+    coalescing) — each replica pays its own refreshes.
+
+    Returns ``(system, default_model)``: bounds synced at
+    ``clock_advance`` on every replica, and the default model carrying
+    the deployment's mean setup for anything not priced per cache.
+    """
+    from repro.extensions.batching import BatchedCostModel
+    from repro.replication.system import TrappSystem
+    from repro.workloads.netmon import build_master_table, generate_topology
+
+    rng = random.Random(seed)
+    master = build_master_table(
+        generate_topology(max(2, n_links // 3), n_links, rng), rng
+    )
+
+    system = TrappSystem()
+    system.add_source(source_id, shards=n_shards).add_table(master)
+    system.add_group(group_id, fanout=fanout)
+    lo, hi = setup_range
+    setups = regional_setups(
+        n_caches, n_shards, setup_range, source_id, cache_prefix=group_id
+    )
+    for c in range(n_caches):
+        cache_id = f"{group_id}/{c}"
+        model = BatchedCostModel(
+            setup=(lo + hi) / 2,
+            marginal=marginal,
+            setup_by_source=setups[cache_id],
+        )
+        system.add_cache(
+            cache_id,
+            shards={"links": source_id},
+            group=group_id,
+            region=f"region-{c}",
+            cost_model=model,
+        )
+    system.clock.advance(clock_advance)
+    for cache in system.group(group_id):
+        cache.sync_bounds()
+
+    default_model = BatchedCostModel(setup=(lo + hi) / 2, marginal=marginal)
+    return system, default_model
 
 
 async def run_closed_loop(

@@ -1,0 +1,128 @@
+"""Property: K caches behind one CacheGroup ≡ one cache, bit-identically.
+
+Replication fan-out is a *physical* deployment choice — the same logical
+table, the same bound functions, the same planner inputs.  A script of
+queries spread across the replicas of a fan-out group must therefore
+return the **same bounded answers as the same script against a single
+cache**: identical interval endpoints (bit-for-bit), identical refreshed
+tuple sets, and identical uniform-cost refresh spend, at every step of
+the script.
+
+The invariant that makes this hold: replicas subscribe in lockstep (same
+registration order, same policy factories), and source-side fan-out
+advances every sibling's width policy through the same feedback sequence
+as the requester's whenever any replica pays for a refresh — so all K
+replicas carry bit-identical bound state at all times, and which replica
+a query lands on is unobservable in its answer.
+
+This is the acceptance property for the replication fan-out tentpole: if
+it holds, every §4/§5/§6 guarantee the executor proves for one cache
+transfers to routed multi-cache deployments unchanged.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.replication.system import TrappSystem
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+# A dyadic grid keeps every arithmetic comparison exact in binary
+# floating point — the property certifies identical planning, not ulps.
+grid = st.integers(min_value=-256, max_value=256).map(lambda k: k / 32.0)
+
+AGGREGATES = ("SUM", "COUNT", "MIN", "MAX", "AVG")
+
+
+@st.composite
+def master_tables(draw):
+    """A small master table over one bounded column (plus an exact one)."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    table = Table("t", Schema.of(x="bounded", g="exact"))
+    for index in range(n):
+        table.insert({"x": draw(grid), "g": float(index % 3)})
+    return table
+
+
+@st.composite
+def query_scripts(draw):
+    """1–4 queries: (aggregate, WITHIN in 32nds, predicated)."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(AGGREGATES),
+                st.integers(min_value=0, max_value=640),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+
+
+def _build_single(master: Table, age: float) -> TrappSystem:
+    system = TrappSystem()
+    system.add_source("s").add_table(master.copy())
+    system.add_cache("c", shards={"t": "s"})
+    system.clock.advance(age)
+    system.cache("c").sync_bounds()
+    return system
+
+
+def _build_group(master: Table, n_caches: int, age: float) -> TrappSystem:
+    system = TrappSystem()
+    system.add_source("s").add_table(master.copy())
+    system.add_group("g")
+    for index in range(n_caches):
+        system.add_cache(
+            f"g/{index}", shards={"t": "s"}, group="g", region=f"r{index}"
+        )
+    system.clock.advance(age)
+    for cache in system.group("g"):
+        cache.sync_bounds()
+    return system
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    master=master_tables(),
+    n_caches=st.integers(min_value=2, max_value=4),
+    script=query_scripts(),
+    age=st.sampled_from((0.0, 3.0, 48.0)),
+)
+def test_group_answers_equal_single_cache(master, n_caches, script, age):
+    single = _build_single(master, age)
+    grouped = _build_group(master, n_caches, age)
+
+    for step, (aggregate, width_32nds, predicated) in enumerate(script):
+        column = "*" if aggregate == "COUNT" else "x"
+        where = " WHERE g < 2" if predicated else ""
+        sql = (
+            f"SELECT {aggregate}({column}) WITHIN {width_32nds / 32.0} "
+            f"FROM t{where}"
+        )
+
+        baseline = single.query("c", sql)
+        # Rotate the script across the replicas: every step may land on a
+        # different cache, yet no step may observe which.
+        candidate = grouped.query(f"g/{step % n_caches}", sql)
+
+        assert candidate.bound.lo == baseline.bound.lo
+        assert candidate.bound.hi == baseline.bound.hi
+        assert candidate.initial_bound.lo == baseline.initial_bound.lo
+        assert candidate.initial_bound.hi == baseline.initial_bound.hi
+        assert candidate.refreshed == baseline.refreshed
+        # Uniform cost: spend is tuple count, so it must match exactly.
+        assert candidate.refresh_cost == baseline.refresh_cost
+
+    # The deployments really differed physically: the group wired
+    # source-side fan-out, and every replica (not just the queried ones)
+    # absorbed a push whenever any step paid for a refresh.
+    assert grouped.source("s").refresh_fanout
+    refreshes = grouped.source("s").query_initiated_refreshes
+    if refreshes:
+        pushes = [
+            cache.fanout_refreshes_received for cache in grouped.group("g")
+        ]
+        assert sum(pushes) == refreshes * (n_caches - 1)

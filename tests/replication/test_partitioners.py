@@ -1,0 +1,101 @@
+"""Hash- and range-by-key partitioners for sharded sources."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.errors import ReplicationProtocolError, TrappError
+from repro.replication.sharding import (
+    ShardedSource,
+    hash_by_key,
+    range_by_key,
+    round_robin,
+)
+from repro.replication.system import TrappSystem
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+def make_master(values, name: str = "t") -> Table:
+    table = Table(name, Schema.of(x="bounded"))
+    for value in values:
+        table.insert({"x": float(value)})
+    return table
+
+
+# ----------------------------------------------------------------------
+def test_range_by_key_routes_on_value():
+    source = ShardedSource.create(
+        "s", 3, partitioner=range_by_key("x", [10.0, 20.0])
+    )
+    source.add_table(make_master([1.0, 11.0, 25.0, 15.0, 9.0]))
+    layout = {
+        shard.source_id: sorted(shard.table("t").tids())
+        for shard in source.shards
+    }
+    # x = 1, 9 below 10 → shard 0; 11, 15 in [10, 20) → shard 1; 25 → shard 2.
+    assert layout == {"s/0": [1, 5], "s/1": [2, 4], "s/2": [3]}
+
+
+def test_range_by_key_boundary_is_half_open():
+    source = ShardedSource.create("s", 2, partitioner=range_by_key("x", [10.0]))
+    source.add_table(make_master([10.0, 9.999999]))
+    assert sorted(source.shards[1].table("t").tids()) == [1]
+    assert sorted(source.shards[0].table("t").tids()) == [2]
+
+
+def test_range_by_key_validates_boundaries():
+    with pytest.raises(ReplicationProtocolError):
+        range_by_key("x", [5.0, 5.0])  # not strictly ascending
+    with pytest.raises(ReplicationProtocolError):
+        range_by_key("x", [7.0, 3.0])
+    source = ShardedSource.create("s", 3, partitioner=range_by_key("x", [1.0]))
+    with pytest.raises(ReplicationProtocolError):
+        source.add_table(make_master([1.0]))  # 1 boundary for 3 shards
+
+
+def test_hash_by_key_is_stable_across_processes():
+    partitioner = hash_by_key("x")
+    # The layout is pure CRC-32 of repr(value) — pinned here so a future
+    # "optimization" switching to salted hash() breaks loudly.
+    for value in (1.0, 2.5, 117.0):
+        assert partitioner(value, 5) == zlib.crc32(repr(value).encode()) % 5
+
+
+def test_hash_by_key_spreads_and_inserts_route_consistently():
+    source = ShardedSource.create("s", 4, partitioner=hash_by_key("x"))
+    source.add_table(make_master(range(40)))
+    sizes = [len(shard.table("t")) for shard in source.shards]
+    assert sum(sizes) == 40
+    assert all(size > 0 for size in sizes)  # 40 keys over 4 shards: all hit
+    change = source.insert_row("t", {"x": 1234.5})
+    expected = hash_by_key("x")(1234.5, 4)
+    assert source.shard_id_of("t", change.tid) == f"s/{expected}"
+
+
+def test_key_partitioner_requires_key_column():
+    source = ShardedSource.create("s", 2, partitioner=hash_by_key("missing"))
+    with pytest.raises(ReplicationProtocolError):
+        source.add_table(make_master([1.0]))
+
+
+def test_system_add_source_accepts_partitioner():
+    system = TrappSystem()
+    source = system.add_source(
+        "s", shards=2, partitioner=range_by_key("x", [10.0])
+    )
+    source.add_table(make_master([5.0, 15.0]))
+    system.add_cache("c", shards={"t": "s"})
+    assert system.cache("c").table("t").shard_map.shard_of(1) == "s/0"
+    assert system.cache("c").table("t").shard_map.shard_of(2) == "s/1"
+    # Queries work unchanged over the key-partitioned layout.
+    answer = system.query("c", "SELECT SUM(x) WITHIN 0 FROM t")
+    assert answer.bound.lo == 20.0
+
+
+def test_partitioner_without_shards_rejected():
+    system = TrappSystem()
+    with pytest.raises(TrappError):
+        system.add_source("s", partitioner=round_robin)

@@ -1,0 +1,333 @@
+"""Refresh-driven result invalidation and the bound-staleness cap."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import StaleRefreshError
+from repro.service import QueryService
+from repro.service.results import ResultCache
+
+from tests.service.conftest import CACHE_ID, build_netmon_system
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# ResultCache.invalidate_table in isolation
+# ----------------------------------------------------------------------
+def make_cache() -> ResultCache:
+    return ResultCache(ttl=100.0, clock=lambda: 0.0, max_entries=8)
+
+
+def answer():
+    from repro.core.answer import BoundedAnswer
+    from repro.core.bound import Bound
+
+    return BoundedAnswer(bound=Bound(1.0, 2.0))
+
+
+def test_invalidate_table_scoped():
+    cache = make_cache()
+    k1 = ResultCache.make_key("c1", "t", "SUM", "x", None, 5.0)
+    k2 = ResultCache.make_key("c2", "t", "SUM", "x", None, 5.0)
+    k3 = ResultCache.make_key("c1", "other", "SUM", "x", None, 5.0)
+    for key in (k1, k2, k3):
+        cache.put(key, answer())
+    dropped = cache.invalidate_table("t", scopes=["c1"])
+    assert dropped == 1
+    assert cache.get(k1, 5.0) is None
+    assert cache.get(k2, 5.0) is not None
+    assert cache.get(k3, 5.0) is not None
+    assert cache.stats()["invalidations"] == 1
+
+
+def test_invalidate_table_all_scopes():
+    cache = make_cache()
+    keys = [
+        ResultCache.make_key(scope, "t", "SUM", "x", None, 5.0)
+        for scope in ("a", "b", "c")
+    ]
+    for key in keys:
+        cache.put(key, answer())
+    assert cache.invalidate_table("t") == 3
+    assert len(cache) == 0
+
+
+def test_non_make_key_keys_stay_cacheable_but_unindexed():
+    """The Hashable contract survives the invalidation index: arbitrary
+    keys cache fine and are simply invisible to table invalidation."""
+    cache = make_cache()
+    for key in ("plain-string", 42, ("one",), (1, 2)):
+        cache.put(key, answer())
+        assert cache.get(key, 5.0) is not None
+    assert cache.invalidate_table("plain-string") == 0
+    assert cache.invalidate_table("p") == 0  # no ("p", "l") mis-bucketing
+    for key in ("plain-string", 42, ("one",), (1, 2)):
+        assert cache.get(key, 5.0) is not None
+
+
+def test_invalidation_index_survives_eviction_and_clear():
+    cache = make_cache()
+    for index in range(12):  # ttl cache holds 8; 4 oldest evicted
+        cache.put(
+            ResultCache.make_key("c", "t", "SUM", "x", None, float(index)),
+            answer(),
+        )
+    assert len(cache) == 8
+    assert cache.invalidate_table("t", scopes=["c"]) == 8
+    cache.clear()
+    assert cache.invalidate_table("t") == 0
+
+
+# ----------------------------------------------------------------------
+# Refresh-driven invalidation through the service
+# ----------------------------------------------------------------------
+def test_dispatched_refresh_evicts_affected_entries():
+    system = build_netmon_system()
+    service = QueryService(system, result_ttl=1e9)
+
+    async def go():
+        # Seed the cache with a loose answer (no refresh needed).
+        first = await service.query(
+            CACHE_ID, "SELECT SUM(traffic) WITHIN 10000 FROM links"
+        )
+        assert not first.cached
+        repeat = await service.query(
+            CACHE_ID, "SELECT SUM(traffic) WITHIN 10000 FROM links"
+        )
+        assert repeat.cached  # served from the result cache
+
+        # A tight query refreshes tuples of the same table → the seeded
+        # entry must be evicted, not served for its remaining TTL.
+        tight = await service.query(
+            CACHE_ID, "SELECT SUM(traffic) WITHIN 1 FROM links"
+        )
+        assert tight.answer.refreshed
+
+        after = await service.query(
+            CACHE_ID, "SELECT SUM(traffic) WITHIN 10000 FROM links"
+        )
+        return after
+
+    after = run(go())
+    assert not after.cached  # recomputed, not served stale
+    assert service.results.stats()["invalidations"] >= 1
+
+
+def test_group_query_scopes_one_entry_one_miss():
+    """A fan-out group query reads and feeds exactly one (group-scoped)
+    result entry: an unserved query is one miss, a repeat one hit."""
+    from repro.replication.system import TrappSystem
+    from repro.storage.schema import Schema
+    from repro.storage.table import Table
+
+    system = TrappSystem()
+    master = Table("t", Schema.of(x="bounded"))
+    master.insert({"x": 1.0})
+    system.add_source("s").add_table(master)
+    system.add_cache("edge/0", shards={"t": "s"}, group="edge")
+    service = QueryService(system)
+
+    async def go():
+        await service.query("edge", "SELECT SUM(x) WITHIN 100 FROM t")
+        await service.query("edge", "SELECT SUM(x) WITHIN 100 FROM t")
+
+    run(go())
+    stats = service.results.stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 1
+    assert stats["entries"] == 1  # one scope, not one per tier
+
+
+def test_independent_group_shares_nothing_across_replicas():
+    """The independent-caches ablation (fanout=False, cross_cache=False)
+    must not coalesce identical queries across replicas through the
+    result cache or single-flight — replicas are not in lockstep."""
+    from repro.replication.system import TrappSystem
+    from repro.storage.schema import Schema
+    from repro.storage.table import Table
+
+    system = TrappSystem()
+    master = Table("t", Schema.of(x="bounded"))
+    for v in (1.0, 2.0):
+        master.insert({"x": v})
+    system.add_source("s").add_table(master)
+    system.add_group("edge", fanout=False)
+    for index in range(2):
+        system.add_cache(f"edge/{index}", shards={"t": "s"}, group="edge")
+    service = QueryService(system, cross_cache=False, result_ttl=1e9)
+    sql = "SELECT SUM(x) WITHIN 100 FROM t"
+
+    async def go():
+        first = await service.query("edge/0", sql, client_id="a")
+        second = await service.query("edge/1", sql, client_id="b")
+        return first, second
+
+    first, second = run(go())
+    assert not first.cached
+    assert not second.cached  # edge/1 computed its own answer
+    assert service.singleflight_joins == 0
+
+
+def test_fanout_group_invalidates_siblings_even_without_cross_cache():
+    """cross_cache=False disables merged scheduling, but fan-out still
+    tightened the siblings — their cache-scoped entries must be evicted."""
+    from repro.replication.system import TrappSystem
+    from repro.storage.schema import Schema
+    from repro.storage.table import Table
+
+    system = TrappSystem()
+    master = Table("t", Schema.of(x="bounded"))
+    for v in (1.0, 2.0, 3.0):
+        master.insert({"x": v})
+    system.add_source("s").add_table(master)
+    for index in range(2):
+        system.add_cache(f"edge/{index}", shards={"t": "s"}, group="edge")
+    system.clock.advance(20.0)
+    for cache in system.group("edge"):
+        cache.sync_bounds()
+    service = QueryService(system, result_ttl=1e9, cross_cache=False)
+
+    async def go():
+        seeded = await service.query(
+            "edge/1", "SELECT SUM(x) WITHIN 10000 FROM t", client_id="b"
+        )
+        assert not seeded.cached
+        tight = await service.query(
+            "edge/0", "SELECT SUM(x) WITHIN 0 FROM t", client_id="a"
+        )
+        assert tight.answer.refreshed
+        after = await service.query(
+            "edge/1", "SELECT SUM(x) WITHIN 10000 FROM t", client_id="b"
+        )
+        return after
+
+    after = run(go())
+    assert not after.cached  # sibling's entry was invalidated, recomputed
+
+
+def test_refresh_of_other_table_leaves_entries_alone():
+    system = build_netmon_system()
+    # Second table on its own source, same cache.
+    import random
+
+    from repro.workloads.netmon import build_master_table, generate_topology
+
+    rng = random.Random(9)
+    other = build_master_table(generate_topology(4, 9, rng), rng)
+    source2 = system.add_source("net2")
+    renamed = type(other)("links2", other.schema)
+    for row in other.rows():
+        renamed.insert(row.as_dict(), tid=row.tid)
+    source2.add_table(renamed)
+    system.cache(CACHE_ID).subscribe_table(source2, "links2")
+    system.cache(CACHE_ID).sync_bounds()
+
+    service = QueryService(system, result_ttl=1e9)
+
+    async def go():
+        await service.query(CACHE_ID, "SELECT SUM(traffic) WITHIN 10000 FROM links")
+        await service.query(CACHE_ID, "SELECT SUM(traffic) WITHIN 1 FROM links2")
+        return await service.query(
+            CACHE_ID, "SELECT SUM(traffic) WITHIN 10000 FROM links"
+        )
+
+    assert run(go()).cached  # links entry untouched by links2 refresh
+
+
+# ----------------------------------------------------------------------
+# Bound-staleness cap (max_sync_deferrals)
+# ----------------------------------------------------------------------
+def test_unbounded_deferral_without_cap():
+    """Default behavior unchanged: deferrals never force a sync."""
+    system = build_netmon_system()
+    service = QueryService(system, network_delay=0.03)
+
+    async def go():
+        slow = asyncio.create_task(
+            service.query(
+                CACHE_ID, "SELECT SUM(traffic) WITHIN 1 FROM links", client_id="slow"
+            )
+        )
+        await asyncio.sleep(0.005)
+        for index in range(4):
+            await service.query(
+                CACHE_ID,
+                "SELECT SUM(traffic) WITHIN 100000 FROM links",
+                client_id=f"fast-{index}",
+                cost=lambda row: 1.0,  # unshareable: forces execution
+            )
+        await slow
+
+    run(go())
+    stats = service.stats()
+    assert stats["forced_syncs"] == 0
+    assert stats["stale_aborts"] == 0
+
+
+def test_cap_forces_sync_and_revalidates():
+    system = build_netmon_system()
+    service = QueryService(system, network_delay=0.05, max_sync_deferrals=2)
+
+    async def go():
+        # A refresh-needing query suspends at the scheduler tick for the
+        # network delay...
+        slow = asyncio.create_task(
+            service.query(
+                CACHE_ID, "SELECT SUM(traffic) WITHIN 1 FROM links", client_id="slow"
+            )
+        )
+        await asyncio.sleep(0.01)
+        # ...while the clock advances (bounds want to widen) and other
+        # queries keep arriving, each deferring sync_bounds.
+        system.clock.advance(60.0)
+        for index in range(3):
+            await service.query(
+                CACHE_ID,
+                "SELECT SUM(traffic) WITHIN 100000 FROM links",
+                client_id=f"fast-{index}",
+                cost=lambda row: 1.0,  # unshareable: forces execution
+            )
+        return await slow
+
+    result = run(go())
+    stats = service.stats()
+    assert stats["forced_syncs"] >= 1
+    # The suspended query was re-validated (and possibly retried) — it
+    # never returned an answer wider than it promised.
+    assert stats["revalidations"] + stats["stale_retries"] >= 1
+    assert result.answer.meets(1.0)
+
+
+def test_stale_abort_surfaces_as_retryable():
+    """When even the retry lands across a forced sync, the error is the
+    retryable StaleRefreshError, not a silent wide answer."""
+    assert getattr(StaleRefreshError, "retryable") is True
+    # Exercise the re-validation epilogue directly for determinism.
+    from repro.core.answer import BoundedAnswer
+    from repro.core.bound import Bound
+    from repro.core.constraints import AbsolutePrecision
+    from repro.sql.compiler import QueryPlan
+
+    system = build_netmon_system()
+    service = QueryService(system, max_sync_deferrals=1)
+    table = system.cache(CACHE_ID).table("links")
+    plan = QueryPlan(
+        table=table,
+        aggregate="SUM",
+        column="traffic",
+        constraint=AbsolutePrecision(1.0),
+        predicate=None,
+    )
+    tight = BoundedAnswer(bound=Bound(5.0, 5.5))
+    assert service._revalidate(tight, plan, "c") is tight
+    assert service.revalidations == 1
+    wide = BoundedAnswer(bound=Bound(0.0, 50.0))
+    with pytest.raises(StaleRefreshError):
+        service._revalidate(wide, plan, "c")
+    assert service.stale_aborts == 1

@@ -265,6 +265,10 @@ def test_stats_shape():
         "queries_served",
         "queries_rejected",
         "singleflight_joins",
+        "forced_syncs",
+        "revalidations",
+        "stale_retries",
+        "stale_aborts",
         "result_cache",
         "scheduler",
     }
