@@ -28,10 +28,29 @@ not just the cost-model arithmetic.
 Acceptance (full size): total refresh cost strictly below serial, and
 query throughput ≥ 3×.  Results land in ``BENCH_concurrent_service.json``.
 
+**Mixed-workload sweep** (ISSUE 6): the same serial-vs-concurrent
+comparison over the *full query surface* — plain aggregates, GROUP BY,
+TOP-N, MEDIAN, and links ⋈ nodes joins — against a two-replica cache
+group, sweeping the client count.  Both sides run the identical scripts
+through the one shared step protocol (:func:`repro.sql.steps.plan_steps`);
+the serial baseline pays each query's batched refresh alone on one
+pinned replica, the service coalesces across queries, classes, and
+replicas.  Acceptance: coalesced refresh cost per answer strictly below
+serial at every swept point with ≥ 8 clients.  Results merge into the
+``mixed`` section of the same JSON.
+
+``python benchmarks/bench_concurrent_service.py --smoke`` runs the CI
+profile: reduced sizes plus a deterministic baseline tripwire — the
+serial mixed cost per answer is pure cost-model arithmetic, so it must
+stay within ``SMOKE_REGRESSION_LIMIT`` of the committed
+``smoke_baseline`` on any machine (``--record-baseline`` refreshes it).
+
 Environment knobs: ``BENCH_SERVICE_CLIENTS`` (32),
 ``BENCH_SERVICE_QUERIES`` per client (6), ``BENCH_SERVICE_LINKS`` (240),
 ``BENCH_SERVICE_DELAY`` (0.002), ``BENCH_SERVICE_MIN_SPEEDUP`` (3.0 —
-CI smoke runs shrink the workload and relax this floor).
+CI smoke runs shrink the workload and relax this floor),
+``BENCH_SERVICE_MIXED_CLIENTS`` ("2,8,16"), ``BENCH_SERVICE_MIXED_QUERIES``
+(4), ``BENCH_SERVICE_MIXED_LINKS`` (120), ``BENCH_SERVICE_SMOKE`` (0).
 """
 
 from __future__ import annotations
@@ -52,14 +71,36 @@ from repro.replication.system import TrappSystem
 from repro.service import QueryService
 from repro.sql.compiler import compile_statement
 from repro.sql.parser import parse_statement
+from repro.sql.steps import plan_steps
 from repro.workloads.netmon import build_master_table, generate_topology
-from repro.workloads.service import closed_loop_scripts
+from repro.workloads.service import (
+    closed_loop_scripts,
+    mixed_scripts,
+    mixed_service_system,
+)
 
+SMOKE = os.environ.get("BENCH_SERVICE_SMOKE", "0") == "1"
 CLIENTS = int(os.environ.get("BENCH_SERVICE_CLIENTS", "32"))
 QUERIES_PER_CLIENT = int(os.environ.get("BENCH_SERVICE_QUERIES", "6"))
 N_LINKS = int(os.environ.get("BENCH_SERVICE_LINKS", "240"))
 NETWORK_DELAY = float(os.environ.get("BENCH_SERVICE_DELAY", "0.002"))
 MIN_SPEEDUP = float(os.environ.get("BENCH_SERVICE_MIN_SPEEDUP", "3.0"))
+MIXED_CLIENT_SWEEP = tuple(
+    int(c)
+    for c in os.environ.get(
+        "BENCH_SERVICE_MIXED_CLIENTS", "2,8" if SMOKE else "2,8,16"
+    ).split(",")
+)
+MIXED_QUERIES = int(
+    os.environ.get("BENCH_SERVICE_MIXED_QUERIES", "2" if SMOKE else "4")
+)
+MIXED_LINKS = int(
+    os.environ.get("BENCH_SERVICE_MIXED_LINKS", "60" if SMOKE else "120")
+)
+MIXED_CACHES = 2
+#: CI guard: smoke serial mixed cost-per-answer vs the committed baseline
+#: (pure cost-model arithmetic — deterministic on any machine).
+SMOKE_REGRESSION_LIMIT = 1.5
 SEED = 20001107
 #: Simulated seconds between consecutive query arrivals (staleness accrual).
 ARRIVAL_GAP = 2.0
@@ -70,6 +111,22 @@ RESULTS_PATH = (
 )
 
 COST_MODEL = BatchedCostModel(setup=5.0, marginal=1.0)
+
+
+def _load_results() -> dict:
+    if RESULTS_PATH.exists():
+        try:
+            return json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            return {}
+    return {}
+
+
+def _merge_results(updates: dict) -> None:
+    """Merge one section into the results file, preserving the others."""
+    results = _load_results()
+    results.update(updates)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
 
 
 def build_system() -> TrappSystem:
@@ -243,7 +300,7 @@ def test_concurrent_service_coalescing_win():
         "throughput_speedup": speedup,
         "refresh_cost_ratio": cost_ratio,
     }
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    _merge_results(results)
 
     assert concurrent["refresh_cost"] < serial["refresh_cost"], (
         "coalescing must pay strictly less total refresh cost than the "
@@ -256,5 +313,226 @@ def test_concurrent_service_coalescing_win():
     )
 
 
+# ----------------------------------------------------------------------
+# Mixed-workload sweep: the full query surface against a cache group
+# ----------------------------------------------------------------------
+def _mixed_setup(n_clients: int):
+    """A fresh group deployment plus the scripts sized against it.
+
+    Built identically for the serial and concurrent runs (same seed ⇒
+    same tables, bounds, and budgets).
+    """
+    system, model = mixed_service_system(
+        n_caches=MIXED_CACHES, n_links=MIXED_LINKS, seed=SEED % 100_000
+    )
+    cache = system.cache("edge/0")
+    scripts = mixed_scripts(
+        cache.table("links"),
+        cache.table("nodes"),
+        n_clients=n_clients,
+        queries_per_client=MIXED_QUERIES,
+        seed=SEED % 100_000,
+    )
+    return system, model, scripts
+
+
+def _mixed_rounds(scripts) -> list[list[tuple[str, str]]]:
+    return [
+        [(script.client_id, script.sqls[r]) for script in scripts]
+        for r in range(MIXED_QUERIES)
+    ]
+
+
+def run_serial_mixed(n_clients: int) -> dict:
+    """Every statement class, one query at a time on one pinned replica."""
+    system, model, scripts = _mixed_setup(n_clients)
+    cache = system.cache("edge/0")
+    executor = system.executor_for("edge/0")
+    total_cost = 0.0
+    source_requests = 0
+    completed = 0
+    for queries in _mixed_rounds(scripts):
+        for _client_id, sql in queries:
+            system.clock.advance(ARRIVAL_GAP)
+            cache.sync_bounds()
+            plan = compile_statement(parse_statement(sql), cache.catalog)
+            steps = plan_steps(plan, executor, rebatch_metadata=False)
+            try:
+                request = next(steps)
+                while True:
+                    receipt = cache.refresh_batched(
+                        request.table,
+                        request.plan.tids,
+                        batch_cost=lambda sid, k: model.setup
+                        + model.marginal * k,
+                    )
+                    total_cost += receipt.total_cost
+                    source_requests += receipt.requests_sent
+                    request = steps.send(
+                        RefreshPlan(request.plan.tids, receipt.total_cost)
+                    )
+            except StopIteration:
+                completed += 1
+    return {
+        "clients": n_clients,
+        "answers": completed,
+        "refresh_cost": total_cost,
+        "cost_per_answer": total_cost / completed,
+        "source_requests": source_requests,
+    }
+
+
+async def _run_concurrent_mixed(n_clients: int) -> dict:
+    system, model, scripts = _mixed_setup(n_clients)
+    service = QueryService(
+        system,
+        max_inflight=max(64, n_clients * 2),
+        max_inflight_per_client=2,
+        cost_model=model,
+        result_ttl=1.0,
+    )
+    completed = 0
+    for queries in _mixed_rounds(scripts):
+        system.clock.advance(ARRIVAL_GAP * len(queries))
+        for cache in system.group("edge"):
+            cache.sync_bounds()
+        results = await asyncio.gather(
+            *(
+                service.query("edge", sql, client_id=client_id)
+                for client_id, sql in queries
+            )
+        )
+        completed += len(results)
+    stats = service.stats()
+    total_cost = stats["scheduler"]["total_cost_paid"]
+    return {
+        "clients": n_clients,
+        "answers": completed,
+        "refresh_cost": total_cost,
+        "cost_per_answer": total_cost / completed,
+        "source_requests": stats["scheduler"]["source_requests"],
+        "result_cache_hits": stats["result_cache"]["hits"],
+        "singleflight_joins": stats["singleflight_joins"],
+    }
+
+
+def test_mixed_workload_coalescing_win():
+    series = []
+    for n_clients in MIXED_CLIENT_SWEEP:
+        serial = run_serial_mixed(n_clients)
+        concurrent = asyncio.run(_run_concurrent_mixed(n_clients))
+        series.append(
+            {
+                "clients": n_clients,
+                "serial": serial,
+                "concurrent": concurrent,
+                "cost_per_answer_ratio": concurrent["cost_per_answer"]
+                / serial["cost_per_answer"],
+            }
+        )
+
+    banner(
+        f"Mixed workload (joins + GROUP BY + TOP-N + MEDIAN) — "
+        f"{MIXED_LINKS} links, {MIXED_CACHES} replicas, "
+        f"{MIXED_QUERIES} queries/client"
+    )
+    print_table(
+        ["clients", "serial cost/ans", "concurrent cost/ans", "ratio"],
+        [
+            (
+                point["clients"],
+                point["serial"]["cost_per_answer"],
+                point["concurrent"]["cost_per_answer"],
+                point["cost_per_answer_ratio"],
+            )
+            for point in series
+        ],
+    )
+
+    _merge_results(
+        {
+            "mixed": {
+                "links": MIXED_LINKS,
+                "caches": MIXED_CACHES,
+                "queries_per_client": MIXED_QUERIES,
+                "smoke": SMOKE,
+                "series": series,
+            }
+        }
+    )
+
+    for point in series:
+        if point["clients"] >= 8:
+            assert point["cost_per_answer_ratio"] < 1.0, (
+                f"at {point['clients']} clients the coalesced mixed "
+                f"workload must pay strictly less refresh per answer than "
+                f"serial (ratio {point['cost_per_answer_ratio']:.3f})"
+            )
+    if SMOKE:
+        _check_smoke_regression(series[-1]["serial"]["cost_per_answer"])
+
+
+def _check_smoke_regression(serial_cost_per_answer: float) -> None:
+    """CI tripwire: smoke serial cost-per-answer vs the committed baseline.
+
+    The serial mixed run is pure cost-model arithmetic over a seeded
+    workload — identical on every machine — so drifting past the margin
+    means planner or executor behavior changed, not the runner.
+    """
+    baseline = _load_results().get("smoke_baseline")
+    if not baseline or baseline.get("links") != MIXED_LINKS:
+        return
+    limit = baseline["serial_cost_per_answer"] * SMOKE_REGRESSION_LIMIT
+    assert serial_cost_per_answer <= limit, (
+        f"smoke serial mixed cost per answer {serial_cost_per_answer:.3f} "
+        f"regressed beyond {SMOKE_REGRESSION_LIMIT}x the committed "
+        f"baseline {baseline['serial_cost_per_answer']:.3f}"
+    )
+
+
+def _record_smoke_baseline() -> None:
+    """Refresh the committed smoke baseline from the current smoke numbers."""
+    results = _load_results()
+    mixed = results.get("mixed")
+    if mixed and mixed.get("smoke"):
+        _merge_results(
+            {
+                "smoke_baseline": {
+                    "links": mixed["links"],
+                    "serial_cost_per_answer": mixed["series"][-1]["serial"][
+                        "cost_per_answer"
+                    ],
+                }
+            }
+        )
+
+
 if __name__ == "__main__":
-    raise SystemExit(pytest.main([__file__, "-q", "-s"]))
+    import argparse
+    import subprocess
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI profile: reduced sizes, mixed sweep only, baseline tripwire",
+    )
+    parser.add_argument(
+        "--record-baseline", action="store_true",
+        help="with --smoke: update the committed smoke baseline afterwards",
+    )
+    args = parser.parse_args()
+    if args.smoke and not SMOKE:
+        # Re-exec so the module-level knobs pick the smoke profile up.
+        env = dict(os.environ, BENCH_SERVICE_SMOKE="1")
+        code = subprocess.call(
+            [sys.executable, __file__, "--smoke"]
+            + (["--record-baseline"] if args.record_baseline else []),
+            env=env,
+        )
+        raise SystemExit(code)
+    selector = ["-k", "mixed"] if SMOKE else []
+    code = pytest.main([__file__, "-q", "-s"] + selector)
+    if code == 0 and SMOKE and args.record_baseline:
+        _record_smoke_baseline()
+    raise SystemExit(code)

@@ -86,6 +86,7 @@ __all__ = [
     "RefreshHook",
     "QueryExecutor",
     "execute_query",
+    "drive_steps",
 ]
 
 # WIDTH_TOLERANCE / width_within (re-exported from repro.core.constraints)
@@ -175,6 +176,26 @@ RefreshHook = Callable[[PlannedRefresh], "RefreshPlan | None"]
 
 #: Type of the generator returned by :meth:`QueryExecutor.execute_steps`.
 ExecutionSteps = Generator[PlannedRefresh, RefreshPlan, BoundedAnswer]
+
+
+def drive_steps(steps: ExecutionSteps, refresher: RefreshProvider) -> BoundedAnswer:
+    """Serially drive an execution-steps generator to its answer.
+
+    The reference driver for every generator speaking the
+    :class:`PlannedRefresh` protocol (the executor's, the §7 join
+    heuristic's, the §8.1 extension generators'): each planned refresh is
+    applied immediately through ``refresher`` and echoed back as the
+    effective plan — exactly what a hookless :meth:`QueryExecutor.execute`
+    does, so serial answers are the fixed point concurrent drivers are
+    tested against.
+    """
+    try:
+        request = next(steps)
+        while True:
+            refresher.refresh(request.table, request.plan.tids)
+            request = steps.send(request.plan)
+    except StopIteration as stop:
+        return stop.value
 
 
 class QueryExecutor:

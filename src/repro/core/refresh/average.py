@@ -92,6 +92,85 @@ class AvgChooseRefresh:
             store, column, max_width * count, cost
         )
 
+    def with_classification_columnar(
+        self,
+        store,
+        certain,
+        possible,
+        column: str | None,
+        max_width: float,
+        cost: CostFunc = uniform_cost,
+        predicate=None,
+    ):
+        """Vector counterpart of the Appendix F knapsack.
+
+        Harvests SUM's §6.2 candidate vectors straight from the columnar
+        mirror, then augments every T? weight with the slope penalty and
+        solves at capacity ``L'_C · R`` through the shared vector solver —
+        the same derivation as :meth:`with_classification`, with no
+        per-tuple objects.  ``predicate`` applies the Appendix D
+        refinement to T? bounds, mirroring the executor's row path.
+        Returns ``None`` (row-path fallback) when the cost function
+        cannot be vectorized or the instance is degenerate
+        (``L'_C = 0``).
+        """
+        if column is None:
+            raise TrappError("AVG CHOOSE_REFRESH requires an aggregation column")
+        if math.isinf(max_width):
+            return RefreshPlan.empty(), None
+        try:
+            import numpy as np
+
+            from repro.storage.columnar import CandidateVectors
+        except ImportError:  # pragma: no cover - numpy-less hosts
+            return None
+        cv = self._sum._harvest(
+            store, column, cost, certain=certain, possible=possible,
+            predicate=predicate,
+        )
+        if cv is None:
+            return None
+        if len(cv) == 0:
+            return RefreshPlan.empty(), None
+        n_plus = int(np.count_nonzero(certain))
+        l_count = float(n_plus)
+        if l_count <= 0:
+            # Degenerate Appendix F case (no guaranteed-nonempty answer
+            # set): the row path's refresh-all-T? fallback handles it.
+            return None
+        lo, hi = store.endpoints(column)
+        maybe_mask = np.logical_and(possible, np.logical_not(certain))
+        maybe_lo, maybe_hi = lo[maybe_mask], hi[maybe_mask]
+        if predicate is not None and len(maybe_lo):
+            from repro.predicates.batch import restrict_endpoints
+
+            maybe_lo, maybe_hi = restrict_endpoints(
+                maybe_lo, maybe_hi, predicate, column
+            )
+        sum0 = Bound(
+            float(lo[certain].sum() + np.minimum(maybe_lo, 0.0).sum()),
+            float(hi[certain].sum() + np.maximum(maybe_hi, 0.0).sum()),
+        )
+        capacity = l_count * max_width
+        slope = self._slope(sum0, l_count, max_width)
+        if slope > 0.0 and len(cv) > n_plus:
+            # Harvest order is [T+ …, T? …]; the slope penalty lands on
+            # the T? tail, and the (width, tid) ordering is rebuilt so
+            # the uniform-cost walk sees the augmented weights.
+            widths = cv.widths.copy()
+            widths[n_plus:] += slope
+            cv = CandidateVectors(
+                tids=cv.tids,
+                widths=widths,
+                costs=cv.costs,
+                order=np.lexsort((cv.tids, widths)),
+                cost_min=cv.cost_min,
+                cost_max=cv.cost_max,
+                cost_total=cv.cost_total,
+                costs_integral=cv.costs_integral,
+            )
+        return self._sum._solve_columnar(cv, capacity), None
+
     # ------------------------------------------------------------------
     def with_classification(
         self,

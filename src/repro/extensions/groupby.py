@@ -7,6 +7,12 @@ bounded column — is implemented here.  Each group independently runs the
 single-table machinery, and the per-group precision constraint is enforced
 with the standard CHOOSE_REFRESH algorithms, so every group's answer
 carries the same guarantee as a standalone query.
+
+:func:`grouped_query_steps` speaks the executor's ``PlannedRefresh``
+generator protocol — one yielded plan per group that needs a refresh —
+so grouped statements suspend into the concurrent service's refresh
+scheduler like any single-table query; :func:`grouped_query` is the
+serial driver around it.
 """
 
 from __future__ import annotations
@@ -16,17 +22,24 @@ from typing import Hashable, Sequence
 
 from repro.core.aggregates import get_aggregate
 from repro.core.answer import BoundedAnswer
+from repro.core.bound import Bound
 from repro.core.constraints import width_within
-from repro.core.executor import NullRefreshProvider, RefreshProvider
+from repro.core.executor import (
+    ExecutionSteps,
+    NullRefreshProvider,
+    PlannedRefresh,
+    RefreshProvider,
+    drive_steps,
+)
 from repro.core.refresh import get_choose_refresh
 from repro.core.refresh.base import CostFunc, uniform_cost
-from repro.errors import TrappError, UnknownColumnError
+from repro.errors import ConstraintUnsatisfiableError, TrappError
 from repro.predicates.ast import Predicate, TruePredicate
 from repro.predicates.classify import classify
 from repro.storage.row import Row
 from repro.storage.table import Table
 
-__all__ = ["GroupResult", "grouped_query"]
+__all__ = ["GroupResult", "GroupedAnswer", "grouped_query", "grouped_query_steps"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,6 +49,122 @@ class GroupResult:
     key: tuple[Hashable, ...]
     answer: BoundedAnswer
     size: int
+
+
+@dataclass(frozen=True, slots=True)
+class GroupedAnswer(BoundedAnswer):
+    """All groups' answers behind one headline :class:`BoundedAnswer`.
+
+    ``bound`` is the *widest* group's bound (exact zero when the table is
+    empty), so ``meets(R)`` holds iff every group meets the per-group
+    constraint — the service's revalidation and result-cache width checks
+    then apply unchanged to grouped statements.  ``refreshed`` and
+    ``refresh_cost`` aggregate over all groups; the per-group breakdown
+    lives in ``groups``.
+    """
+
+    groups: tuple[GroupResult, ...] = ()
+
+
+def grouped_query_steps(
+    table: Table,
+    group_by: Sequence[str],
+    aggregate: str,
+    column: str | None,
+    max_width: float,
+    predicate: Predicate | None = None,
+    cost: CostFunc = uniform_cost,
+    epsilon: float | None = None,
+) -> ExecutionSteps:
+    """``SELECT key, AGG(column) WITHIN R ... GROUP BY key`` as a generator.
+
+    Groups are planned in deterministic key order; whenever a group's
+    cached bound is too wide the chosen refresh plan is yielded as a
+    :class:`~repro.core.executor.PlannedRefresh` (groups partition the
+    table, so plans never interact) and the driver sends back the
+    effective plan.  Returns a :class:`GroupedAnswer` via
+    ``StopIteration.value``.
+    """
+    if not group_by:
+        raise TrappError("grouped_query requires at least one grouping column")
+    for name in group_by:
+        spec = table.schema.column(name)
+        if spec.is_bounded:
+            raise TrappError(
+                f"cannot group on bounded column {name!r}; grouping keys "
+                "must be exact (paper §8.1 leaves bounded grouping open)"
+            )
+
+    predicate = predicate if predicate is not None else TruePredicate()
+    agg = get_aggregate(aggregate)
+    chooser = get_choose_refresh(aggregate, epsilon=epsilon)
+    bounded_pred = _touches_bounded(table, predicate)
+
+    groups: dict[tuple[Hashable, ...], list[Row]] = {}
+    for row in table.rows():
+        key = tuple(row[name] for name in group_by)
+        groups.setdefault(key, []).append(row)
+
+    results: list[GroupResult] = []
+    refreshed: set[int] = set()
+    total_cost = 0.0
+    for key in sorted(groups, key=repr):
+        rows = groups[key]
+        initial = _bound(agg, rows, column, predicate, bounded_pred)
+        if width_within(initial.width, max_width):
+            results.append(
+                GroupResult(key, BoundedAnswer(bound=initial, initial_bound=initial), len(rows))
+            )
+            continue
+        if bounded_pred:
+            classification = classify(rows, predicate)
+            plan = chooser.with_classification(classification, column, max_width, cost)
+        else:
+            filtered = _exact_filter(rows, predicate)
+            plan = chooser.without_predicate(filtered, column, max_width, cost)
+        effective = yield PlannedRefresh(table, plan, max_width, aggregate)
+        if effective is None:
+            effective = plan
+        final = _bound(agg, rows, column, predicate, bounded_pred)
+        if not width_within(final.width, max_width):
+            raise ConstraintUnsatisfiableError(
+                f"post-refresh group {key!r} answer {final} (width "
+                f"{final.width:g}) violates constraint {max_width:g}"
+            )
+        refreshed.update(effective.tids)
+        total_cost += effective.total_cost
+        results.append(
+            GroupResult(
+                key,
+                BoundedAnswer(
+                    bound=final,
+                    refreshed=effective.tids,
+                    refresh_cost=effective.total_cost,
+                    initial_bound=initial,
+                ),
+                len(rows),
+            )
+        )
+
+    widest = max(
+        (r.answer.bound for r in results), key=lambda b: b.width, default=Bound(0.0, 0.0)
+    )
+    widest_initial = max(
+        (
+            r.answer.initial_bound
+            for r in results
+            if r.answer.initial_bound is not None
+        ),
+        key=lambda b: b.width,
+        default=None,
+    )
+    return GroupedAnswer(
+        bound=widest,
+        refreshed=frozenset(refreshed),
+        refresh_cost=total_cost,
+        initial_bound=widest_initial,
+        groups=tuple(results),
+    )
 
 
 def grouped_query(
@@ -55,57 +184,12 @@ def grouped_query(
     problem the paper defers).  Returns one :class:`GroupResult` per group,
     ordered by key.
     """
-    if not group_by:
-        raise TrappError("grouped_query requires at least one grouping column")
-    for name in group_by:
-        spec = table.schema.column(name)
-        if spec.is_bounded:
-            raise TrappError(
-                f"cannot group on bounded column {name!r}; grouping keys "
-                "must be exact (paper §8.1 leaves bounded grouping open)"
-            )
-
     refresher = refresher if refresher is not None else NullRefreshProvider()
-    predicate = predicate if predicate is not None else TruePredicate()
-    agg = get_aggregate(aggregate)
-    chooser = get_choose_refresh(aggregate, epsilon=epsilon)
-
-    groups: dict[tuple[Hashable, ...], list[Row]] = {}
-    for row in table.rows():
-        key = tuple(row[name] for name in group_by)
-        groups.setdefault(key, []).append(row)
-
-    results: list[GroupResult] = []
-    for key in sorted(groups, key=repr):
-        rows = groups[key]
-        bounded_pred = _touches_bounded(table, predicate)
-        initial = _bound(agg, rows, column, predicate, bounded_pred)
-        if width_within(initial.width, max_width):
-            results.append(
-                GroupResult(key, BoundedAnswer(bound=initial, initial_bound=initial), len(rows))
-            )
-            continue
-        if bounded_pred:
-            classification = classify(rows, predicate)
-            plan = chooser.with_classification(classification, column, max_width, cost)
-        else:
-            filtered = _exact_filter(rows, predicate)
-            plan = chooser.without_predicate(filtered, column, max_width, cost)
-        refresher.refresh(table, plan.tids)
-        final = _bound(agg, rows, column, predicate, bounded_pred)
-        results.append(
-            GroupResult(
-                key,
-                BoundedAnswer(
-                    bound=final,
-                    refreshed=plan.tids,
-                    refresh_cost=plan.total_cost,
-                    initial_bound=initial,
-                ),
-                len(rows),
-            )
-        )
-    return results
+    steps = grouped_query_steps(
+        table, group_by, aggregate, column, max_width, predicate, cost, epsilon
+    )
+    answer = drive_steps(steps, refresher)
+    return list(answer.groups)
 
 
 def _touches_bounded(table: Table, predicate: Predicate) -> bool:

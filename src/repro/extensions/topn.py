@@ -20,12 +20,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.answer import BoundedAnswer
 from repro.core.bound import Bound
+from repro.core.constraints import width_within
+from repro.core.executor import ExecutionSteps, PlannedRefresh
 from repro.core.refresh.base import CostFunc, RefreshPlan, uniform_cost
-from repro.errors import TrappError
+from repro.errors import ConstraintUnsatisfiableError, TrappError
+from repro.predicates.ast import Predicate, TruePredicate
 from repro.storage.row import Row
+from repro.storage.table import Table
 
-__all__ = ["TopNResult", "bounded_top_n", "choose_refresh_top_n"]
+__all__ = [
+    "TopNResult",
+    "TopNAnswer",
+    "bounded_top_n",
+    "choose_refresh_top_n",
+    "top_n_steps",
+]
 
 
 def _nth_largest(values: Sequence[float], n: int) -> float:
@@ -110,3 +121,67 @@ def choose_refresh_top_n(
         and row.bound(column).width > 0
     ]
     return RefreshPlan.of(chosen, cost)
+
+
+@dataclass(frozen=True, slots=True)
+class TopNAnswer(BoundedAnswer):
+    """A TOP-n query's answer in :class:`BoundedAnswer` clothing.
+
+    ``bound`` is the bounded n-th largest value, so the service's width
+    checks (admission revalidation, result-cache validity) apply to TOP-n
+    exactly as to scalar aggregates; the membership sets ride along.
+    """
+
+    certain_members: frozenset[int] = frozenset()
+    possible_members: frozenset[int] = frozenset()
+
+
+def top_n_steps(
+    table: Table,
+    n: int,
+    column: str,
+    max_width: float,
+    predicate: Predicate | None = None,
+    cost: CostFunc = uniform_cost,
+) -> ExecutionSteps:
+    """TOP-n as a resumable generator speaking ``PlannedRefresh``.
+
+    The predicate must read exact columns only (two-valued membership —
+    the compiler enforces this for SQL statements); the n-th value's
+    bound is then narrowed to ``max_width`` by yielding CHOOSE_REFRESH
+    plans until it fits.  Returns a :class:`TopNAnswer` via
+    ``StopIteration.value``.
+    """
+    from repro.predicates.eval import evaluate_exact
+
+    predicate = predicate if predicate is not None else TruePredicate()
+    if isinstance(predicate, TruePredicate):
+        rows = table.rows()
+    else:
+        rows = [row for row in table.rows() if evaluate_exact(predicate, row)]
+
+    result = bounded_top_n(rows, column, n)
+    initial = result.nth_value
+    refreshed: set[int] = set()
+    total_cost = 0.0
+    while not width_within(result.nth_value.width, max_width):
+        plan = choose_refresh_top_n(rows, column, n, max_width, cost)
+        if not plan.tids or plan.tids <= refreshed:
+            raise ConstraintUnsatisfiableError(
+                f"TOP-{n} answer {result.nth_value} cannot be narrowed "
+                f"below {result.nth_value.width:g} (requested {max_width:g})"
+            )
+        effective = yield PlannedRefresh(table, plan, max_width, "TOPN")
+        if effective is None:
+            effective = plan
+        refreshed.update(effective.tids)
+        total_cost += effective.total_cost
+        result = bounded_top_n(rows, column, n)
+    return TopNAnswer(
+        bound=result.nth_value,
+        refreshed=frozenset(refreshed),
+        refresh_cost=total_cost,
+        initial_bound=initial,
+        certain_members=result.certain_members,
+        possible_members=result.possible_members,
+    )

@@ -17,21 +17,33 @@ module implements the natural *iterative greedy* heuristic the paper's
 The benefit estimate charges a base tuple with (a) the aggregation-column
 bound width it contributes through every surviving joined tuple and (b)
 the classification uncertainty (T? membership) of those joined tuples.
-The loop terminates because every refresh strictly reduces the pool of
-wide base tuples; a final full-refresh fallback guarantees the constraint.
+The loop terminates because every round strictly shrinks the pool of wide
+base tuples.
+
+Each round's selection is *decomposed into one per-table refresh plan*
+and surfaced through the executor's ``PlannedRefresh`` generator protocol
+(:meth:`JoinRefreshHeuristic.execute_steps`): a refresh scheduler can
+merge a join query's demand on table T with every single-table query's
+plans for T — per source, per cache group — exactly as it coalesces §4
+queries.  :meth:`JoinRefreshHeuristic.execute` is the serial driver.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.aggregates import get_aggregate
 from repro.core.answer import BoundedAnswer
 from repro.core.bound import Bound, Trilean
 from repro.core.constraints import width_within
-from repro.core.executor import RefreshProvider
+from repro.core.executor import (
+    ExecutionSteps,
+    PlannedRefresh,
+    RefreshProvider,
+    drive_steps,
+)
+from repro.core.refresh.base import RefreshPlan
 from repro.errors import ConstraintUnsatisfiableError
 from repro.joins.classify import JoinedTuple, classify_joined, join_rows
 from repro.predicates.ast import Predicate
@@ -74,6 +86,28 @@ class JoinRefreshHeuristic:
         predicate: Predicate | None = None,
     ) -> BoundedAnswer:
         """Run the iterative heuristic until the constraint is met."""
+        steps = self.execute_steps(aggregate, column, max_width, predicate)
+        return drive_steps(steps, self.refresher)
+
+    def execute_steps(
+        self,
+        aggregate: str,
+        column: tuple[str, str] | None,
+        max_width: float,
+        predicate: Predicate | None = None,
+    ) -> ExecutionSteps:
+        """The §7 heuristic as a resumable generator.
+
+        Each greedy round yields its selection as a
+        :class:`~repro.core.executor.PlannedRefresh` against one base
+        table — the per-table decomposition a cross-query scheduler
+        needs to merge join demand with single-table plans.  The driver
+        applies each plan (possibly coalesced with other queries') and
+        sends back the effective :class:`RefreshPlan`; the round then
+        re-joins and re-classifies, so refreshes landed by concurrent
+        queries are picked up before the next selection.  Returns the
+        :class:`BoundedAnswer` via ``StopIteration.value``.
+        """
         spec = get_aggregate(aggregate)
         agg_key = self._aggregation_key(column)
 
@@ -102,8 +136,16 @@ class JoinRefreshHeuristic:
                     f"join answer {bound} cannot be narrowed below "
                     f"{bound.width:g} (requested {max_width:g})"
                 )
-            total_cost += self._refresh_base(best)
+            table = self.by_name[best.table]
+            plan = RefreshPlan(frozenset((best.tid,)), self._cost_of(best))
+            effective = yield PlannedRefresh(table, plan, max_width, aggregate)
+            if effective is None:
+                effective = plan
+            total_cost += effective.total_cost
             refreshed.add(best)
+            refreshed.update(
+                _BaseTupleKey(best.table, tid) for tid in effective.tids
+            )
         raise ConstraintUnsatisfiableError(
             f"join refresh heuristic exceeded {self.max_iterations} iterations"
         )
@@ -122,7 +164,13 @@ class JoinRefreshHeuristic:
         agg_key: str | None,
         refreshed: set[_BaseTupleKey],
     ) -> _BaseTupleKey | None:
-        """Highest benefit/cost base tuple not yet refreshed."""
+        """Highest benefit/cost base tuple not yet refreshed.
+
+        One candidate per round keeps the refresh sequence identical to
+        the pre-generator heuristic (benefit estimates overcount
+        interacting widths, so bulk selection overshoots); the per-table
+        decomposition happens at the yield, not in the selection.
+        """
         benefit: dict[_BaseTupleKey, float] = {}
         for jt in joined:
             uncertainty = 1.0 if jt.verdict is Trilean.MAYBE else 0.0
@@ -164,12 +212,6 @@ class JoinRefreshHeuristic:
 
     def _cost_of(self, key: _BaseTupleKey) -> float:
         return self.cost(self.by_name[key.table].row(key.tid))
-
-    def _refresh_base(self, key: _BaseTupleKey) -> float:
-        table = self.by_name[key.table]
-        cost = self._cost_of(key)
-        self.refresher.refresh(table, [key.tid])
-        return cost
 
 
 def execute_join_query(

@@ -272,42 +272,39 @@ class TrappSystem:
     ) -> BoundedAnswer:
         """Parse and execute a TRAPP SQL statement against one cache.
 
-        Single-table statements run the three-step executor; multi-table
-        statements run the §7 join refresh heuristic serially against
-        the cache.  (The concurrent :class:`~repro.service.QueryService`
-        rejects joins — this method is the supported path for them.)
+        Every statement class — single-table (§4), join (§7), GROUP BY
+        and TOP-N (§8.1) — compiles to the shared step protocol
+        (:func:`repro.sql.steps.plan_steps`) and is driven serially
+        against the cache; the concurrent
+        :class:`~repro.service.QueryService` drives the *same*
+        generators through its refresh scheduler, so the two paths
+        return identical answers for identical interleavings.
         ``epsilon`` configures the single-table planner's (1 − ε)
-        approximation only; the join heuristic is greedy per base tuple
-        and has no approximation knob, so joins ignore it.
+        approximation (GROUP BY included); the join heuristic is greedy
+        per base tuple and has no approximation knob, so joins ignore
+        it.  GROUP BY statements return a
+        :class:`~repro.extensions.groupby.GroupedAnswer` (per-group
+        breakdown in ``.groups``); ``TOPN(n, column)`` statements a
+        :class:`~repro.extensions.topn.TopNAnswer` (membership sets).
         """
-        from repro.sql.compiler import QueryPlan, compile_statement
+        from repro.core.executor import drive_steps
+        from repro.sql.compiler import compile_statement
         from repro.sql.parser import parse_statement
+        from repro.sql.steps import plan_steps
 
         cache = self.cache(cache_id)
         cache.sync_bounds()
         statement = parse_statement(sql)
         plan = compile_statement(statement, cache.catalog)
-        if not isinstance(plan, QueryPlan):
-            from repro.joins.refresh import execute_join_query
-
-            return execute_join_query(
-                plan.tables,
-                plan.aggregate,
-                plan.column,
-                plan.constraint.width,
-                predicate=plan.predicate,
-                refresher=cache,
-                cost=self._resolve_cost(cost),
-            )
         executor = self.executor_for(cache_id, epsilon)
-        return executor.execute(
-            table=plan.table,
-            aggregate=plan.aggregate,
-            column=plan.column,
-            constraint=plan.constraint,
-            predicate=plan.predicate,
+        steps = plan_steps(
+            plan,
+            executor,
             cost=self._resolve_cost(cost),
+            # No hook reads §8.2 metadata on the serial path.
+            rebatch_metadata=False,
         )
+        return drive_steps(steps, cache)
 
     def query_ast(
         self,

@@ -58,22 +58,32 @@ class ResultCache:
     @staticmethod
     def make_key(
         cache_id: str,
-        table: str,
+        tables: "str | tuple[str, ...]",
         aggregate: str,
-        column: str | None,
+        column: "Hashable | None",
         predicate: Predicate | None,
         max_width: float,
         epsilon: float | None = None,
+        extra: Hashable = None,
     ) -> Hashable:
         """The full identity of a shareable query.
 
+        ``tables`` is the table name for single-table statements or the
+        ordered tuple of referenced table names for joins; ``column``
+        accordingly a column name or a join's ``(table, column)`` pair.
         ``epsilon`` is part of the identity because it changes which
         tuples CHOOSE_REFRESH picks (and therefore the answer's refresh
         metadata), even though any epsilon's answer meets the width.
+        ``extra`` carries statement-class identity beyond the aggregate —
+        GROUP BY columns, a TOP-N rank — so differently-shaped answers
+        never alias.
         """
         predicate_key = str(predicate) if predicate is not None else ""
+        if isinstance(tables, str):
+            tables = (tables,)
         return (
-            cache_id, table, aggregate, column, predicate_key, max_width, epsilon,
+            cache_id, tuple(tables), aggregate, column, predicate_key,
+            max_width, epsilon, extra,
         )
 
     # ------------------------------------------------------------------
@@ -103,10 +113,12 @@ class ResultCache:
     def put(self, key: Hashable, answer: BoundedAnswer) -> None:
         self._entries[key] = (answer, self.clock())
         self._entries.move_to_end(key)
-        self._index_of(key).add(key)
+        for bucket in self._buckets_of(key):
+            bucket.add(key)
         while len(self._entries) > self.max_entries:
             evicted, _ = self._entries.popitem(last=False)
-            self._index_of(evicted).discard(evicted)
+            for bucket in self._buckets_of(evicted):
+                bucket.discard(evicted)
             self.evictions += 1
 
     # ------------------------------------------------------------------
@@ -135,7 +147,9 @@ class ResultCache:
         for index_key in buckets:
             for key in list(self._by_table.get(index_key, ())):
                 if key in self._entries:
-                    del self._entries[key]
+                    # Joins index one key under several tables; drop it
+                    # from every bucket so no ghost reference survives.
+                    self._drop(key)
                     dropped += 1
             self._by_table.pop(index_key, None)
         self.invalidations += dropped
@@ -145,22 +159,35 @@ class ResultCache:
     #: stay cacheable but are invisible to table-scoped invalidation.
     _UNINDEXED = ("", "")
 
-    def _index_of(self, key: Hashable) -> set[Hashable]:
-        """The (scope, table) bucket a full query key belongs to.
+    def _buckets_of(self, key: Hashable) -> list[set[Hashable]]:
+        """Every (scope, table) bucket a full query key belongs to.
 
-        Only :meth:`make_key`-shaped tuples participate in refresh-driven
-        invalidation; any other hashable key (the cache accepts them)
-        lands in a shared unindexed bucket.
+        A join key references several tables and must be indexed under
+        *each* of them — a refresh of any referenced table stales the
+        cached answer.  Only :meth:`make_key`-shaped tuples participate
+        in refresh-driven invalidation; any other hashable key (the
+        cache accepts them) lands in a shared unindexed bucket.
         """
         if isinstance(key, tuple) and len(key) >= 2:
-            scope, table = key[0], key[1]
-            if isinstance(scope, str) and isinstance(table, str):
-                return self._by_table.setdefault((scope, table), set())
-        return self._by_table.setdefault(self._UNINDEXED, set())
+            scope, tables = key[0], key[1]
+            if isinstance(tables, str):
+                tables = (tables,)
+            if (
+                isinstance(scope, str)
+                and isinstance(tables, tuple)
+                and tables
+                and all(isinstance(name, str) for name in tables)
+            ):
+                return [
+                    self._by_table.setdefault((scope, name), set())
+                    for name in tables
+                ]
+        return [self._by_table.setdefault(self._UNINDEXED, set())]
 
     def _drop(self, key: Hashable) -> None:
         del self._entries[key]
-        self._index_of(key).discard(key)
+        for bucket in self._buckets_of(key):
+            bucket.discard(key)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -72,8 +72,9 @@ from repro.replication.system import TrappSystem
 from repro.service.results import ResultCache
 from repro.service.routing import CacheRouter, StickyRouter
 from repro.service.scheduler import RefreshScheduler
-from repro.sql.compiler import QueryPlan, compile_statement
+from repro.sql.compiler import AnyQueryPlan, compile_statement
 from repro.sql.parser import parse_statement
+from repro.sql.steps import plan_steps
 
 __all__ = ["QueryService", "ClientSession", "ServiceResult"]
 
@@ -206,24 +207,33 @@ class QueryService:
 
     # ------------------------------------------------------------------
     def _resolve_cache(
-        self, cache_id: str, client_id: str, table_name: str
+        self, cache_id: str, client_id: str, table_names: tuple[str, ...]
     ) -> tuple[DataCache, "object | None"]:
         """``(replica, group)`` for one query's target name.
 
         A concrete cache id pins that cache (its group, if any, still
         scopes result sharing); a group id routes across the group's
-        replicas subscribed to the queried table.
+        replicas subscribed to *every* queried table — a join can only
+        run on a replica holding all of its base tables.
         """
         if self.system.is_group(cache_id):
             group = self.system.group(cache_id)
-            candidates = group.caches_of_table(table_name)
+            candidates = group.caches_of_table(table_names[0])
+            for name in table_names[1:]:
+                subscribed = {
+                    c.cache_id for c in group.caches_of_table(name)
+                }
+                candidates = [
+                    c for c in candidates if c.cache_id in subscribed
+                ]
             if not candidates:
                 raise ServiceError(
                     f"no cache in group {cache_id!r} is subscribed to "
-                    f"table {table_name!r}"
+                    f"every table in {table_names!r}"
                 )
+            route_key = "+".join(table_names)
             cache = self.router.route(
-                candidates, client_id, table_name, self._inflight_by_cache
+                candidates, client_id, route_key, self._inflight_by_cache
             )
             return cache, group
         cache = self.system.cache(cache_id)
@@ -240,20 +250,19 @@ class QueryService:
         precision_floor: float | None = None,
         max_inflight: int | None = None,
     ) -> ServiceResult:
-        """Parse, admit, route, and execute one TRAPP SQL statement."""
+        """Parse, admit, route, and execute one TRAPP SQL statement.
+
+        Every statement class the compiler knows flows through here —
+        §4 single-table aggregates, §7 joins, §8.1 GROUP BY and TOP-N,
+        and registered extension aggregates such as MEDIAN.  All of them
+        speak the shared step protocol (:func:`~repro.sql.steps.plan_steps`),
+        so admission, routing, result caching, and coalesced refresh
+        apply uniformly; a join's per-round selections decompose into
+        per-table refresh plans the scheduler merges like any other.
+        """
         statement = parse_statement(sql)
-        if statement.is_join:
-            raise ServiceError(
-                "the concurrent service serves single-table queries only: "
-                "join refresh plans cannot be coalesced yet (they lack a "
-                "per-table decomposition of the §7 refresh sets).  Run "
-                "join queries directly through TrappSystem.query(), which "
-                "executes them serially against the cache — see "
-                "docs/ARCHITECTURE.md, 'Known limitations'."
-            )
-        cache, group = self._resolve_cache(cache_id, client_id, statement.table)
+        cache, group = self._resolve_cache(cache_id, client_id, statement.tables)
         plan = compile_statement(statement, cache.catalog)
-        assert isinstance(plan, QueryPlan)
         self._admit(client_id, plan, precision_floor, max_inflight)
 
         # A caller-supplied cost model has no stable identity to key on,
@@ -274,12 +283,13 @@ class QueryService:
         def scoped_key(scope: str):
             return ResultCache.make_key(
                 scope,
-                plan.table.name,
+                plan.table_names,
                 plan.aggregate,
-                plan.column,
+                plan.column_key,
                 plan.predicate,
                 plan.constraint.width,
                 epsilon,
+                extra=plan.cache_extra,
             )
 
         # Result scope: fan-out keeps a group's replicas interchangeable,
@@ -363,7 +373,7 @@ class QueryService:
     def _admit(
         self,
         client_id: str,
-        plan: QueryPlan,
+        plan: AnyQueryPlan,
         precision_floor: float | None,
         max_inflight: int | None,
     ) -> None:
@@ -410,7 +420,7 @@ class QueryService:
     async def _execute_revalidated(
         self,
         cache: DataCache,
-        plan: QueryPlan,
+        plan: AnyQueryPlan,
         client_id: str,
         cost: CostFunc | CostModel | None,
         epsilon: float | None,
@@ -432,7 +442,7 @@ class QueryService:
     async def _execute(
         self,
         cache: DataCache,
-        plan: QueryPlan,
+        plan: AnyQueryPlan,
         client_id: str,
         cost: CostFunc | CostModel | None,
         epsilon: float | None,
@@ -472,13 +482,10 @@ class QueryService:
                 generation = self._sync_generation.get(cache_id, 0)
                 suspended_across_sync = False
                 executor = self.system.executor_for(cache_id, epsilon)
-                steps = executor.execute_steps(
-                    plan.table,
-                    plan.aggregate,
-                    plan.column,
-                    plan.constraint,
-                    plan.predicate,
-                    TrappSystem._resolve_cost(cost),
+                steps = plan_steps(
+                    plan,
+                    executor,
+                    cost=TrappSystem._resolve_cost(cost),
                     # The per-tuple metadata sweep is only worth paying
                     # when the scheduler will actually rebatch this
                     # cache's plans (an amortized model prices them).
@@ -531,7 +538,7 @@ class QueryService:
                 del self._inflight_by_cache[cache_id]
 
     def _revalidate(
-        self, answer: BoundedAnswer, plan: QueryPlan, client_id: str
+        self, answer: BoundedAnswer, plan: AnyQueryPlan, client_id: str
     ) -> BoundedAnswer:
         """The staleness-cap epilogue for a query suspended across a sync.
 

@@ -6,7 +6,9 @@ The dialect is the paper's single-table query template (§4)::
 
 plus two conveniences: ``COUNT(*)``, and omission of ``WITHIN R`` for the
 implicit ``R = ∞``.  Join queries list several tables in ``FROM`` (§7) and
-are compiled through :mod:`repro.joins`.
+are compiled through :mod:`repro.joins`.  The §8.1 extensions surface as
+``GROUP BY`` over exact columns and the ``TOPN(n, column)`` pseudo
+aggregate (bounded n-th largest value plus membership sets).
 """
 
 from __future__ import annotations
@@ -17,8 +19,8 @@ from repro.predicates.ast import Predicate, TruePredicate
 
 __all__ = ["SelectStatement", "AGGREGATE_NAMES"]
 
-#: Aggregates the dialect accepts; MEDIAN is the §8.1 extension.
-AGGREGATE_NAMES = ("COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN")
+#: Aggregates the dialect accepts; MEDIAN and TOPN are §8.1 extensions.
+AGGREGATE_NAMES = ("COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN", "TOPN")
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,6 +34,10 @@ class SelectStatement:
     #: ``WITHIN`` precision budget; ``inf`` when omitted.
     within: float
     predicate: Predicate = field(default_factory=TruePredicate)
+    #: ``GROUP BY`` columns; empty for ungrouped statements.
+    group_by: tuple[str, ...] = ()
+    #: ``TOPN(n, column)`` rank; ``None`` for ordinary aggregates.
+    top_n: int | None = None
 
     @property
     def table(self) -> str:
@@ -48,13 +54,18 @@ class SelectStatement:
 
     def __str__(self) -> str:
         target = self.column if self.column is not None else "*"
+        if self.top_n is not None:
+            target = f"{self.top_n}, {target}"
         within = "" if self.within == float("inf") else f" WITHIN {self.within:g}"
         where = (
             ""
             if isinstance(self.predicate, TruePredicate)
             else f" WHERE {self.predicate}"
         )
+        grouped = (
+            f" GROUP BY {', '.join(self.group_by)}" if self.group_by else ""
+        )
         return (
             f"SELECT {self.aggregate}({target}){within} "
-            f"FROM {', '.join(self.tables)}{where}"
+            f"FROM {', '.join(self.tables)}{where}{grouped}"
         )

@@ -5,9 +5,13 @@ and layers the statement grammar on top::
 
     statement := SELECT agg '(' target ')' [WITHIN number]
                  FROM table (',' table)*
-                 [WHERE predicate] [';']
-    agg       := COUNT | SUM | AVG | MIN | MAX | MEDIAN
+                 [WHERE predicate]
+                 [GROUP BY column (',' column)*] [';']
+    agg       := COUNT | SUM | AVG | MIN | MAX | MEDIAN | TOPN
     target    := '*' | column | table '.' column
+
+``TOPN`` takes two arguments — ``TOPN(n, column)`` — where ``n`` is the
+rank of the reported order statistic (§8.1).
 """
 
 from __future__ import annotations
@@ -37,6 +41,10 @@ def parse_statement(text: str) -> SelectStatement:
         )
 
     stream.expect_punct("(")
+    top_n: int | None = None
+    if aggregate == "TOPN":
+        top_n = _parse_rank(stream)
+        stream.expect_punct(",")
     column = _parse_target(stream, aggregate)
     stream.expect_punct(")")
 
@@ -53,6 +61,14 @@ def parse_statement(text: str) -> SelectStatement:
     if stream.accept_keyword("WHERE"):
         predicate = PredicateParser(stream).parse()
 
+    group_by: tuple[str, ...] = ()
+    if stream.accept_keyword("GROUP"):
+        stream.expect_keyword("BY")
+        names = [stream.expect_ident("grouping column").text]
+        while stream.accept_punct(","):
+            names.append(stream.expect_ident("grouping column").text)
+        group_by = tuple(names)
+
     stream.accept_punct(";")
     stream.expect_eof()
     return SelectStatement(
@@ -61,6 +77,8 @@ def parse_statement(text: str) -> SelectStatement:
         tables=tuple(tables),
         within=within,
         predicate=predicate,
+        group_by=group_by,
+        top_n=top_n,
     )
 
 
@@ -77,6 +95,23 @@ def _parse_target(stream: TokenStream, aggregate: str) -> str | None:
     if stream.accept_punct("."):
         return stream.expect_ident("column name").text
     return first.text
+
+
+def _parse_rank(stream: TokenStream) -> int:
+    token = stream.peek()
+    if token.kind != "number":
+        raise SqlSyntaxError(
+            f"TOPN takes a rank first: TOPN(n, column); found {token.text!r}",
+            token.pos,
+        )
+    value = float(token.text)
+    if value < 1 or value != int(value):
+        raise SqlSyntaxError(
+            f"TOPN rank must be a positive integer, got {token.text!r}",
+            token.pos,
+        )
+    stream.advance()
+    return int(value)
 
 
 def _parse_number(stream: TokenStream) -> float:

@@ -24,7 +24,10 @@ from repro.storage.table import Table
 __all__ = [
     "ClientScript",
     "ClosedLoopResult",
+    "build_node_table",
     "closed_loop_scripts",
+    "mixed_scripts",
+    "mixed_service_system",
     "regional_cache_system",
     "regional_setups",
     "run_closed_loop",
@@ -230,6 +233,149 @@ def sharded_sum_scripts(
             for _ in range(queries_per_client)
         )
         scripts.append(ClientScript(client_id=f"client-{index:02d}", sqls=sqls))
+    return scripts
+
+
+# ----------------------------------------------------------------------
+# Mixed-class variant: joins, GROUP BY, TOP-N, and MEDIAN on one group
+# ----------------------------------------------------------------------
+def build_node_table(n_nodes: int, rng: random.Random) -> Table:
+    """A master ``nodes`` table joining against netmon's ``links``.
+
+    One row per node id with a bounded ``load`` metric — the §7 running
+    example's second base table (links ⋈ nodes on ``to_node = node``).
+    """
+    from repro.storage.schema import Column, ColumnKind, Schema
+
+    schema = Schema(
+        [Column("node", ColumnKind.EXACT), Column("load", ColumnKind.BOUNDED)],
+        name="nodes",
+    )
+    table = Table("nodes", schema)
+    for node in range(1, n_nodes + 1):
+        table.insert({"node": node, "load": rng.uniform(10.0, 100.0)})
+    return table
+
+
+def mixed_service_system(
+    n_caches: int = 2,
+    n_links: int = 120,
+    seed: int = 11,
+    setup: float = 5.0,
+    marginal: float = 1.0,
+    source_id: str = "net",
+    group_id: str = "edge",
+    clock_advance: float = 50.0,
+):
+    """A cache group serving the full query surface over links ⋈ nodes.
+
+    Builds netmon's ``links`` master plus a ``nodes`` master on one
+    source and subscribes ``n_caches`` fan-out replicas — ``edge/0`` …
+    ``edge/K-1`` — to *both* tables, so every statement class the
+    compiler knows (single-table aggregates, §7 joins, §8.1 GROUP BY and
+    TOP-N, MEDIAN) can route to any replica.  Returns ``(system,
+    cost_model)`` with bounds synced at ``clock_advance``.
+    """
+    from repro.extensions.batching import BatchedCostModel
+    from repro.replication.system import TrappSystem
+    from repro.workloads.netmon import build_master_table, generate_topology
+
+    rng = random.Random(seed)
+    n_nodes = max(2, n_links // 3)
+    links = build_master_table(generate_topology(n_nodes, n_links, rng), rng)
+    nodes = build_node_table(n_nodes, rng)
+
+    system = TrappSystem()
+    source = system.add_source(source_id)
+    source.add_table(links)
+    source.add_table(nodes)
+    system.add_group(group_id)
+    for c in range(n_caches):
+        cache = system.add_cache(f"{group_id}/{c}", group=group_id)
+        cache.subscribe_table(source, "links")
+        cache.subscribe_table(source, "nodes")
+    system.clock.advance(clock_advance)
+    for cache in system.group(group_id):
+        cache.sync_bounds()
+
+    return system, BatchedCostModel(setup=setup, marginal=marginal)
+
+
+def mixed_scripts(
+    links: Table,
+    nodes: Table,
+    n_clients: int,
+    queries_per_client: int,
+    seed: int = 11,
+    overlap: float = 0.75,
+    pool_size: int | None = None,
+) -> list[ClientScript]:
+    """Per-client scripts drawing from every statement class.
+
+    The generated pool cycles through five classes — plain SUM/AVG,
+    GROUP BY, TOP-N, MEDIAN, and the links ⋈ nodes join — with WITHIN
+    budgets sized from the tables' *current* total bound widths, so each
+    query needs real refresh work yet stays satisfiable as bounds widen.
+    Clients draw from the shared pool with probability ``overlap`` (the
+    coalescing/result-cache regime), else privately.
+    """
+    rng = random.Random(seed)
+    traffic_total = sum(r.bound("traffic").width for r in links.rows())
+    latency_total = sum(r.bound("latency").width for r in links.rows())
+    load_by_node = {r["node"]: r.bound("load").width for r in nodes.rows()}
+    join_total = sum(load_by_node.get(r["to_node"], 0.0) for r in links.rows())
+    groups: dict[object, float] = {}
+    for r in links.rows():
+        key = r["from_node"]
+        groups[key] = groups.get(key, 0.0) + r.bound("traffic").width
+    group_max = max(groups.values()) if groups else 1.0
+    mean_traffic = traffic_total / max(1, len(list(links.rows())))
+
+    def one(index: int) -> str:
+        frac = rng.uniform(0.3, 0.7)
+        cls = index % 5
+        if cls == 0:
+            agg = rng.choice(("SUM", "AVG"))
+            return (
+                f"SELECT {agg}(traffic) WITHIN "
+                f"{frac * traffic_total * (1.0 if agg == 'SUM' else 1e-2):.6f}"
+                f" FROM links"
+            )
+        if cls == 1:
+            return (
+                f"SELECT SUM(traffic) WITHIN {frac * group_max:.6f} "
+                f"FROM links GROUP BY from_node"
+            )
+        if cls == 2:
+            return (
+                f"SELECT TOPN(3, traffic) WITHIN "
+                f"{rng.uniform(0.5, 1.5) * mean_traffic:.6f} FROM links"
+            )
+        if cls == 3:
+            return (
+                f"SELECT MEDIAN(latency) WITHIN "
+                f"{frac * latency_total / 10:.6f} FROM links"
+            )
+        return (
+            f"SELECT SUM(load) WITHIN {frac * join_total:.6f} "
+            f"FROM links, nodes WHERE to_node = node"
+        )
+
+    pool_size = pool_size if pool_size is not None else max(5, n_clients)
+    pool = [one(i) for i in range(pool_size)]
+    private = pool_size
+    scripts: list[ClientScript] = []
+    for index in range(n_clients):
+        sqls = []
+        for _ in range(queries_per_client):
+            if rng.random() < overlap:
+                sqls.append(rng.choice(pool))
+            else:
+                sqls.append(one(private))
+                private += 1
+        scripts.append(
+            ClientScript(client_id=f"client-{index:02d}", sqls=tuple(sqls))
+        )
     return scripts
 
 

@@ -209,6 +209,48 @@ def test_executor_end_to_end_equivalence(tables, budget, aggregate, column_cost,
     )
 
 
+@settings(max_examples=60, deadline=None)
+@given(
+    planner_tables(),
+    budgets,
+    st.integers(min_value=-192, max_value=192),
+)
+def test_avg_predicate_vector_plan_identical(tables, budget, threshold):
+    """Appendix F AVG knapsack: vector branch ≡ row branch, tuple-for-tuple.
+
+    With a predicate over the aggregation column, AVG plans through the
+    slope-augmented knapsack; the vectorized harvest must refresh the
+    *identical tuple set* the per-row path refreshes (uniform cost, exact
+    DP), so final bounds match bit-for-bit.
+    """
+    cache, master = tables
+    predicate = Comparison(ColumnRef("x"), ">", Literal(threshold / 64.0))
+    constraint = budget / max(1, len(cache))
+
+    answers = {}
+    for vector_planner in (True, False):
+        c, m = cache.copy(), master.copy()
+        executor = QueryExecutor(
+            refresher=LocalRefresher(m),
+            force_exact=True,
+            vector_planner=vector_planner,
+        )
+        try:
+            answers[vector_planner] = executor.execute(
+                c, "AVG", "x", constraint, predicate
+            )
+        except ConstraintUnsatisfiableError:
+            answers[vector_planner] = None
+    fast, reference = answers[True], answers[False]
+    if fast is None or reference is None:
+        assert fast is None and reference is None
+        return
+    assert fast.refreshed == reference.refreshed
+    assert fast.refresh_cost == reference.refresh_cost
+    assert fast.bound.lo == reference.bound.lo
+    assert fast.bound.hi == reference.bound.hi
+
+
 def test_uniform_plans_identical_on_decimal_data():
     """Ordinary one-decimal widths (not the dyadic grid): the vector
     uniform path reuses the row greedy's arithmetic, so plans must be

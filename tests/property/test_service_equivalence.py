@@ -1,0 +1,134 @@
+"""Property: serial TrappSystem.query ≡ concurrent QueryService, bit-identically.
+
+The full-surface tentpole routes every statement class — §7 joins, §8.1
+GROUP BY and TOP-N, MEDIAN — through the one shared step protocol
+(:func:`repro.sql.steps.plan_steps`); serial and concurrent execution
+differ only in *who applies the yielded refresh plans*.  A sequential
+client (one query in flight at a time, result cache disabled) must
+therefore get the **same bounded answers from the service as from the
+serial API**: identical interval endpoints (bit-for-bit), identical
+refreshed tuple sets, identical uniform-cost refresh spend — including
+the per-group bounds of a GROUP BY answer and the member sets of a TOP-N
+answer.
+
+This is the acceptance property for the full-query-surface tentpole: if
+it holds, every executor guarantee proven serially transfers to the
+concurrent service unchanged, for every statement class it now admits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings, strategies as st
+
+from repro.replication.system import TrappSystem
+from repro.service import QueryService
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+# A dyadic grid keeps every arithmetic comparison exact in binary
+# floating point — the property certifies identical planning, not ulps.
+grid = st.integers(min_value=-256, max_value=256).map(lambda k: k / 32.0)
+
+
+@st.composite
+def master_pairs(draw):
+    """Masters for t(x bounded, g exact, tk exact) ⋈ u(y bounded, uk exact)."""
+    n_t = draw(st.integers(min_value=2, max_value=6))
+    n_u = draw(st.integers(min_value=1, max_value=4))
+    t = Table("t", Schema.of(x="bounded", g="exact", tk="exact"))
+    for index in range(n_t):
+        t.insert(
+            {"x": draw(grid), "g": float(index % 2), "tk": float(index % 3)}
+        )
+    u = Table("u", Schema.of(y="bounded", uk="exact"))
+    for index in range(n_u):
+        u.insert({"y": draw(grid), "uk": float(index % 3)})
+    return t, u
+
+
+@st.composite
+def query_scripts(draw):
+    """1–4 statements drawn from the extended surface (WITHIN in 32nds)."""
+    shapes = st.sampled_from(("join", "groupby", "topn", "median", "plain"))
+    return draw(
+        st.lists(
+            st.tuples(shapes, st.integers(min_value=1, max_value=640)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+
+
+def _sql_of(shape: str, width_32nds: int) -> str:
+    within = width_32nds / 32.0
+    if shape == "join":
+        return f"SELECT SUM(y) WITHIN {within} FROM t, u WHERE tk = uk"
+    if shape == "groupby":
+        return f"SELECT SUM(x) WITHIN {within} FROM t GROUP BY g"
+    if shape == "topn":
+        return f"SELECT TOPN(2, x) WITHIN {within} FROM t"
+    if shape == "median":
+        return f"SELECT MEDIAN(x) WITHIN {within} FROM t"
+    return f"SELECT SUM(x) WITHIN {within} FROM t WHERE g < 1"
+
+
+def _build(t: Table, u: Table, age: float) -> TrappSystem:
+    system = TrappSystem()
+    source = system.add_source("s")
+    source.add_table(t.copy())
+    source.add_table(u.copy())
+    cache = system.add_cache("c")
+    cache.subscribe_table(source, "t")
+    cache.subscribe_table(source, "u")
+    system.clock.advance(age)
+    cache.sync_bounds()
+    return system
+
+
+def _assert_same_answer(candidate, baseline) -> None:
+    assert candidate.bound.lo == baseline.bound.lo
+    assert candidate.bound.hi == baseline.bound.hi
+    assert candidate.initial_bound.lo == baseline.initial_bound.lo
+    assert candidate.initial_bound.hi == baseline.initial_bound.hi
+    assert candidate.refreshed == baseline.refreshed
+    # Uniform cost: spend is tuple count, so it must match exactly.
+    assert candidate.refresh_cost == baseline.refresh_cost
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    masters=master_pairs(),
+    script=query_scripts(),
+    age=st.sampled_from((0.0, 3.0, 48.0)),
+)
+def test_service_answers_equal_serial_for_all_statement_classes(
+    masters, script, age
+):
+    t, u = masters
+    serial = _build(t, u, age)
+    concurrent = _build(t, u, age)
+    # result_ttl < 0 disables answer reuse: every statement must actually
+    # execute through the scheduler, or the equivalence proves nothing.
+    service = QueryService(concurrent, result_ttl=-1.0)
+
+    async def run_script():
+        for shape, width_32nds in script:
+            sql = _sql_of(shape, width_32nds)
+            baseline = serial.query("c", sql)
+            served = await service.query("c", sql, client_id="solo")
+            assert not served.cached
+            candidate = served.answer
+            _assert_same_answer(candidate, baseline)
+            if shape == "groupby":
+                assert len(candidate.groups) == len(baseline.groups)
+                for got, want in zip(candidate.groups, baseline.groups):
+                    assert got.key == want.key
+                    assert got.size == want.size
+                    _assert_same_answer(got.answer, want.answer)
+            if shape == "topn":
+                assert candidate.certain_members == baseline.certain_members
+                assert candidate.possible_members == baseline.possible_members
+
+    asyncio.run(run_script())

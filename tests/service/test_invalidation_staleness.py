@@ -71,6 +71,41 @@ def test_non_make_key_keys_stay_cacheable_but_unindexed():
         assert cache.get(key, 5.0) is not None
 
 
+def test_invalidate_table_reaches_join_keys():
+    """A multi-table key is indexed under *every* referenced table: a
+    refresh of either join side must evict the cached join answer."""
+    cache = make_cache()
+    join_key = ResultCache.make_key(
+        "c1", ("links", "nodes"), "SUM", ("nodes", "load"), None, 5.0
+    )
+    single_key = ResultCache.make_key("c1", "links", "SUM", "x", None, 5.0)
+    cache.put(join_key, answer())
+    cache.put(single_key, answer())
+
+    # Refreshing the *second* join table evicts the join answer only.
+    assert cache.invalidate_table("nodes", scopes=["c1"]) == 1
+    assert cache.get(join_key, 5.0) is None
+    assert cache.get(single_key, 5.0) is not None
+
+    # Re-cache; refreshing the first table evicts both, exactly once each
+    # (the join key must not double-count through its two buckets).
+    cache.put(join_key, answer())
+    assert cache.invalidate_table("links", scopes=["c1"]) == 2
+    assert len(cache) == 0
+
+
+def test_statement_extras_keep_answer_shapes_apart():
+    """GROUP BY and TOP-N identities never alias the plain aggregate's."""
+    plain = ResultCache.make_key("c", "t", "SUM", "x", None, 5.0)
+    grouped = ResultCache.make_key(
+        "c", "t", "SUM", "x", None, 5.0, extra=("GROUP BY", "g")
+    )
+    topn = ResultCache.make_key(
+        "c", "t", "TOPN", "x", None, 5.0, extra=("TOPN", 3)
+    )
+    assert len({plain, grouped, topn}) == 3
+
+
 def test_invalidation_index_survives_eviction_and_clear():
     cache = make_cache()
     for index in range(12):  # ttl cache holds 8; 4 oldest evicted

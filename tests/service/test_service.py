@@ -119,7 +119,7 @@ def test_per_client_inflight_limit():
     run(go())
 
 
-def test_join_queries_rejected_naming_the_alternative():
+def test_join_queries_served_through_the_service():
     from repro.workloads.stocks import stock_master_table, volatile_stock_day
 
     system = build_netmon_system()
@@ -127,11 +127,13 @@ def test_join_queries_rejected_naming_the_alternative():
     system.cache(CACHE_ID).subscribe_table(system.source("net"), "stocks")
     service = make_service(system)
     sql = "SELECT SUM(price) WITHIN 5 FROM links, stocks WHERE traffic > 0"
-    with pytest.raises(ServiceError, match=r"TrappSystem\.query"):
-        run(service.query(CACHE_ID, sql))
-    # The named alternative genuinely serves the query.
-    answer = system.query(CACHE_ID, sql)
-    assert answer.width <= 5 + 1e-9
+    result = run(service.query(CACHE_ID, sql))
+    assert result.answer.width <= 5 + 1e-9
+    assert not result.cached
+    # A repeat within the TTL is served from the result cache.
+    repeat = run(service.query(CACHE_ID, sql))
+    assert repeat.cached
+    assert repeat.answer is result.answer
 
 
 def test_singleflight_shares_one_execution():

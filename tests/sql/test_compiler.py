@@ -88,3 +88,72 @@ class TestCompile:
             compile_statement(
                 parse_statement("SELECT SUM(ghost) FROM links, nodes"), catalog
             )
+
+
+class TestExtendedSurface:
+    def test_group_by_plan(self, catalog):
+        from repro.sql.compiler import GroupByQueryPlan
+
+        plan = compile_statement(
+            parse_statement(
+                "SELECT SUM(traffic) WITHIN 5 FROM links GROUP BY from_node"
+            ),
+            catalog,
+        )
+        assert isinstance(plan, GroupByQueryPlan)
+        assert plan.group_by == ("from_node",)
+        assert plan.table_names == ("links",)
+        assert plan.cache_extra == ("GROUP BY", "from_node")
+
+    def test_group_by_column_must_be_exact(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            compile_statement(
+                parse_statement("SELECT SUM(traffic) FROM links GROUP BY latency"),
+                catalog,
+            )
+
+    def test_group_by_rejected_on_joins(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            compile_statement(
+                parse_statement(
+                    "SELECT SUM(load) FROM links, nodes GROUP BY to_node"
+                ),
+                catalog,
+            )
+
+    def test_topn_plan(self, catalog):
+        from repro.sql.compiler import TopNQueryPlan
+
+        plan = compile_statement(
+            parse_statement("SELECT TOPN(3, traffic) WITHIN 5 FROM links"),
+            catalog,
+        )
+        assert isinstance(plan, TopNQueryPlan)
+        assert plan.n == 3
+        assert plan.cache_extra == ("TOPN", 3)
+
+    def test_topn_requires_exact_predicate(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            compile_statement(
+                parse_statement(
+                    "SELECT TOPN(3, traffic) FROM links WHERE latency > 2"
+                ),
+                catalog,
+            )
+
+    def test_plan_accessors_uniform(self, catalog):
+        single = compile_statement(
+            parse_statement("SELECT SUM(traffic) WITHIN 5 FROM links"), catalog
+        )
+        join = compile_statement(
+            parse_statement(
+                "SELECT SUM(load) WITHIN 5 FROM links, nodes WHERE to_node = id"
+            ),
+            catalog,
+        )
+        assert single.table_names == ("links",)
+        assert single.column_key == "traffic"
+        assert single.cache_extra is None
+        assert join.table_names == ("links", "nodes")
+        assert join.column_key == ("nodes", "load")
+        assert join.cache_extra is None

@@ -99,3 +99,54 @@ class TestParseStatement:
             stmt = parse_statement(text)
             again = parse_statement(str(stmt))
             assert stmt == again
+
+
+class TestExtendedSurface:
+    def test_group_by(self):
+        stmt = parse_statement(
+            "SELECT SUM(traffic) WITHIN 5 FROM links GROUP BY from_node"
+        )
+        assert stmt.group_by == ("from_node",)
+        assert stmt.top_n is None
+
+    def test_group_by_multiple_columns(self):
+        stmt = parse_statement(
+            "SELECT COUNT(*) FROM links GROUP BY from_node, to_node"
+        )
+        assert stmt.group_by == ("from_node", "to_node")
+
+    def test_group_by_after_where(self):
+        stmt = parse_statement(
+            "SELECT SUM(traffic) WITHIN 5 FROM links "
+            "WHERE latency > 2 GROUP BY from_node"
+        )
+        assert isinstance(stmt.predicate, Comparison)
+        assert stmt.group_by == ("from_node",)
+
+    def test_group_by_missing_by_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT SUM(x) FROM t GROUP from_node")
+
+    def test_topn(self):
+        stmt = parse_statement("SELECT TOPN(3, traffic) WITHIN 5 FROM links")
+        assert stmt.aggregate == "TOPN"
+        assert stmt.top_n == 3
+        assert stmt.column == "traffic"
+
+    def test_topn_rank_must_be_positive_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT TOPN(0, traffic) FROM links")
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT TOPN(2.5, traffic) FROM links")
+
+    def test_extended_str_roundtrip(self):
+        texts = [
+            "SELECT SUM(traffic) WITHIN 5 FROM links GROUP BY from_node",
+            "SELECT TOPN(3, traffic) WITHIN 5 FROM links",
+            "SELECT MEDIAN(latency) WITHIN 2 FROM links",
+            "SELECT SUM(load) WITHIN 5 FROM links, nodes WHERE to_node = id",
+        ]
+        for text in texts:
+            stmt = parse_statement(text)
+            again = parse_statement(str(stmt))
+            assert stmt == again
