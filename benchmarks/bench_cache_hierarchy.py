@@ -58,6 +58,7 @@ import pytest
 
 from repro.bench.tables import banner, print_table
 from repro.service import QueryService
+from repro.telemetry import summarize_snapshot
 from repro.workloads.service import (
     regional_cache_system,
     run_closed_loop,
@@ -279,6 +280,66 @@ def _check_smoke_regression(cost_per_answer: float) -> None:
     )
 
 
+#: Families persisted in the committed ``telemetry`` section (PR 7):
+#: the fan-out machinery (pushes, delivery lag, leader picks) plus what
+#: the group paid for it.
+TELEMETRY_PREFIXES = (
+    "trapp_fanout_",
+    "trapp_leader_selections_total",
+    "trapp_routed_queries_total",
+    "trapp_cache_messages",
+    "trapp_scheduler_events_total",
+    "trapp_refresh_cost",
+)
+
+
+def _telemetry_section() -> dict:
+    """One compact coalesced run at fan-out 2 (fixed sizes, independent
+    of the env knobs) — merged as the ``telemetry`` key only."""
+
+    async def go() -> dict:
+        system, model = regional_cache_system(
+            2,
+            n_shards=2,
+            n_links=120,
+            seed=SEED,
+            group_id=GROUP_ID,
+            fanout=True,
+        )
+        service = QueryService(
+            system,
+            max_inflight=64,
+            cost_model=model,
+            adaptive_tick=True,
+            cross_cache=True,
+        )
+        group = system.group(GROUP_ID)
+        table = group.cache(f"{GROUP_ID}/0").table("links")
+        scripts = sharded_sum_scripts(table, 6, 2, seed=SEED)
+
+        async def issue(client_id: str, sql: str):
+            return await service.query(GROUP_ID, sql, client_id=client_id)
+
+        for _ in range(2):
+            system.clock.advance(5.0)
+            for cache in group:
+                cache.sync_bounds()
+            result = await run_closed_loop(issue, scripts)
+            assert result.errors == 0
+        return summarize_snapshot(
+            service.telemetry.snapshot(), prefixes=TELEMETRY_PREFIXES
+        )
+
+    return asyncio.run(go())
+
+
+def _merge_telemetry() -> None:
+    """Refresh only the top-level ``telemetry`` key of the results file."""
+    results = _load_results()
+    results["telemetry"] = _telemetry_section()
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
 def _record_smoke_baseline() -> None:
     """Refresh the committed smoke baseline from the current smoke numbers."""
     results = _load_results()
@@ -306,7 +367,14 @@ if __name__ == "__main__":
         "--record-baseline", action="store_true",
         help="with --smoke: update the committed smoke baseline afterwards",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="refresh only the telemetry section of the results file",
+    )
     args = parser.parse_args()
+    if args.telemetry:
+        _merge_telemetry()
+        raise SystemExit(0)
     if args.smoke:
         os.environ["BENCH_HIERARCHY_SMOKE"] = "1"
         # Re-exec so the module-level knobs pick the smoke profile up.

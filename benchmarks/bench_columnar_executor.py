@@ -51,6 +51,22 @@ MIN_SPEEDUP = float(os.environ.get("BENCH_COLUMNAR_MIN_SPEEDUP", "3.0"))
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_columnar_executor.json"
 
 
+def _load_results() -> dict:
+    if RESULTS_PATH.exists():
+        try:
+            return json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            pass
+    return {}
+
+
+def _merge_results(updates: dict) -> None:
+    """Merge keys into the results file, preserving the others."""
+    results = _load_results()
+    results.update(updates)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
 @pytest.fixture(scope="module")
 def workload():
     """A 10k-ticker volatile day (fewer ticks than Fig. 5/6: the bound
@@ -181,7 +197,7 @@ def test_columnar_executor_speedup(workload):
         "total_row_seconds": row_total,
         "end_to_end_speedup": speedup,
     }
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    _merge_results(results)
 
     assert speedup >= MIN_SPEEDUP, (
         f"columnar executor must be >= {MIN_SPEEDUP:g}x faster end to end, "
@@ -217,5 +233,62 @@ def test_classify_runs_at_most_once_per_query(workload, monkeypatch):
         assert calls["n"] <= 1
 
 
+#: Families persisted in the committed ``telemetry`` section (PR 7):
+#: the live ColumnStore state the pull-time collectors snapshot — cached
+#: tuple counts and the bound-width distribution a refresh tightens.
+TELEMETRY_PREFIXES = (
+    "trapp_cached_tuples",
+    "trapp_bound_width",
+    "trapp_cache_messages",
+    "trapp_source_refreshes",
+)
+
+
+def _telemetry_section() -> dict:
+    """Bound-width distributions before and after one tight-constraint
+    refresh, on a fixed 500-ticker day (independent of the env knobs)."""
+    from repro.replication.system import TrappSystem
+    from repro.telemetry import Telemetry, summarize_snapshot
+    from repro.workloads.stocks import stock_master_table
+
+    days = volatile_stock_day(n_stocks=500, ticks=60)
+    system = TrappSystem()
+    source = system.add_source("exchange")
+    source.add_table(stock_master_table(days))
+    cache = system.add_cache("trader")
+    cache.subscribe_table(source, "stocks")
+    # Cached bounds start at the master values; simulated time widens
+    # them under the source's bound functions.
+    system.clock.advance(100.0)
+    cache.sync_bounds()
+    telemetry = Telemetry(clock=system.clock.now)
+    telemetry.observe_system(system)
+
+    table = cache.table("stocks")
+    total_width = sum(row.bound("price").width for row in table.rows())
+    before = summarize_snapshot(
+        telemetry.snapshot(), prefixes=TELEMETRY_PREFIXES
+    )
+    answer = system.executor_for("trader").execute(
+        table, "SUM", "price", total_width * 0.5
+    )
+    assert answer.refreshed, "the tight constraint must force a refresh"
+    after = summarize_snapshot(
+        telemetry.snapshot(), prefixes=TELEMETRY_PREFIXES
+    )
+    return {"before_refresh": before, "after_refresh": after}
+
+
 if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="refresh only the telemetry section of the results file",
+    )
+    args = parser.parse_args()
+    if args.telemetry:
+        _merge_results({"telemetry": _telemetry_section()})
+        raise SystemExit(0)
     raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -72,6 +72,7 @@ from repro.service import QueryService
 from repro.sql.compiler import compile_statement
 from repro.sql.parser import parse_statement
 from repro.sql.steps import plan_steps
+from repro.telemetry import summarize_snapshot
 from repro.workloads.netmon import build_master_table, generate_topology
 from repro.workloads.service import (
     closed_loop_scripts,
@@ -490,6 +491,64 @@ def _check_smoke_regression(serial_cost_per_answer: float) -> None:
     )
 
 
+#: Families persisted in the committed ``telemetry`` section (PR 7):
+#: what the service pays (refresh cost, per-source batches) and what it
+#: saves (result cache, single-flight) on the mixed workload.
+TELEMETRY_PREFIXES = (
+    "trapp_queries_total",
+    "trapp_service_events_total",
+    "trapp_routed_queries_total",
+    "trapp_result_cache_events_total",
+    "trapp_scheduler_events_total",
+    "trapp_scheduler_plans_per_tick",
+    "trapp_refresh_cost",
+    "trapp_source_batch_size",
+)
+
+
+def _telemetry_section() -> dict:
+    """One compact instrumented pass of the mixed workload.
+
+    Fixed sizes, independent of the env knobs, so ``--telemetry``
+    refreshes only the ``telemetry`` key of the results file without
+    touching the committed full-run sections.
+    """
+
+    async def go() -> dict:
+        system, model = mixed_service_system(
+            n_caches=MIXED_CACHES, n_links=60, seed=SEED % 100_000
+        )
+        cache = system.cache("edge/0")
+        scripts = mixed_scripts(
+            cache.table("links"),
+            cache.table("nodes"),
+            n_clients=8,
+            queries_per_client=2,
+            seed=SEED % 100_000,
+        )
+        service = QueryService(
+            system, max_inflight=64, cost_model=model, result_ttl=1.0
+        )
+        for round_index in range(2):
+            system.clock.advance(ARRIVAL_GAP * len(scripts))
+            for replica in system.group("edge"):
+                replica.sync_bounds()
+            await asyncio.gather(
+                *(
+                    service.query(
+                        "edge", script.sqls[round_index],
+                        client_id=script.client_id,
+                    )
+                    for script in scripts
+                )
+            )
+        return summarize_snapshot(
+            service.telemetry.snapshot(), prefixes=TELEMETRY_PREFIXES
+        )
+
+    return asyncio.run(go())
+
+
 def _record_smoke_baseline() -> None:
     """Refresh the committed smoke baseline from the current smoke numbers."""
     results = _load_results()
@@ -521,7 +580,14 @@ if __name__ == "__main__":
         "--record-baseline", action="store_true",
         help="with --smoke: update the committed smoke baseline afterwards",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="refresh only the telemetry section of the results file",
+    )
     args = parser.parse_args()
+    if args.telemetry:
+        _merge_results({"telemetry": _telemetry_section()})
+        raise SystemExit(0)
     if args.smoke and not SMOKE:
         # Re-exec so the module-level knobs pick the smoke profile up.
         env = dict(os.environ, BENCH_SERVICE_SMOKE="1")

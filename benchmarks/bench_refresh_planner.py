@@ -58,6 +58,7 @@ from repro.core.refresh.base import uniform_cost
 from repro.core.refresh.summing import SumChooseRefresh
 from repro.replication.system import TrappSystem
 from repro.service import QueryService
+from repro.telemetry import summarize_snapshot
 from repro.workloads.netmon import build_master_table, generate_topology
 from repro.workloads.stocks import stock_cache_table, volatile_stock_day
 
@@ -410,6 +411,65 @@ def _check_smoke_regression(warm_seconds: float) -> None:
     )
 
 
+#: Families persisted in the committed ``telemetry`` section (PR 7):
+#: where planning time goes per tick, and how many plans each tick
+#: amortizes it over.
+TELEMETRY_PREFIXES = (
+    "trapp_scheduler_tick_seconds",
+    "trapp_scheduler_plans_per_tick",
+    "trapp_scheduler_events_total",
+    "trapp_admission_wait_seconds",
+    "trapp_refresh_cost",
+)
+
+
+def _telemetry_section() -> dict:
+    """One compact vector-planner service run (fixed sizes, independent
+    of the env knobs) — merged as the ``telemetry`` key only."""
+
+    async def go() -> dict:
+        rng = random.Random(SEED)
+        system = TrappSystem(vector_planner=True)
+        source = system.add_source("net")
+        source.add_table(
+            build_master_table(generate_topology(40, 120, rng), rng)
+        )
+        cache = system.add_cache("monitor")
+        cache.subscribe_table(source, "links")
+        system.clock.advance(100.0)
+        cache.sync_bounds()
+        service = QueryService(system, max_inflight=64, adaptive_tick=True)
+        table = cache.table("links")
+        total = sum(row.bound("traffic").width for row in table.rows())
+        qrng = random.Random(3)
+        queries = [
+            f"SELECT SUM(traffic) WITHIN "
+            f"{total * qrng.uniform(0.2, 0.7):.4f} FROM links"
+            for _ in range(12)
+        ]
+        for _ in range(2):
+            system.clock.advance(5.0)
+            cache.sync_bounds()
+            await asyncio.gather(
+                *(
+                    service.query("monitor", sql, client_id=f"c{i % 4}")
+                    for i, sql in enumerate(queries)
+                )
+            )
+        return summarize_snapshot(
+            service.telemetry.snapshot(), prefixes=TELEMETRY_PREFIXES
+        )
+
+    return asyncio.run(go())
+
+
+def _merge_telemetry() -> None:
+    """Refresh only the top-level ``telemetry`` key of the results file."""
+    results = _load_results()
+    results["telemetry"] = _telemetry_section()
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
 def _record_smoke_baseline() -> None:
     """Refresh the committed smoke baseline from the current smoke numbers."""
     results = _load_results()
@@ -435,7 +495,14 @@ if __name__ == "__main__":
         "--record-baseline", action="store_true",
         help="with --smoke: update the committed smoke baseline afterwards",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="refresh only the telemetry section of the results file",
+    )
     args = parser.parse_args()
+    if args.telemetry:
+        _merge_telemetry()
+        raise SystemExit(0)
     if args.smoke:
         os.environ["BENCH_PLANNER_SMOKE"] = "1"
         # Re-exec so the module-level knobs pick the smoke profile up.

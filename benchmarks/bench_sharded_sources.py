@@ -47,6 +47,7 @@ import pytest
 from repro.bench.tables import banner, print_table
 from repro.core.refresh.base import cost_from_column
 from repro.service import QueryService
+from repro.telemetry import summarize_snapshot
 from repro.workloads.service import (
     run_closed_loop,
     sharded_service_system,
@@ -230,6 +231,54 @@ def _record_smoke_baseline() -> None:
         RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
 
 
+#: Families persisted in the committed ``telemetry`` section (PR 7):
+#: the per-shard batch sizes and receipts the fan-in machinery pays.
+TELEMETRY_PREFIXES = (
+    "trapp_source_batch_size",
+    "trapp_source_refreshes",
+    "trapp_refresh_cost",
+    "trapp_scheduler_events_total",
+    "trapp_queries_total",
+)
+
+
+def _telemetry_section() -> dict:
+    """One compact run at fan-in 4 (fixed sizes, independent of the env
+    knobs) — merged as the ``telemetry`` key only."""
+
+    async def go() -> dict:
+        system, model = sharded_service_system(4, n_links=120, seed=SEED)
+        service = QueryService(
+            system, max_inflight=64, cost_model=model, adaptive_tick=True
+        )
+        cache = system.cache("monitor")
+        scripts = sharded_sum_scripts(cache.table("links"), 6, 2, seed=SEED)
+        cost = cost_from_column("cost")
+
+        async def issue(client_id: str, sql: str):
+            return await service.query(
+                "monitor", sql, client_id=client_id, cost=cost
+            )
+
+        for _ in range(2):
+            system.clock.advance(5.0)
+            cache.sync_bounds()
+            result = await run_closed_loop(issue, scripts)
+            assert result.errors == 0
+        return summarize_snapshot(
+            service.telemetry.snapshot(), prefixes=TELEMETRY_PREFIXES
+        )
+
+    return asyncio.run(go())
+
+
+def _merge_telemetry() -> None:
+    """Refresh only the top-level ``telemetry`` key of the results file."""
+    results = _load_results()
+    results["telemetry"] = _telemetry_section()
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
 if __name__ == "__main__":
     import argparse
     import sys
@@ -243,7 +292,14 @@ if __name__ == "__main__":
         "--record-baseline", action="store_true",
         help="with --smoke: update the committed smoke baseline afterwards",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="refresh only the telemetry section of the results file",
+    )
     args = parser.parse_args()
+    if args.telemetry:
+        _merge_telemetry()
+        raise SystemExit(0)
     if args.smoke:
         os.environ["BENCH_SHARDED_SMOKE"] = "1"
         # Re-exec so the module-level knobs pick the smoke profile up.

@@ -117,6 +117,29 @@ class DataCache:
         self.refreshes_received = 0
         self.refresh_requests_sent = 0
         self.fanout_refreshes_received = 0
+        # Event instruments, bound by attach_telemetry(); None keeps the
+        # replication hot path untelemetered (the simulation default).
+        self._t_fanout_pushes = None
+        self._t_fanout_lag = None
+
+    def attach_telemetry(self, registry) -> None:
+        """Bind this cache's event instruments to a metrics registry.
+
+        Fan-out deliveries are *events with a latency* (the push left the
+        source at ``sent_at``), so they are observed here rather than
+        re-derived by a pull-time collector.
+        """
+        child_labels = {"cache": self.cache_id}
+        self._t_fanout_pushes = registry.counter(
+            "trapp_fanout_pushes_total",
+            "Fan-out payloads delivered to each replica",
+            ("cache",),
+        ).labels(**child_labels)
+        self._t_fanout_lag = registry.histogram(
+            "trapp_fanout_delivery_lag_seconds",
+            "Delivery lag of fan-out pushes (receive time minus sent_at)",
+            ("cache",),
+        ).labels(**child_labels)
 
     # ------------------------------------------------------------------
     # Subscription
@@ -416,6 +439,9 @@ class DataCache:
         now = self.clock()
         if refresh.reason is RefreshReason.FANOUT:
             self.fanout_refreshes_received += len(refresh.payloads)
+            if self._t_fanout_pushes is not None:
+                self._t_fanout_pushes.inc(len(refresh.payloads))
+                self._t_fanout_lag.observe(max(0.0, now - refresh.sent_at))
         for payload in refresh.payloads:
             key = payload.key
             subscription = self._subscriptions.get(key)

@@ -59,6 +59,10 @@ class RefreshMonitor:
         # and scanning every tracked entry per object is O(caches ×
         # objects) — the index makes both O(caches tracking the object).
         self._by_key: dict[ObjectKey, set[str]] = {}
+        # Running per-table totals of bound violations detected, one
+        # count per (violating cache, update); the telemetry layer
+        # surfaces these through the ``metrics`` wire op.
+        self._violation_counts: dict[str, int] = {}
 
     def track(
         self, cache_id: str, key: ObjectKey, bound_function: BoundFunction,
@@ -96,7 +100,15 @@ class RefreshMonitor:
             entry = self._tracked[(cache_id, key)]
             if not entry.bound_function.contains(value, now):
                 out.append((cache_id, entry))
+        if out:
+            self._violation_counts[key.table] = (
+                self._violation_counts.get(key.table, 0) + len(out)
+            )
         return out
+
+    def violation_counts(self) -> dict[str, int]:
+        """Total bound violations detected so far, keyed by table name."""
+        return dict(self._violation_counts)
 
     def caches_tracking(self, key: ObjectKey) -> list[str]:
         return sorted(self._by_key.get(key, ()))

@@ -54,6 +54,9 @@ class TrappSystem:
         self.vector_planner = vector_planner
         self._sources: dict[str, DataSource] = {}
         self._caches: dict[str, DataCache] = {}
+        #: Set by :meth:`repro.telemetry.Telemetry.observe_system`; caches
+        #: added afterwards pick up their instruments here.
+        self.telemetry = None
         #: Replication fan-out tiers; group ids share the cache-id
         #: namespace so the query service can route ``query(group_id, …)``.
         self._groups: dict[str, CacheGroup] = {}
@@ -199,6 +202,8 @@ class TrappSystem:
                     group_obj = self.add_group(group)
                     group_registered_here = True
         cache = DataCache(cache_id, clock=self.clock.now)
+        if self.telemetry is not None:
+            cache.attach_telemetry(self.telemetry.registry)
         self._caches[cache_id] = cache
         try:
             if group_obj is not None:

@@ -19,6 +19,10 @@ package is the serving layer that realizes both observations:
   front of the executor;
 * :func:`serve` / :class:`TrappClient` — a newline-delimited-JSON wire
   protocol so multiple processes can issue TRAPP SQL concurrently.
+
+Every layer reports into one :class:`~repro.telemetry.Telemetry`
+(metrics registry + query tracer, PR 7), served over the wire by the
+``metrics`` and ``trace`` ops — see ``docs/OBSERVABILITY.md``.
 """
 
 from repro.service.client import ClientAnswer, TrappClient

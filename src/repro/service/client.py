@@ -110,6 +110,30 @@ class TrappClient:
         reply = await self._request({"op": "stats"})
         return reply["stats"]
 
+    async def metrics(self) -> dict:
+        """The server's full telemetry registry snapshot (PR 7):
+        ``{"enabled": bool, "families": [{name, type, help, samples}]}``."""
+        reply = await self._request({"op": "metrics"})
+        return reply["metrics"]
+
+    async def metrics_text(self) -> str:
+        """The same snapshot as Prometheus-style exposition text."""
+        reply = await self._request({"op": "metrics", "format": "text"})
+        return str(reply["metrics_text"])
+
+    async def trace(
+        self, limit: int | None = None, client: str | None = None
+    ) -> list[dict]:
+        """Recently completed query spans (oldest first), optionally
+        filtered by client id and truncated to the last ``limit``."""
+        message: dict = {"op": "trace"}
+        if limit is not None:
+            message["limit"] = limit
+        if client is not None:
+            message["client"] = client
+        reply = await self._request(message)
+        return list(reply["traces"])
+
     async def close(self) -> None:
         if self._closed:
             return

@@ -9,7 +9,10 @@ Request ops:
 * ``{"id", "op": "query", "cache", "sql", "client"?}`` — execute TRAPP SQL;
 * ``{"id", "op": "ping"}`` — liveness probe, echoes the server clock;
 * ``{"id", "op": "stats"}`` — serving/coalescing counters;
-* ``{"id", "op": "hello", "client"}`` — set the connection's client id.
+* ``{"id", "op": "hello", "client"}`` — set the connection's client id;
+* ``{"id", "op": "metrics", "format"?: "text"}`` — the telemetry registry
+  snapshot (or its Prometheus text exposition);
+* ``{"id", "op": "trace", "limit"?, "client"?}`` — recent query spans.
 
 Responses are ``{"id", "ok": true, ...}`` or
 ``{"id", "ok": false, "error": {"kind", "message"}}`` where ``kind`` is
@@ -28,6 +31,7 @@ __all__ = [
     "encode",
     "decode",
     "json_number",
+    "json_safe",
     "answer_payload",
     "error_payload",
 ]
@@ -57,6 +61,23 @@ def json_number(value: float) -> "float | str":
     via ``float()``, which the bundled client applies anyway)."""
     if value != value or value in (float("inf"), float("-inf")):
         return str(value)
+    return value
+
+
+def json_safe(value):
+    """A document with every non-finite float mapped via :func:`json_number`.
+
+    The ``metrics``/``trace`` ops ship nested payloads built from live
+    telemetry (span fields, histogram sums) where an infinite width or
+    timestamp is legal; this walks them once so strict :func:`encode`
+    never trips on a bare ``Infinity``.
+    """
+    if isinstance(value, float):
+        return json_number(value)
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
     return value
 
 

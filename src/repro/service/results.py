@@ -24,18 +24,36 @@ from typing import Callable, Hashable, Iterable
 
 from repro.core.answer import BoundedAnswer
 from repro.predicates.ast import Predicate
+from repro.telemetry.registry import MetricsRegistry
 
 __all__ = ["ResultCache"]
 
 
 class ResultCache:
-    """An LRU + TTL cache of :class:`BoundedAnswer` keyed by query identity."""
+    """An LRU + TTL cache of :class:`BoundedAnswer` keyed by query identity.
+
+    Hit/miss/expiry/eviction/invalidation counters live in the telemetry
+    registry (``trapp_result_cache_events_total``); the historical
+    attributes (``cache.hits`` …) and :meth:`stats` read the same
+    children, so the wire ``metrics`` op and the legacy dict cannot
+    disagree.
+    """
+
+    #: Attribute name → ``trapp_result_cache_events_total`` event label.
+    _EVENTS = {
+        "hits": "hit",
+        "misses": "miss",
+        "expirations": "expiration",
+        "evictions": "eviction",
+        "invalidations": "invalidation",
+    }
 
     def __init__(
         self,
         ttl: float,
         clock: Callable[[], float],
         max_entries: int = 2048,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.ttl = ttl
         self.clock = clock
@@ -48,11 +66,30 @@ class ResultCache:
         # dispatched refresh that updates table T evicts T's entries
         # directly instead of waiting for TTL/width expiry.
         self._by_table: dict[tuple[str, str], set[Hashable]] = {}
-        self.hits = 0
-        self.misses = 0
-        self.expirations = 0
-        self.evictions = 0
-        self.invalidations = 0
+        # A standalone cache (no service) gets a private enabled registry
+        # so its counters keep working.
+        if registry is None:
+            registry = MetricsRegistry()
+        family = registry.counter(
+            "trapp_result_cache_events_total",
+            "Result-cache behavior: hits, misses, expiries, evictions, "
+            "refresh-driven invalidations",
+            ("event",),
+        )
+        self._events = {
+            attr: family.labels(event=label)
+            for attr, label in self._EVENTS.items()
+        }
+        self._g_entries = registry.gauge(
+            "trapp_result_cache_entries",
+            "Bounded answers currently held by the result cache",
+        )
+
+    def __getattr__(self, name: str) -> int:
+        events = object.__getattribute__(self, "__dict__").get("_events")
+        if events is not None and name in events:
+            return int(events[name].value)
+        raise AttributeError(name)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -95,19 +132,19 @@ class ResultCache:
         """
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self._events["misses"].inc()
             return None
         answer, stored_at = entry
         if self.clock() - stored_at > self.ttl:
             self._drop(key)
-            self.expirations += 1
-            self.misses += 1
+            self._events["expirations"].inc()
+            self._events["misses"].inc()
             return None
         if not answer.meets(max_width):
-            self.misses += 1
+            self._events["misses"].inc()
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self._events["hits"].inc()
         return answer
 
     def put(self, key: Hashable, answer: BoundedAnswer) -> None:
@@ -119,7 +156,8 @@ class ResultCache:
             evicted, _ = self._entries.popitem(last=False)
             for bucket in self._buckets_of(evicted):
                 bucket.discard(evicted)
-            self.evictions += 1
+            self._events["evictions"].inc()
+        self._g_entries.set(len(self._entries))
 
     # ------------------------------------------------------------------
     def invalidate_table(
@@ -152,7 +190,8 @@ class ResultCache:
                     self._drop(key)
                     dropped += 1
             self._by_table.pop(index_key, None)
-        self.invalidations += dropped
+        self._events["invalidations"].inc(dropped)
+        self._g_entries.set(len(self._entries))
         return dropped
 
     #: Bucket for keys not shaped like :meth:`make_key` tuples — they
@@ -188,10 +227,12 @@ class ResultCache:
         del self._entries[key]
         for bucket in self._buckets_of(key):
             bucket.discard(key)
+        self._g_entries.set(len(self._entries))
 
     def clear(self) -> None:
         self._entries.clear()
         self._by_table.clear()
+        self._g_entries.set(0)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -42,6 +42,7 @@ survive coalescing unchanged (property-tested in
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -51,6 +52,7 @@ from repro.extensions.batching import BatchedCostModel, rebatch_plan
 from repro.replication.cache import DataCache
 from repro.storage.row import Row
 from repro.storage.table import Table
+from repro.telemetry.registry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 
 __all__ = ["RefreshScheduler", "SchedulerStats"]
 
@@ -59,46 +61,81 @@ __all__ = ["RefreshScheduler", "SchedulerStats"]
 #: (cached answers) that read the refreshed table.
 RefreshListener = Callable[[list[DataCache], str, frozenset[int]], None]
 
-
-@dataclass(slots=True)
-class SchedulerStats:
-    """Counters describing how much coalescing actually happened."""
-
-    ticks: int = 0
-    plans_submitted: int = 0
+#: Attribute name → ``trapp_scheduler_events_total`` event label.  The
+#: historical counter API (``stats.ticks`` etc.) is preserved as a thin
+#: view over these registry children.
+_STAT_EVENTS = {
+    "ticks": "tick",
+    "plans_submitted": "plan_submitted",
     #: Tuple refreshes the queries asked for (pre-dedup, pre-rebatch).
-    tuples_requested: int = 0
+    "tuples_requested": "tuple_requested",
     #: Distinct tuples actually refreshed after merging.
-    tuples_refreshed: int = 0
-    source_requests: int = 0
-    total_cost_paid: float = 0.0
+    "tuples_refreshed": "tuple_refreshed",
+    "source_requests": "source_request",
     #: Clusters (one per group × table per tick) in which plans from two
     #: or more *different* caches merged into shared source messages —
     #: may exceed ``ticks`` when one tick carries several such tables.
-    cross_cache_merges: int = 0
+    "cross_cache_merges": "cross_cache_merge",
     #: Source batches dispatched through a cheaper sibling replica than
     #: the one the requesting query ran against.
-    leader_redirects: int = 0
+    "leader_redirects": "leader_redirect",
     #: ``on_refresh`` listener invocations that raised (the refresh
     #: itself succeeded; the invalidation hook is broken).
-    listener_errors: int = 0
+    "listener_errors": "listener_error",
     #: Adaptive-tick adjustments (0 unless ``adaptive_tick`` is on).
-    tick_grows: int = 0
-    tick_shrinks: int = 0
+    "tick_grows": "tick_grow",
+    "tick_shrinks": "tick_shrink",
+}
+
+
+class SchedulerStats:
+    """Counters describing how much coalescing actually happened.
+
+    Since PR 7 this is a *view* over the telemetry registry, not parallel
+    bookkeeping: reads and ``+=`` mutations hit the same
+    ``trapp_scheduler_events_total`` / ``trapp_refresh_cost_paid_total``
+    children the ``metrics`` wire op serves, so the two surfaces cannot
+    drift.  (With a disabled registry every counter reads 0.)
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        events = registry.counter(
+            "trapp_scheduler_events_total",
+            "Refresh-scheduler coalescing events",
+            ("event",),
+        )
+        children = {
+            attr: events.labels(event=label)
+            for attr, label in _STAT_EVENTS.items()
+        }
+        children["total_cost_paid"] = registry.counter(
+            "trapp_refresh_cost_paid_total",
+            "Refresh cost paid at sources, from dispatch receipts",
+        )
+        object.__setattr__(self, "_children", children)
+
+    def __getattr__(self, name: str):
+        try:
+            child = self._children[name]
+        except KeyError:
+            raise AttributeError(name) from None
+        value = child.value
+        return value if name == "total_cost_paid" else int(value)
+
+    def __setattr__(self, name: str, value) -> None:
+        child = self._children.get(name)
+        if child is None:
+            raise AttributeError(
+                f"SchedulerStats has no counter {name!r}"
+            )
+        child.inc(value - child.value)
 
     def as_dict(self) -> dict[str, float]:
         return {
-            "ticks": self.ticks,
-            "plans_submitted": self.plans_submitted,
-            "tuples_requested": self.tuples_requested,
-            "tuples_refreshed": self.tuples_refreshed,
-            "source_requests": self.source_requests,
-            "total_cost_paid": self.total_cost_paid,
-            "cross_cache_merges": self.cross_cache_merges,
-            "leader_redirects": self.leader_redirects,
-            "listener_errors": self.listener_errors,
-            "tick_grows": self.tick_grows,
-            "tick_shrinks": self.tick_shrinks,
+            name: getattr(self, name)
+            for name in (*_STAT_EVENTS, "total_cost_paid")
         }
 
 
@@ -111,6 +148,8 @@ class _Pending:
     #: Effective tuple ids for this query (mutated by the rebatch pass).
     tids: set[int]
     future: "asyncio.Future[RefreshPlan]"
+    #: The submitting query's telemetry span, or ``None`` untraced.
+    trace: "object | None" = None
 
 
 class _TickCostModel(BatchedCostModel):
@@ -185,8 +224,39 @@ class RefreshScheduler:
         tick_max: float = 0.05,
         cross_cache: bool = True,
         on_refresh: RefreshListener | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.cost_model = cost_model
+        #: The telemetry registry backing :attr:`stats` and the tick /
+        #: batch histograms.  A standalone scheduler (tests, benchmarks
+        #: without a service) gets a private enabled registry so its
+        #: counters keep working.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._h_tick_seconds = self.registry.histogram(
+            "trapp_scheduler_tick_seconds",
+            "Wall-clock duration of each coalescing tick",
+        )
+        self._h_plans_per_tick = self.registry.histogram(
+            "trapp_scheduler_plans_per_tick",
+            "Refresh plans coalesced per tick",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._h_batch_size = self.registry.histogram(
+            "trapp_source_batch_size",
+            "Tuples per dispatched source batch",
+            ("source",),
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._c_source_cost = self.registry.counter(
+            "trapp_refresh_cost_total",
+            "Refresh cost paid per source, from dispatch receipts",
+            ("source",),
+        )
+        self._c_leader_selected = self.registry.counter(
+            "trapp_leader_selections_total",
+            "Source batches dispatched through each replica",
+            ("cache",),
+        )
         self.tick_interval = tick_interval
         #: Intent flag; rebatching additionally needs a cost model for
         #: the pending's cache — the scheduler default, or a per-cache
@@ -208,25 +278,27 @@ class RefreshScheduler:
         self.tick_max = tick_max
         self.cross_cache = cross_cache
         self.on_refresh = on_refresh
-        self.stats = SchedulerStats()
+        self.stats = SchedulerStats(self.registry)
         self._pending: list[_Pending] = []
         self._flush_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     async def submit(
-        self, cache: DataCache, request: PlannedRefresh
+        self, cache: DataCache, request: PlannedRefresh, trace=None
     ) -> RefreshPlan:
         """Queue one query's planned refresh; resolves once it is applied.
 
         Returns the effective plan for the submitting query: the tuple ids
         refreshed on its behalf (possibly rebatched) and the share of the
-        batch cost attributed to it.
+        batch cost attributed to it.  ``trace`` (a telemetry span) rides
+        along so the dispatching tick can record which shared batch paid
+        for this plan.
         """
         future: asyncio.Future[RefreshPlan] = (
             asyncio.get_running_loop().create_future()
         )
         self._pending.append(
-            _Pending(cache, request, set(request.plan.tids), future)
+            _Pending(cache, request, set(request.plan.tids), future, trace)
         )
         self.stats.plans_submitted += 1
         self.stats.tuples_requested += len(request.plan.tids)
@@ -268,6 +340,8 @@ class RefreshScheduler:
 
     async def _run_tick(self, batch: list[_Pending]) -> None:
         self.stats.ticks += 1
+        tick_started = time.perf_counter()
+        self._h_plans_per_tick.observe(len(batch))
         try:
             clusters: dict[tuple[object, str], list[_Pending]] = {}
             for pending in batch:
@@ -283,6 +357,7 @@ class RefreshScheduler:
             for pending in batch:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
+        self._h_tick_seconds.observe(time.perf_counter() - tick_started)
         self._adapt_tick(len(batch))
 
     def _adapt_tick(self, plans_in_tick: int) -> None:
@@ -369,6 +444,14 @@ class RefreshScheduler:
                     requesters[tid] = requesters.get(tid, 0) + 1
             if grouped and len({id(p.cache) for p in pendings}) > 1:
                 self.stats.cross_cache_merges += 1
+            for pending in pendings:
+                if pending.trace is not None:
+                    pending.trace.step(
+                        "coalesce",
+                        table=table_name,
+                        cluster_plans=len(pendings),
+                        merged_tuples=len(merged),
+                    )
 
             # One batched message per source, dispatched from the replica
             # whose cost model prices that source's round trip cheapest.
@@ -416,6 +499,18 @@ class RefreshScheduler:
                 refreshed |= set(receipt.tids)
                 self.stats.source_requests += receipt.requests_sent
                 self.stats.total_cost_paid += receipt.total_cost
+                for source_receipt in receipt.per_source:
+                    self._h_batch_size.labels(
+                        source=source_receipt.source_id
+                    ).observe(len(source_receipt.tids))
+                    self._c_source_cost.labels(
+                        source=source_receipt.source_id
+                    ).inc(source_receipt.cost)
+                    self._c_leader_selected.labels(
+                        # Test doubles may not carry an id; label them
+                        # rather than crash the dispatch path.
+                        cache=getattr(leader, "cache_id", "unknown")
+                    ).inc()
                 receipts.append((receipt, model))
                 # One redirect per *source batch* that served some other
                 # cache's query through this leader.
@@ -431,7 +526,25 @@ class RefreshScheduler:
             self.stats.tuples_refreshed += len(refreshed)
 
             shares = self._attribute(receipts, pendings, requesters)
+            dispatched_sources = sorted(
+                {
+                    source_receipt.source_id
+                    for receipt, _ in receipts
+                    for source_receipt in receipt.per_source
+                }
+            )
             for pending, share in zip(pendings, shares):
+                if pending.trace is not None:
+                    pending.trace.step(
+                        "dispatch",
+                        sources=dispatched_sources,
+                        refreshed_tuples=len(refreshed),
+                    )
+                    pending.trace.step(
+                        "refresh",
+                        tuples=len(pending.tids),
+                        cost_share=share,
+                    )
                 # A waiter may have been cancelled (connection drop) while
                 # the batch executed; settling it would raise and poison
                 # the rest of the group.

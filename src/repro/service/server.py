@@ -6,6 +6,14 @@ independent tasks (so one slow refresh does not head-of-line-block the
 connection, and queries from many connections coalesce in the shared
 scheduler), while replies are serialized per connection and matched by
 the client via the echoed ``id``.
+
+Besides ``hello``/``ping``/``stats``/``query``, the server exposes the
+PR 7 observability surface: ``metrics`` returns the full telemetry
+registry snapshot (``format: "text"`` selects the Prometheus exposition
+instead) and ``trace`` the most recent completed query spans.  The
+server meters itself too — connection open/active counts and a
+``trapp_wire_errors_total`` counter covering oversized lines,
+undecodable payloads, unknown ops, and client disconnects.
 """
 
 from __future__ import annotations
@@ -20,10 +28,33 @@ from repro.service.protocol import (
     decode,
     encode,
     error_payload,
+    json_safe,
 )
 from repro.service.service import QueryService
+from repro.telemetry import render_text
 
 __all__ = ["TrappServer", "serve"]
+
+
+class _WireTelemetry:
+    """The server's own instruments, bound once per ``serve()`` call."""
+
+    def __init__(self, service: QueryService) -> None:
+        registry = service.telemetry.registry
+        self.errors = registry.counter(
+            "trapp_wire_errors_total",
+            "Protocol-level failures: oversized lines, undecodable "
+            "payloads, unknown ops, client disconnects",
+            ("kind",),
+        )
+        self.connections_total = registry.counter(
+            "trapp_connections_total",
+            "Connections accepted since the server started",
+        )
+        self.connections_active = registry.gauge(
+            "trapp_connections_active",
+            "Connections currently open",
+        )
 
 
 class TrappServer:
@@ -57,9 +88,11 @@ async def serve(
 ) -> TrappServer:
     """Start serving ``service`` on ``host:port`` (0 = ephemeral port)."""
 
+    wire = _WireTelemetry(service)
+
     async def handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         try:
-            await _handle_connection(service, reader, writer)
+            await _handle_connection(service, wire, reader, writer)
         except asyncio.CancelledError:
             # Loop teardown cancels in-flight connection handlers; ending
             # normally here keeps asyncio.streams' done-callback (which
@@ -75,17 +108,21 @@ async def serve(
 # ----------------------------------------------------------------------
 async def _handle_connection(
     service: QueryService,
+    wire: _WireTelemetry,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
     write_lock = asyncio.Lock()
     connection_client = "anon"
     tasks: set[asyncio.Task] = set()
+    wire.connections_total.inc()
+    wire.connections_active.inc()
     try:
         while True:
             try:
                 line = await reader.readline()
             except ValueError:  # line exceeded the stream limit
+                wire.errors.labels(kind="oversized_line").inc()
                 await _send(
                     writer,
                     write_lock,
@@ -105,6 +142,7 @@ async def _handle_connection(
             try:
                 message = decode(line)
             except WireProtocolError as exc:
+                wire.errors.labels(kind="undecodable").inc()
                 await _send(
                     writer,
                     write_lock,
@@ -136,10 +174,42 @@ async def _handle_connection(
                     write_lock,
                     {"id": request_id, "ok": True, "stats": service.stats()},
                 )
+            elif op == "metrics":
+                snapshot = service.telemetry.snapshot()
+                if message.get("format") == "text":
+                    reply = {
+                        "id": request_id,
+                        "ok": True,
+                        "metrics_text": render_text(snapshot),
+                    }
+                else:
+                    reply = {
+                        "id": request_id,
+                        "ok": True,
+                        "metrics": json_safe(snapshot),
+                    }
+                await _send(writer, write_lock, reply)
+            elif op == "trace":
+                limit = message.get("limit")
+                await _send(
+                    writer,
+                    write_lock,
+                    {
+                        "id": request_id,
+                        "ok": True,
+                        "traces": json_safe(
+                            service.telemetry.tracer.recent(
+                                limit=int(limit) if limit is not None else None,
+                                client=message.get("client"),
+                            )
+                        ),
+                    },
+                )
             elif op == "query":
                 task = asyncio.create_task(
                     _run_query(
                         service,
+                        wire,
                         writer,
                         write_lock,
                         message,
@@ -149,6 +219,7 @@ async def _handle_connection(
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
             else:
+                wire.errors.labels(kind="unknown_op").inc()
                 await _send(
                     writer,
                     write_lock,
@@ -161,17 +232,19 @@ async def _handle_connection(
                     },
                 )
     except ConnectionError:
-        pass  # client vanished mid-reply; the finally closes up
+        wire.errors.labels(kind="disconnect").inc()
     finally:
         for task in tasks:
             task.cancel()
         writer.close()
         with contextlib.suppress(Exception):
             await writer.wait_closed()
+        wire.connections_active.dec()
 
 
 async def _run_query(
     service: QueryService,
+    wire: _WireTelemetry,
     writer: asyncio.StreamWriter,
     write_lock: asyncio.Lock,
     message: dict,
@@ -190,13 +263,20 @@ async def _run_query(
             "result": answer_payload(result.answer, result.cached),
         }
     except asyncio.CancelledError:
+        # The connection dropped (or the server is closing) with this
+        # query mid-pipeline; its in-flight accounting unwound through
+        # the service's finally blocks.
+        wire.errors.labels(kind="disconnect").inc()
         raise
     except TrappError as exc:
         reply = {"id": request_id, "ok": False, "error": error_payload(exc)}
     except Exception as exc:  # never take the connection down with a query
         reply = {"id": request_id, "ok": False, "error": error_payload(exc)}
-    with contextlib.suppress(ConnectionError):
+    try:
         await _send(writer, write_lock, reply)
+    except ConnectionError:
+        # Client vanished between answering and replying.
+        wire.errors.labels(kind="disconnect").inc()
 
 
 async def _send(

@@ -53,6 +53,7 @@ it is aborted and retried once, then surfaced as the retryable
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 
 from repro.core.answer import BoundedAnswer
@@ -75,6 +76,7 @@ from repro.service.scheduler import RefreshScheduler
 from repro.sql.compiler import AnyQueryPlan, compile_statement
 from repro.sql.parser import parse_statement
 from repro.sql.steps import plan_steps
+from repro.telemetry import Telemetry
 
 __all__ = ["QueryService", "ClientSession", "ServiceResult"]
 
@@ -149,6 +151,8 @@ class QueryService:
         router: CacheRouter | None = None,
         cross_cache: bool = True,
         max_sync_deferrals: int | None = None,
+        telemetry: Telemetry | None = None,
+        telemetry_enabled: bool = True,
     ) -> None:
         self.system = system
         self.max_inflight_per_client = max_inflight_per_client
@@ -160,6 +164,18 @@ class QueryService:
         #: queries suspended across it.  ``None`` = defer indefinitely
         #: (the pre-cap behavior).
         self.max_sync_deferrals = max_sync_deferrals
+        #: One registry + tracer per deployment (PR 7): the service's own
+        #: counters, the scheduler's, the result cache's, and the live
+        #: system collectors all land here, and the ``metrics``/``trace``
+        #: wire ops serve it.  Spans are timestamped on the system's
+        #: simulation clock; pass ``telemetry_enabled=False`` (or a
+        #: disabled ``Telemetry``) for the unmetered no-op path.
+        if telemetry is None:
+            telemetry = Telemetry(
+                enabled=telemetry_enabled, clock=system.clock.now
+            )
+        self.telemetry = telemetry
+        telemetry.observe_system(system)
         self.scheduler = RefreshScheduler(
             cost_model=cost_model,
             tick_interval=tick_interval,
@@ -170,9 +186,13 @@ class QueryService:
             tick_max=tick_max,
             cross_cache=cross_cache,
             on_refresh=self._on_refresh_dispatched,
+            registry=telemetry.registry,
         )
         self.results = ResultCache(
-            ttl=result_ttl, clock=system.clock.now, max_entries=result_cache_size
+            ttl=result_ttl,
+            clock=system.clock.now,
+            max_entries=result_cache_size,
+            registry=telemetry.registry,
         )
         self._semaphore = asyncio.Semaphore(max_inflight)
         self._inflight_by_client: dict[str, int] = {}
@@ -187,13 +207,65 @@ class QueryService:
         self._sync_generation: dict[str, int] = {}
         #: Single-flight: identical queries already executing, by cache key.
         self._inflight_results: dict = {}
-        self.queries_served = 0
-        self.queries_rejected = 0
-        self.singleflight_joins = 0
-        self.forced_syncs = 0
-        self.revalidations = 0
-        self.stale_retries = 0
-        self.stale_aborts = 0
+        registry = telemetry.registry
+        queries = registry.counter(
+            "trapp_queries_total",
+            "Queries by admission outcome",
+            ("outcome",),
+        )
+        self._c_served = queries.labels(outcome="served")
+        self._c_rejected = queries.labels(outcome="rejected")
+        events = registry.counter(
+            "trapp_service_events_total",
+            "Serving-pipeline events: single-flight joins, staleness-cap "
+            "syncs and retries",
+            ("event",),
+        )
+        self._c_singleflight = events.labels(event="singleflight_join")
+        self._c_forced_sync = events.labels(event="forced_sync")
+        self._c_revalidation = events.labels(event="revalidation")
+        self._c_stale_retry = events.labels(event="stale_retry")
+        self._c_stale_abort = events.labels(event="stale_abort")
+        #: Per-cache routing balance: every admitted query lands here
+        #: under the replica that served it, router-picked or pinned.
+        self._c_routed = registry.counter(
+            "trapp_routed_queries_total",
+            "Queries per serving cache (routing balance)",
+            ("cache", "mode"),
+        )
+        self._h_admission_wait = registry.histogram(
+            "trapp_admission_wait_seconds",
+            "Wall-clock wait for the global in-flight semaphore",
+        )
+
+    # Thin views over the registry counters (the historical stats API).
+    @property
+    def queries_served(self) -> int:
+        return int(self._c_served.value)
+
+    @property
+    def queries_rejected(self) -> int:
+        return int(self._c_rejected.value)
+
+    @property
+    def singleflight_joins(self) -> int:
+        return int(self._c_singleflight.value)
+
+    @property
+    def forced_syncs(self) -> int:
+        return int(self._c_forced_sync.value)
+
+    @property
+    def revalidations(self) -> int:
+        return int(self._c_revalidation.value)
+
+    @property
+    def stale_retries(self) -> int:
+        return int(self._c_stale_retry.value)
+
+    @property
+    def stale_aborts(self) -> int:
+        return int(self._c_stale_abort.value)
 
     # ------------------------------------------------------------------
     def session(
@@ -260,19 +332,54 @@ class QueryService:
         apply uniformly; a join's per-round selections decompose into
         per-table refresh plans the scheduler merges like any other.
         """
+        trace = self.telemetry.tracer.start(client_id, sql)
+        try:
+            return await self._query_traced(
+                cache_id, sql, client_id, cost, epsilon,
+                precision_floor, max_inflight, trace,
+            )
+        except (AdmissionError, ServiceOverloadError):
+            trace.finish(status="rejected")
+            raise
+        except BaseException as exc:
+            trace.finish(status="error", error=type(exc).__name__)
+            raise
+
+    async def _query_traced(
+        self,
+        cache_id: str,
+        sql: str,
+        client_id: str,
+        cost: CostFunc | CostModel | None,
+        epsilon: float | None,
+        precision_floor: float | None,
+        max_inflight: int | None,
+        trace,
+    ) -> ServiceResult:
         statement = parse_statement(sql)
+        is_group = self.system.is_group(cache_id)
         cache, group = self._resolve_cache(cache_id, client_id, statement.tables)
         plan = compile_statement(statement, cache.catalog)
         self._admit(client_id, plan, precision_floor, max_inflight)
+        trace.step("admit", width=plan.constraint.width)
+        trace.step(
+            "route",
+            cache=cache.cache_id,
+            mode="routed" if is_group else "pinned",
+        )
+        self._c_routed.labels(
+            cache=cache.cache_id, mode="routed" if is_group else "pinned"
+        ).inc()
 
         # A caller-supplied cost model has no stable identity to key on,
         # so such queries neither read nor feed the shared answers.
         shareable = cost is None
         if not shareable:
             answer = await self._execute_revalidated(
-                cache, plan, client_id, cost, epsilon
+                cache, plan, client_id, cost, epsilon, trace
             )
-            self.queries_served += 1
+            self._c_served.inc()
+            trace.finish(cached=False, width=answer.width)
             return ServiceResult(
                 answer=answer,
                 cached=False,
@@ -304,7 +411,8 @@ class QueryService:
         while True:
             hit = self.results.get(primary_key, plan.constraint.width)
             if hit is not None:
-                self.queries_served += 1
+                self._c_served.inc()
+                trace.finish(cached=True, source="result_cache", width=hit.width)
                 return ServiceResult(
                     answer=hit,
                     cached=True,
@@ -327,8 +435,9 @@ class QueryService:
                     # around and execute ourselves.
                     continue
                 raise
-            self.singleflight_joins += 1
-            self.queries_served += 1
+            self._c_singleflight.inc()
+            self._c_served.inc()
+            trace.finish(cached=True, source="singleflight", width=answer.width)
             return ServiceResult(
                 answer=answer,
                 cached=True,
@@ -345,7 +454,7 @@ class QueryService:
         self._inflight_results[primary_key] = future
         try:
             answer = await self._execute_revalidated(
-                cache, plan, client_id, cost, epsilon
+                cache, plan, client_id, cost, epsilon, trace
             )
         except BaseException as exc:
             if not future.done():
@@ -361,7 +470,8 @@ class QueryService:
         if not future.done():
             future.set_result(answer)
         self.results.put(primary_key, answer)
-        self.queries_served += 1
+        self._c_served.inc()
+        trace.finish(cached=False, width=answer.width)
         return ServiceResult(
             answer=answer,
             cached=False,
@@ -383,7 +493,7 @@ class QueryService:
             and isinstance(plan.constraint, AbsolutePrecision)
             and plan.constraint.width < floor
         ):
-            self.queries_rejected += 1
+            self._c_rejected.inc()
             raise AdmissionError(
                 f"client {client_id!r} may not request precision tighter than "
                 f"WITHIN {floor:g} (asked for WITHIN {plan.constraint.width:g})"
@@ -392,7 +502,7 @@ class QueryService:
             max_inflight if max_inflight is not None else self.max_inflight_per_client
         )
         if self._inflight_by_client.get(client_id, 0) >= allowance:
-            self.queries_rejected += 1
+            self._c_rejected.inc()
             raise ServiceOverloadError(
                 f"client {client_id!r} already has {allowance} queries in flight"
             )
@@ -424,6 +534,7 @@ class QueryService:
         client_id: str,
         cost: CostFunc | CostModel | None,
         epsilon: float | None,
+        trace=None,
     ) -> BoundedAnswer:
         """Execute with the staleness-cap protocol: re-validate, retry once.
 
@@ -434,10 +545,14 @@ class QueryService:
         collapsed), then the error surfaces to the client as retryable.
         """
         try:
-            return await self._execute(cache, plan, client_id, cost, epsilon)
+            return await self._execute(
+                cache, plan, client_id, cost, epsilon, trace
+            )
         except StaleRefreshError:
-            self.stale_retries += 1
-            return await self._execute(cache, plan, client_id, cost, epsilon)
+            self._c_stale_retry.inc()
+            return await self._execute(
+                cache, plan, client_id, cost, epsilon, trace
+            )
 
     async def _execute(
         self,
@@ -446,6 +561,7 @@ class QueryService:
         client_id: str,
         cost: CostFunc | CostModel | None,
         epsilon: float | None,
+        trace=None,
     ) -> BoundedAnswer:
         cache_id = cache.cache_id
         self._inflight_by_client[client_id] = (
@@ -455,7 +571,11 @@ class QueryService:
             self._inflight_by_cache.get(cache_id, 0) + 1
         )
         try:
+            wait_started = time.perf_counter()
             async with self._semaphore:
+                self._h_admission_wait.observe(
+                    time.perf_counter() - wait_started
+                )
                 # Re-evaluating bound functions could widen a bound a
                 # suspended query already planned against, so hold off
                 # while any query on this cache awaits a refresh tick —
@@ -478,7 +598,7 @@ class QueryService:
                         self._sync_generation[cache_id] = (
                             self._sync_generation.get(cache_id, 0) + 1
                         )
-                        self.forced_syncs += 1
+                        self._c_forced_sync.inc()
                 generation = self._sync_generation.get(cache_id, 0)
                 suspended_across_sync = False
                 executor = self.system.executor_for(cache_id, epsilon)
@@ -494,11 +614,19 @@ class QueryService:
                 try:
                     request = next(steps)
                     while True:
+                        if trace is not None:
+                            trace.step(
+                                "plan",
+                                table=request.table.name,
+                                tuples=len(request.plan.tids),
+                            )
                         self._suspended_by_cache[cache_id] = (
                             self._suspended_by_cache.get(cache_id, 0) + 1
                         )
                         try:
-                            effective = await self.scheduler.submit(cache, request)
+                            effective = await self.scheduler.submit(
+                                cache, request, trace=trace
+                            )
                         finally:
                             self._suspended_by_cache[cache_id] -= 1
                             if self._suspended_by_cache[cache_id] <= 0:
@@ -513,7 +641,7 @@ class QueryService:
                             # Not an optimizer bug: a cap-forced sync
                             # widened unrefreshed tuples under this plan
                             # after it was chosen.  Abort retryably.
-                            self.stale_aborts += 1
+                            self._c_stale_abort.inc()
                             raise StaleRefreshError(
                                 f"query for client {client_id!r} was "
                                 "suspended across a forced bound sync "
@@ -548,9 +676,9 @@ class QueryService:
         """
         max_width = plan.constraint.width
         if answer.meets(max_width):
-            self.revalidations += 1
+            self._c_revalidation.inc()
             return answer
-        self.stale_aborts += 1
+        self._c_stale_abort.inc()
         raise StaleRefreshError(
             f"query for client {client_id!r} was suspended across a forced "
             f"bound sync (staleness cap {self.max_sync_deferrals}) and its "

@@ -1,0 +1,50 @@
+"""Compact registry snapshots for the bench harness.
+
+``MetricsRegistry.snapshot()`` is wire-shaped: a list of families, each
+with a list of labeled samples — the right layout for the ``metrics``
+op, but noisy inside a committed ``BENCH_*.json``.  This module folds a
+snapshot into a stable, diff-friendly dict keyed by family name and
+``k=v`` label strings, so every benchmark can persist a ``telemetry``
+section with ``_merge_results({"telemetry": summarize_snapshot(...)})``
+without dragging the whole exposition format along.
+"""
+
+from __future__ import annotations
+
+__all__ = ["summarize_snapshot"]
+
+
+def _label_key(labels: dict) -> str:
+    """One stable string per label set; unlabeled children get ``_``."""
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "_"
+
+
+def summarize_snapshot(
+    snapshot: dict, prefixes: "tuple[str, ...] | None" = None
+) -> dict:
+    """Fold a registry snapshot into ``{family: {type, samples}}``.
+
+    ``prefixes`` keeps only families whose name starts with one of the
+    given strings (benchmarks cherry-pick the families they are about).
+    Counter/gauge samples collapse to their value; histogram samples
+    keep ``count``/``sum`` plus the cumulative buckets so a committed
+    distribution (e.g. bound widths) stays inspectable.
+    """
+    families: dict[str, dict] = {}
+    for family in snapshot.get("families", ()):
+        name = family["name"]
+        if prefixes is not None and not name.startswith(tuple(prefixes)):
+            continue
+        samples: dict[str, object] = {}
+        for sample in family["samples"]:
+            key = _label_key(sample.get("labels", {}))
+            if family["type"] == "histogram":
+                samples[key] = {
+                    "count": sample["count"],
+                    "sum": sample["sum"],
+                    "buckets": sample["buckets"],
+                }
+            else:
+                samples[key] = sample["value"]
+        families[name] = {"type": family["type"], "samples": samples}
+    return {"enabled": snapshot.get("enabled", False), "families": families}

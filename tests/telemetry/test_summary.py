@@ -1,0 +1,45 @@
+"""summarize_snapshot: the bench-facing fold of a registry snapshot."""
+
+from __future__ import annotations
+
+from repro.telemetry import MetricsRegistry, summarize_snapshot
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    queries = registry.counter("trapp_queries_total", "", ("outcome",))
+    queries.labels(outcome="served").inc(3)
+    queries.labels(outcome="rejected").inc()
+    registry.gauge("trapp_connections_active", "").set(2)
+    registry.histogram(
+        "trapp_source_batch_size", "", ("source",), buckets=(1, 4)
+    ).labels(source="net").observe(3)
+    return registry
+
+
+def test_summary_folds_samples_by_label_string():
+    summary = summarize_snapshot(build_registry().snapshot())
+    assert summary["enabled"] is True
+    queries = summary["families"]["trapp_queries_total"]
+    assert queries["type"] == "counter"
+    assert queries["samples"] == {"outcome=served": 3, "outcome=rejected": 1}
+    # Unlabeled children land under "_".
+    assert summary["families"]["trapp_connections_active"]["samples"] == {
+        "_": 2
+    }
+    batch = summary["families"]["trapp_source_batch_size"]["samples"]
+    assert batch["source=net"]["count"] == 1
+    assert batch["source=net"]["sum"] == 3
+    assert batch["source=net"]["buckets"][-1] == ["+Inf", 1]
+
+
+def test_summary_prefix_filter_keeps_matching_families_only():
+    summary = summarize_snapshot(
+        build_registry().snapshot(), prefixes=("trapp_queries",)
+    )
+    assert list(summary["families"]) == ["trapp_queries_total"]
+
+
+def test_summary_of_disabled_registry_is_empty():
+    summary = summarize_snapshot(MetricsRegistry(enabled=False).snapshot())
+    assert summary == {"enabled": False, "families": {}}
