@@ -1,10 +1,10 @@
 #!/usr/bin/env python
 """Golden-value tripwires over the committed benchmark results.
 
-The five ``BENCH_*.json`` files at the repo root carry deterministic
+The ``BENCH_*.json`` files at the repo root carry deterministic
 smoke numbers (cost-model arithmetic on seeded workloads) alongside
 machine-dependent timings.  Each bench already guards its own smoke
-baseline at run time; this script formalizes those five tripwires in one
+baseline at run time; this script formalizes those tripwires in one
 place — a golden-values harness in the style of data-pipeline golden
 checks — so CI (and a human after regenerating any results file) can
 verify the committed numbers haven't silently drifted without running
@@ -15,8 +15,10 @@ the benches:
 3. refresh_planner  — smoke vector planner warm time (timing: loose)
 4. sharded_sources  — smoke cost/answer at max shard fan-in
 5. columnar_executor — end-to-end columnar speedup (timing: loose)
+6. fault_tolerance  — smoke availability under the seeded chaos sweep
+   (may not fall below the committed baseline)
 
-A sixth, *measured* tripwire guards the observability layer itself
+A further, *measured* tripwire guards the observability layer itself
 (PR 7): a short mixed workload runs twice, telemetry enabled and
 disabled, and enabled throughput must stay within
 ``TRIPWIRE_OVERHEAD_LIMIT`` (default 5%) of the no-op path — the
@@ -111,7 +113,7 @@ def _bench(name: str) -> dict:
 
 
 def check_bench_goldens(golden: GoldenValues) -> None:
-    """The five per-benchmark smoke tripwires.
+    """The per-benchmark smoke tripwires.
 
     Cost-model numbers are deterministic on any machine (tight
     tolerance: a drift means planner/executor behavior changed);
@@ -142,6 +144,14 @@ def check_bench_goldens(golden: GoldenValues) -> None:
         "columnar_executor.end_to_end_speedup",
         _bench("columnar_executor")["end_to_end_speedup"],
         tolerance=0.75,
+    )
+    # Availability is a fraction in [0, 1]; the seeded chaos schedule is
+    # deterministic, so any drift below golden means the failure-handling
+    # stack started erroring queries it used to answer.
+    golden.check(
+        "fault_tolerance.availability",
+        _bench("fault_tolerance")["smoke_baseline"]["availability"],
+        tolerance=0.01,
     )
 
 

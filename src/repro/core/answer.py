@@ -31,6 +31,14 @@ class BoundedAnswer:
     #: The answer computed from cached data alone (step 1 of execution),
     #: useful for judging how much the refreshes tightened the answer.
     initial_bound: Bound | None = None
+    #: True when a planned refresh ultimately failed and the answer was
+    #: served from the current (wider than requested, but still correct)
+    #: bounds.  The interval is still guaranteed to contain the precise
+    #: answer — only the precision constraint was sacrificed.
+    degraded: bool = False
+    #: Sources that could not be contacted while answering (empty unless
+    #: some planned tuples went unrefreshed).
+    unreachable_sources: tuple[str, ...] = ()
 
     @property
     def width(self) -> float:
@@ -64,5 +72,9 @@ class BoundedAnswer:
         if self.refreshed:
             parts.append(
                 f"(refreshed {len(self.refreshed)} tuples, cost {self.refresh_cost:g})"
+            )
+        if self.degraded:
+            parts.append(
+                f"(degraded: {', '.join(self.unreachable_sources) or 'sources unreachable'})"
             )
         return " ".join(parts)

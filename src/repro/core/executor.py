@@ -62,7 +62,11 @@ from repro.core.constraints import (
     width_within,
 )
 from repro.core.refresh import CostFunc, RefreshPlan, get_choose_refresh, uniform_cost
-from repro.errors import ConstraintUnsatisfiableError, UnknownColumnError
+from repro.errors import (
+    ConstraintUnsatisfiableError,
+    SourceUnavailableError,
+    UnknownColumnError,
+)
 from repro.predicates.ast import Predicate, TruePredicate, columns_of
 from repro.predicates.classify import Classification, classify, restrict_bound
 from repro.predicates.eval import evaluate_exact, evaluate_trilean
@@ -606,6 +610,28 @@ class QueryExecutor:
         final: Bound, max_width: float, plan: RefreshPlan, initial: Bound
     ) -> BoundedAnswer:
         if not width_within(final.width, max_width):
+            if plan.unreached:
+                # Bounded degradation (the paper's availability story):
+                # some planned tuples' sources were unreachable, so the
+                # constraint could not be met — but the recomputed bound
+                # still contains the true value.  Serve it, marked
+                # degraded, unless the constraint demands exactness that
+                # only the dead sources hold.
+                if max_width <= 0.0:
+                    raise SourceUnavailableError(
+                        f"constraint WITHIN {max_width:g} requires exact values "
+                        f"held only by unreachable sources "
+                        f"{', '.join(plan.failed_sources) or '<unknown>'}",
+                        sources=plan.failed_sources,
+                    )
+                return BoundedAnswer(
+                    bound=final,
+                    refreshed=plan.tids,
+                    refresh_cost=plan.total_cost,
+                    initial_bound=initial,
+                    degraded=True,
+                    unreachable_sources=plan.failed_sources,
+                )
             raise ConstraintUnsatisfiableError(
                 f"post-refresh answer {final} (width {final.width:g}) violates "
                 f"constraint {max_width:g}; this indicates an optimizer bug"
@@ -615,6 +641,7 @@ class QueryExecutor:
             refreshed=plan.tids,
             refresh_cost=plan.total_cost,
             initial_bound=initial,
+            unreachable_sources=plan.failed_sources,
         )
 
     def _prepare(self, table: Table, predicate: Predicate) -> _PreparedPredicate:

@@ -124,10 +124,26 @@ def resolve_columnar_costs(store, cost: CostFunc):
 
 @dataclass(frozen=True, slots=True)
 class RefreshPlan:
-    """The optimizer's decision: which tuples to refresh and what it costs."""
+    """The optimizer's decision: which tuples to refresh and what it costs.
+
+    After dispatch, the effective plan a query receives back may carry
+    *failure* metadata: ``unreached`` are planned tuples whose sources
+    could not be contacted (after retries, breaker gating, and replica
+    failover), ``failed_sources`` names those sources.  ``tids`` then
+    holds only the tuples actually refreshed, so downstream accounting
+    (cost shares, invalidation) stays truthful; the executor finishes
+    such queries in degraded mode from the bounds it has.
+    """
 
     tids: frozenset[int]
     total_cost: float
+    unreached: frozenset[int] = frozenset()
+    failed_sources: tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether some planned tuples could not be refreshed."""
+        return bool(self.unreached)
 
     @staticmethod
     def of(rows: Iterable[Row], cost: CostFunc) -> "RefreshPlan":

@@ -128,8 +128,65 @@ class StaleRefreshError(ServiceError):
     retryable = True
 
 
+class FaultError(TrappError):
+    """A component was unreachable (injected or real infrastructure fault).
+
+    The serving layers convert these into per-source failure receipts,
+    retries, failover dispatches, and finally *degraded* answers — bounds
+    that are wider than requested but still guaranteed to contain the
+    true value.  Only a constraint that strictly requires an exact value
+    from a dead component surfaces one of these to the caller.
+    """
+
+
+class SourceUnavailableError(FaultError):
+    """A data source could not be contacted for a refresh.
+
+    Raised by :meth:`DataCache.refresh` (the serial protocol path) and by
+    the executor when a precision constraint of width 0 requires exact
+    values that only an unreachable source holds.  ``sources`` names the
+    unreachable source(s).
+    """
+
+    def __init__(self, message: str, sources: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.sources = sources
+
+
+class CircuitOpenError(SourceUnavailableError):
+    """A source contact was skipped because its circuit breaker is open.
+
+    Semantically a :class:`SourceUnavailableError` — the source is being
+    treated as down — but distinguishable for callers that want to know
+    no network attempt was actually made.
+    """
+
+
+class CacheUnavailableError(FaultError):
+    """A cache replica is crashed/restarting and cannot serve refreshes.
+
+    The scheduler catches this during group dispatch and fails over to
+    the next-cheapest subscribed replica
+    (:meth:`CacheGroup.leader_for_source` with ``exclude=``).
+    """
+
+    def __init__(self, message: str, cache_id: str | None = None) -> None:
+        super().__init__(message)
+        self.cache_id = cache_id
+
+
 class WireProtocolError(ServiceError):
     """A malformed message arrived on the NDJSON wire protocol."""
+
+
+class WireTimeoutError(ServiceError):
+    """The server did not reply within the client's deadline.
+
+    Raised by :class:`~repro.service.client.TrappClient` after the
+    configured per-request deadline elapses and a single bounded
+    reconnect attempt has also failed — instead of hanging forever on a
+    dead server.
+    """
 
 
 class RemoteQueryError(ServiceError):

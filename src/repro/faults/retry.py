@@ -1,0 +1,58 @@
+"""Capped exponential backoff with deterministic jitter.
+
+A :class:`RetryPolicy` is a frozen value object: given an attempt number
+and a stable key (e.g. the table being dispatched) it always computes the
+same delay, so retried workloads replay bit-identically.  Jitter is
+derived from ``zlib.crc32`` over ``key|attempt`` — **not** :func:`hash`,
+which is randomized per process — giving well-spread but reproducible
+fractions in ``[-jitter, +jitter]`` around the exponential schedule.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+def _fraction(key: str, attempt: int) -> float:
+    """Deterministic pseudo-random fraction in ``[0, 1)`` for jitter."""
+    return zlib.crc32(f"{key}|{attempt}".encode()) / 2**32
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How (and how long) to retry a failed source batch.
+
+    ``max_attempts`` counts total contacts (1 = no retries).  Delays
+    follow ``base_delay * multiplier**(retry-1)`` capped at ``max_delay``,
+    each scaled by a deterministic jitter factor in
+    ``[1-jitter, 1+jitter]``.  ``deadline`` bounds the total wall-clock
+    budget across attempts (checked by the caller between attempts);
+    ``attempt_timeout`` is the per-attempt budget advisory callers such
+    as the wire client apply to each individual contact.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    max_delay: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    attempt_timeout: float | None = None
+    deadline: float | None = None
+
+    def delay_for(self, retry: int, key: str = "") -> float:
+        """Backoff before the ``retry``-th retry (1-based), in seconds."""
+        if retry < 1:
+            return 0.0
+        raw = min(
+            self.base_delay * self.multiplier ** (retry - 1), self.max_delay
+        )
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * _fraction(key, retry) - 1.0)
+        return max(0.0, raw)
+
+    def exhausted(self, attempt: int) -> bool:
+        """Whether ``attempt`` contacts already used the whole budget."""
+        return attempt >= self.max_attempts

@@ -24,7 +24,11 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.bounds.functions import BoundFunction
-from repro.errors import ReplicationProtocolError
+from repro.errors import (
+    ReplicationProtocolError,
+    SourceUnavailableError,
+    TrappError,
+)
 from repro.replication.messages import (
     CardinalityChange,
     ObjectKey,
@@ -37,7 +41,13 @@ from repro.storage.catalog import Catalog
 from repro.storage.schema import Schema
 from repro.storage.table import Table
 
-__all__ = ["DataCache", "SourceRefreshReceipt", "BatchedRefreshReceipt", "BatchCostFunc"]
+__all__ = [
+    "DataCache",
+    "SourceRefreshReceipt",
+    "BatchedRefreshReceipt",
+    "RefreshFailure",
+    "BatchCostFunc",
+]
 
 #: ``(source_id, n_tuples) -> cost`` — how much one batched round trip to a
 #: source costs.  The default charges 1 per tuple (the paper's uniform
@@ -55,12 +65,32 @@ class _Subscription:
 
 @dataclass(frozen=True, slots=True)
 class SourceRefreshReceipt:
-    """What one source was asked for in a batched refresh, and its price."""
+    """What one source was asked for in a batched refresh, and its price.
+
+    ``latency`` is the injected per-contact delay in effect (0 outside a
+    latency-spike window) — recorded rather than slept, so chaos runs
+    replay deterministically while benches still see the spike.
+    """
 
     source_id: str
     tids: frozenset[int]
     keys: tuple[ObjectKey, ...]
     cost: float
+    latency: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class RefreshFailure:
+    """One source that could not serve its part of a batched refresh.
+
+    ``error`` names the exception class (``SourceUnavailableError``, …);
+    the tuples stay unrefreshed and keep their current — wider but still
+    correct — bounds.
+    """
+
+    source_id: str
+    tids: frozenset[int]
+    error: str
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,10 +100,14 @@ class BatchedRefreshReceipt:
     Returned by :meth:`DataCache.refresh_batched` so schedulers that merge
     many queries' plans can see the cost *actually paid* per source —
     which, under an amortized model, is less than the sum each query would
-    have paid alone.
+    have paid alone.  Sources that could not be contacted appear in
+    ``failures`` instead of raising: a partial batch is a partial
+    success, and the scheduler decides whether to retry, fail over, or
+    let the affected queries degrade.
     """
 
     per_source: tuple[SourceRefreshReceipt, ...]
+    failures: tuple[RefreshFailure, ...] = ()
 
     @property
     def total_cost(self) -> float:
@@ -87,8 +121,19 @@ class BatchedRefreshReceipt:
         return frozenset(out)
 
     @property
+    def failed_tids(self) -> frozenset[int]:
+        out: set[int] = set()
+        for failure in self.failures:
+            out |= failure.tids
+        return frozenset(out)
+
+    @property
+    def failed_sources(self) -> tuple[str, ...]:
+        return tuple(failure.source_id for failure in self.failures)
+
+    @property
     def requests_sent(self) -> int:
-        return len(self.per_source)
+        return len(self.per_source) + len(self.failures)
 
 
 class DataCache:
@@ -121,6 +166,9 @@ class DataCache:
         # replication hot path untelemetered (the simulation default).
         self._t_fanout_pushes = None
         self._t_fanout_lag = None
+        #: Fault oracle set by :meth:`FaultInjector.attach`; ``None`` (the
+        #: default) keeps every refresh path exactly pre-fault.
+        self.fault_injector = None
 
     def attach_telemetry(self, registry) -> None:
         """Bind this cache's event instruments to a metrics registry.
@@ -328,9 +376,19 @@ class DataCache:
         """Collapse the named tuples' bounds by asking their sources.
 
         Groups keys per source so each source receives one request (the
-        batching extension can then amortize transfer costs).
+        batching extension can then amortize transfer costs).  This is
+        the serial protocol path with no scheduler above it to retry or
+        degrade, so a partial batch raises
+        :class:`~repro.errors.SourceUnavailableError` rather than
+        silently leaving some bounds wide.
         """
-        self.refresh_batched(table, tids)
+        receipt = self.refresh_batched(table, tids)
+        if receipt.failures:
+            failed = ", ".join(sorted(set(receipt.failed_sources)))
+            raise SourceUnavailableError(
+                f"refresh of table {table.name!r} failed at source(s) {failed}",
+                sources=receipt.failed_sources,
+            )
 
     def refresh_batched(
         self,
@@ -349,7 +407,18 @@ class DataCache:
         (default: 1 per tuple, the uniform model).  Shards none of the
         tuples live on are not contacted and get no receipt, so a
         sharded table's receipt is exactly its per-shard §8.2 accounting.
+
+        With a :class:`~repro.faults.FaultInjector` attached, a crashed
+        cache raises :class:`~repro.errors.CacheUnavailableError` (the
+        scheduler fails the batch over to a sibling replica), and
+        per-source faults — outage windows, forced failures, real
+        protocol errors from the contact itself — become
+        :class:`RefreshFailure` entries on the receipt instead of
+        raising, so one dead shard cannot void the rest of the batch.
         """
+        injector = self.fault_injector
+        if injector is not None:
+            injector.check_cache(self.cache_id)
         tids = sorted(set(tids))
         if not tids:
             return BatchedRefreshReceipt(per_source=())
@@ -366,13 +435,28 @@ class DataCache:
                 by_source.setdefault(subscription.source.source_id, []).append(key)
                 tids_by_source.setdefault(subscription.source.source_id, set()).add(tid)
         receipts: list[SourceRefreshReceipt] = []
+        failures: list[RefreshFailure] = []
         for source_id, keys in by_source.items():
             source = self._sources[source_id]
             request = RefreshRequest(cache_id=self.cache_id, keys=tuple(keys))
             self.refresh_requests_sent += 1
-            response = source.handle_refresh_request(request)
-            self._apply_refresh(response)
             source_tids = frozenset(tids_by_source[source_id])
+            latency = 0.0
+            try:
+                if injector is not None:
+                    injector.check_source(source_id)
+                    latency = injector.latency_of(source_id)
+                response = source.handle_refresh_request(request)
+            except TrappError as exc:
+                failures.append(
+                    RefreshFailure(
+                        source_id=source_id,
+                        tids=source_tids,
+                        error=type(exc).__name__,
+                    )
+                )
+                continue
+            self._apply_refresh(response)
             cost = (
                 batch_cost(source_id, len(source_tids))
                 if batch_cost is not None
@@ -384,9 +468,12 @@ class DataCache:
                     tids=source_tids,
                     keys=tuple(keys),
                     cost=cost,
+                    latency=latency,
                 )
             )
-        return BatchedRefreshReceipt(per_source=tuple(receipts))
+        return BatchedRefreshReceipt(
+            per_source=tuple(receipts), failures=tuple(failures)
+        )
 
     def source_of_tuple(self, table: Table, tid: int) -> str:
         """The source (shard) id serving a tuple's bounded columns.

@@ -393,7 +393,8 @@ class CacheGroup:
         source_id: str,
         n_tuples: int,
         default_model: "BatchedCostModel | None" = None,
-    ) -> tuple[DataCache, "BatchedCostModel | None"]:
+        exclude: "frozenset[str] | set[str]" = frozenset(),
+    ) -> tuple["DataCache | None", "BatchedCostModel | None"]:
         """The cheapest subscribed replica to dispatch one source's batch.
 
         Prices ``setup + marginal · n_tuples`` under each candidate's own
@@ -402,6 +403,12 @@ class CacheGroup:
         predicts: with per-region cost heterogeneity, every source's
         message travels its cheapest path, and fan-out hands the refreshed
         values to everyone else for free.
+
+        ``exclude`` names replicas that must not be chosen — the
+        scheduler's failover path passes the crashed leaders it already
+        tried.  When exclusion empties the candidate pool the group
+        returns ``(None, None)`` (nobody left to fail over to); an empty
+        pool with no exclusions is still a protocol error.
         """
         candidates = self.caches_of_table(table_name)
         if not candidates:
@@ -409,6 +416,12 @@ class CacheGroup:
                 f"group {self.group_id!r} has no cache subscribed to table "
                 f"{table_name!r}"
             )
+        if exclude:
+            candidates = [
+                cache for cache in candidates if cache.cache_id not in exclude
+            ]
+            if not candidates:
+                return None, None
         # A replica without any cost model would price as a unit-less
         # uniform cost and systematically "win" against genuinely cheaper
         # modeled replicas; rank only candidates the deployment actually

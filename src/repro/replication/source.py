@@ -170,6 +170,9 @@ class DataSource:
         # Statistics for experiments.
         self.value_initiated_refreshes = 0
         self.query_initiated_refreshes = 0
+        #: Fault oracle set by :meth:`FaultInjector.attach`; consulted
+        #: only for fan-out drops — ``None`` keeps delivery reliable.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Table and cache management
@@ -270,8 +273,17 @@ class DataSource:
         :attr:`refresh_fanout` is a membership (a
         :class:`~repro.replication.fanout.CacheGroup`), only its member
         caches receive pushes.
+
+        An attached fault injector can *drop* the push to a sibling.  The
+        drop is applied here — before the sibling's policy advances and
+        before :meth:`RefreshMonitor.update` — so the monitor keeps
+        tracking the bound the sibling actually holds: the containment
+        contract survives (a later master-value escape still triggers a
+        value-initiated refresh); the sibling merely misses one
+        opportunistic tightening and falls out of policy lockstep.
         """
         membership = self.refresh_fanout
+        injector = self.fault_injector
         per_cache: dict[str, list[RefreshPayload]] = {}
         for keys, query_feedback in ((request.keys, True), (piggyback_keys, False)):
             for key in keys:
@@ -280,6 +292,10 @@ class DataSource:
                     if cache_id == request.cache_id:
                         continue
                     if membership is not True and cache_id not in membership:
+                        continue
+                    if injector is not None and injector.drops_fanout(
+                        self.source_id, cache_id
+                    ):
                         continue
                     policy = self.monitor.policy(cache_id, key)
                     if query_feedback:

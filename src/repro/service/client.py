@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.core.bound import Bound
 from repro.core.constraints import width_within
-from repro.errors import RemoteQueryError, ServiceError
+from repro.errors import RemoteQueryError, ServiceError, WireTimeoutError
 from repro.service.protocol import MAX_LINE_BYTES, decode, encode
 
 __all__ = ["TrappClient", "ClientAnswer"]
@@ -37,6 +37,12 @@ class ClientAnswer:
     refresh_cost: float
     #: True when the server answered from its result cache.
     cached: bool
+    #: True when the answer is wider than the requested constraint because
+    #: one or more sources were unreachable (the bound still contains the
+    #: true value — precision degraded, correctness did not).
+    degraded: bool = False
+    #: The source ids the server could not reach, when degraded.
+    unreachable_sources: tuple[str, ...] = ()
 
     @property
     def bound(self) -> Bound:
@@ -54,10 +60,19 @@ class TrappClient:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         client_id: str,
+        host: str | None = None,
+        port: int | None = None,
+        deadline: float | None = 30.0,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self.client_id = client_id
+        self._host = host
+        self._port = port
+        #: Per-request reply deadline in seconds (``None`` disables it).
+        self.deadline = deadline
+        #: How many times the client re-established its connection.
+        self.reconnects = 0
         self._next_id = 0
         self._futures: dict[int, asyncio.Future] = {}
         self._closed = False
@@ -67,12 +82,18 @@ class TrappClient:
     # ------------------------------------------------------------------
     @classmethod
     async def connect(
-        cls, host: str, port: int, client_id: str = "anon"
+        cls,
+        host: str,
+        port: int,
+        client_id: str = "anon",
+        deadline: float | None = 30.0,
     ) -> "TrappClient":
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_LINE_BYTES + 2
         )
-        client = cls(reader, writer, client_id)
+        client = cls(
+            reader, writer, client_id, host=host, port=port, deadline=deadline
+        )
         await client._request({"op": "hello", "client": client_id})
         return client
 
@@ -98,6 +119,8 @@ class TrappClient:
             refreshed=tuple(result["refreshed"]),
             refresh_cost=float(result["refresh_cost"]),
             cached=bool(result["cached"]),
+            degraded=bool(result.get("degraded", False)),
+            unreachable_sources=tuple(result.get("unreachable_sources", ())),
         )
 
     async def ping(self) -> float:
@@ -147,11 +170,24 @@ class TrappClient:
         self._fail_pending(ServiceError("connection closed"))
 
     # ------------------------------------------------------------------
-    async def _request(self, message: dict) -> dict:
-        if self._failure is not None:
-            raise self._failure
+    async def _request(self, message: dict, _retry: bool = True) -> dict:
+        """Send one message and await its reply.
+
+        Two failure modes are bounded instead of fatal/hanging: a lost
+        connection and a reply that never arrives within ``deadline``.
+        Either triggers at most **one** reconnect (``_retry``) followed by
+        a single re-send; a second failure surfaces as
+        :class:`WireTimeoutError` (timeout) or the underlying
+        :class:`ServiceError` (connection loss).  Requests are idempotent
+        reads at the protocol level, so one bounded re-send is safe.
+        """
         if self._closed:
             raise ServiceError("client is closed")
+        if self._failure is not None:
+            if not _retry:
+                raise self._failure
+            await self._reconnect()
+            return await self._request(message, _retry=False)
         self._next_id += 1
         request_id = self._next_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -159,7 +195,23 @@ class TrappClient:
         try:
             self._writer.write(encode({**message, "id": request_id}))
             await self._writer.drain()
-            reply = await future
+            if self.deadline is None:
+                reply = await future
+            else:
+                reply = await asyncio.wait_for(future, self.deadline)
+        except asyncio.TimeoutError:
+            if _retry and not self._closed and self._host is not None:
+                await self._reconnect()
+                return await self._request(message, _retry=False)
+            raise WireTimeoutError(
+                f"no reply to {message.get('op', '?')!r} within "
+                f"{self.deadline}s"
+            ) from None
+        except ServiceError:
+            if _retry and not self._closed and self._host is not None:
+                await self._reconnect()
+                return await self._request(message, _retry=False)
+            raise
         finally:
             self._futures.pop(request_id, None)
         if not reply.get("ok"):
@@ -169,6 +221,35 @@ class TrappClient:
                 str(error.get("message", "unknown server error")),
             )
         return reply
+
+    async def _reconnect(self) -> None:
+        """Tear down the current connection and open a fresh one (once).
+
+        Pending requests on the old connection are failed — their replies
+        can never be matched after the socket is replaced.  The new
+        connection re-sends ``hello`` so the server keeps attributing the
+        session to the same client id.
+        """
+        if self._host is None or self._port is None:
+            raise self._failure or ServiceError(
+                "connection lost and no endpoint known for reconnect"
+            )
+        self._read_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._read_task
+        with contextlib.suppress(Exception):
+            self._writer.close()
+            await self._writer.wait_closed()
+        self._fail_pending(ServiceError("connection reset during reconnect"))
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port, limit=MAX_LINE_BYTES + 2
+        )
+        self._failure = None
+        self._read_task = asyncio.create_task(self._read_loop())
+        self.reconnects += 1
+        await self._request(
+            {"op": "hello", "client": self.client_id}, _retry=False
+        )
 
     async def _read_loop(self) -> None:
         failure: Exception = ServiceError("server closed the connection")

@@ -104,7 +104,7 @@ def answer_payload(answer: BoundedAnswer, cached: bool) -> dict:
     Endpoints can be infinite (e.g. MIN over an empty predicate match
     with no ``WITHIN``), so every float goes through :func:`json_number`.
     """
-    return {
+    payload = {
         "lo": json_number(answer.bound.lo),
         "hi": json_number(answer.bound.hi),
         "width": json_number(answer.width),
@@ -113,6 +113,10 @@ def answer_payload(answer: BoundedAnswer, cached: bool) -> dict:
         "refresh_cost": json_number(answer.refresh_cost),
         "cached": cached,
     }
+    if answer.degraded:
+        payload["degraded"] = True
+        payload["unreachable_sources"] = list(answer.unreachable_sources)
+    return payload
 
 
 def error_payload(exc: BaseException) -> dict:

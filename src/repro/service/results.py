@@ -124,11 +124,17 @@ class ResultCache:
         )
 
     # ------------------------------------------------------------------
-    def get(self, key: Hashable, max_width: float) -> BoundedAnswer | None:
+    def get(
+        self, key: Hashable, max_width: float, allow_degraded: bool = False
+    ) -> BoundedAnswer | None:
         """A still-valid cached answer for ``key``, or ``None``.
 
         Valid means: younger than ``ttl`` *and* still no wider than the
-        requested constraint.
+        requested constraint.  A *degraded* answer is by definition wider
+        than its constraint, so it can only ever be served from a lookup
+        that opts in with ``allow_degraded`` — the service's cache-scoped
+        degraded tier, probed while the underlying sources are known to
+        be failing.  TTL and refresh-driven invalidation still apply.
         """
         entry = self._entries.get(key)
         if entry is None:
@@ -140,7 +146,11 @@ class ResultCache:
             self._events["expirations"].inc()
             self._events["misses"].inc()
             return None
-        if not answer.meets(max_width):
+        if answer.degraded:
+            if not allow_degraded:
+                self._events["misses"].inc()
+                return None
+        elif not answer.meets(max_width):
             self._events["misses"].inc()
             return None
         self._entries.move_to_end(key)

@@ -48,7 +48,10 @@ from typing import Callable, Iterable
 
 from repro.core.executor import PlannedRefresh
 from repro.core.refresh.base import RefreshPlan
+from repro.errors import CacheUnavailableError
 from repro.extensions.batching import BatchedCostModel, rebatch_plan
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.retry import RetryPolicy
 from repro.replication.cache import DataCache
 from repro.storage.row import Row
 from repro.storage.table import Table
@@ -225,6 +228,10 @@ class RefreshScheduler:
         cross_cache: bool = True,
         on_refresh: RefreshListener | None = None,
         registry: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector=None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
     ) -> None:
         self.cost_model = cost_model
         #: The telemetry registry backing :attr:`stats` and the tick /
@@ -257,6 +264,35 @@ class RefreshScheduler:
             "Source batches dispatched through each replica",
             ("cache",),
         )
+        fault_events = self.registry.counter(
+            "trapp_fault_events_total",
+            "Failure-handling events across the refresh pipeline",
+            ("event",),
+        )
+        self._c_fault = {
+            event: fault_events.labels(event=event)
+            for event in (
+                "source_failure",
+                "retry",
+                "breaker_skip",
+                "breaker_open",
+                "breaker_half_open",
+                "breaker_closed",
+                "failover_dispatch",
+                "failover_exhausted",
+                "degraded_plan",
+            )
+        }
+        self._g_breaker = self.registry.gauge(
+            "trapp_breaker_state",
+            "Circuit-breaker state per source (0 closed, 1 open, 2 half-open)",
+            ("source",),
+        )
+        self._h_source_latency = self.registry.histogram(
+            "trapp_source_contact_latency_seconds",
+            "Injected per-contact latency recorded on refresh receipts",
+            ("source",),
+        )
         self.tick_interval = tick_interval
         #: Intent flag; rebatching additionally needs a cost model for
         #: the pending's cache — the scheduler default, or a per-cache
@@ -278,6 +314,22 @@ class RefreshScheduler:
         self.tick_max = tick_max
         self.cross_cache = cross_cache
         self.on_refresh = on_refresh
+        #: Backoff schedule for retrying failed source batches.  Always
+        #: present (the default policy retries up to 3 contacts) — with
+        #: no failures it never fires, so zero-fault runs are untouched.
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        #: The fault injector driving this deployment's chaos schedule,
+        #: if any.  Only used for its deterministic clock (breaker
+        #: cooldowns); the injector acts at the cache/source layer.
+        self.fault_injector = fault_injector
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        #: Per-source circuit breakers, created lazily on first *failure*
+        #: — a clean run never allocates one, keeping the dispatch gate a
+        #: single falsy check.
+        self._breakers: dict[str, CircuitBreaker] = {}
         self.stats = SchedulerStats(self.registry)
         self._pending: list[_Pending] = []
         self._flush_task: asyncio.Task | None = None
@@ -349,7 +401,7 @@ class RefreshScheduler:
             if self.network_delay > 0:
                 await asyncio.sleep(self.network_delay)
             for cluster in clusters.values():
-                self._dispatch_cluster(cluster)
+                await self._dispatch_cluster(cluster)
         except Exception as exc:
             # _dispatch_cluster settles its own cluster; anything that
             # escapes here (clustering itself failed) must still settle
@@ -411,7 +463,7 @@ class RefreshScheduler:
         """
         return self.rebatch and self._model_for(cache) is not None
 
-    def _dispatch_cluster(self, pendings: list[_Pending]) -> None:
+    async def _dispatch_cluster(self, pendings: list[_Pending]) -> None:
         """Rebatch, merge per source, refresh via leaders, settle a cluster."""
         table_name = pendings[0].request.table.name
         try:
@@ -481,48 +533,52 @@ class RefreshScheduler:
 
             receipts: list[tuple[object, BatchedCostModel | None]] = []
             refreshed: set[int] = set()
+            #: tid → source id for every planned tuple whose refresh
+            #: ultimately failed (after retries, breaker gating, and
+            #: leader failover) — the queries' degradation metadata.
+            unreached: dict[int, str] = {}
             for leader, model, tids in by_leader.values():
-                # The submitting query's table object *is* the leader's
-                # table when the leader is the query's own cache; a
-                # redirected batch resolves the same logical table on the
-                # leader replica.
-                leader_table = (
-                    pendings[0].request.table
-                    if leader is pendings[0].cache
-                    else leader.table(table_name)
+                batch_receipts, batch_unreached = await self._dispatch_batch(
+                    group if grouped else None,
+                    table_name,
+                    pendings,
+                    leader,
+                    model,
+                    set(tids),
                 )
-                receipt = leader.refresh_batched(
-                    leader_table,
-                    tids,
-                    batch_cost=model.batch_cost if model is not None else None,
-                )
-                refreshed |= set(receipt.tids)
-                self.stats.source_requests += receipt.requests_sent
-                self.stats.total_cost_paid += receipt.total_cost
-                for source_receipt in receipt.per_source:
-                    self._h_batch_size.labels(
-                        source=source_receipt.source_id
-                    ).observe(len(source_receipt.tids))
-                    self._c_source_cost.labels(
-                        source=source_receipt.source_id
-                    ).inc(source_receipt.cost)
-                    self._c_leader_selected.labels(
-                        # Test doubles may not carry an id; label them
-                        # rather than crash the dispatch path.
-                        cache=getattr(leader, "cache_id", "unknown")
-                    ).inc()
-                receipts.append((receipt, model))
-                # One redirect per *source batch* that served some other
-                # cache's query through this leader.
-                self.stats.leader_redirects += sum(
-                    1
-                    for source_receipt in receipt.per_source
-                    if any(
-                        leader is not pending.cache
-                        and pending.tids & source_receipt.tids
-                        for pending in pendings
+                unreached.update(batch_unreached)
+                for dispatcher, receipt, used_model in batch_receipts:
+                    refreshed |= set(receipt.tids)
+                    self.stats.source_requests += receipt.requests_sent
+                    self.stats.total_cost_paid += receipt.total_cost
+                    for source_receipt in receipt.per_source:
+                        self._h_batch_size.labels(
+                            source=source_receipt.source_id
+                        ).observe(len(source_receipt.tids))
+                        self._c_source_cost.labels(
+                            source=source_receipt.source_id
+                        ).inc(source_receipt.cost)
+                        self._c_leader_selected.labels(
+                            # Test doubles may not carry an id; label them
+                            # rather than crash the dispatch path.
+                            cache=getattr(dispatcher, "cache_id", "unknown")
+                        ).inc()
+                        if source_receipt.latency > 0:
+                            self._h_source_latency.labels(
+                                source=source_receipt.source_id
+                            ).observe(source_receipt.latency)
+                    receipts.append((receipt, used_model))
+                    # One redirect per *source batch* that served some
+                    # other cache's query through this leader.
+                    self.stats.leader_redirects += sum(
+                        1
+                        for source_receipt in receipt.per_source
+                        if any(
+                            dispatcher is not pending.cache
+                            and pending.tids & source_receipt.tids
+                            for pending in pendings
+                        )
                     )
-                )
             self.stats.tuples_refreshed += len(refreshed)
 
             shares = self._attribute(receipts, pendings, requesters)
@@ -533,13 +589,17 @@ class RefreshScheduler:
                     for source_receipt in receipt.per_source
                 }
             )
+            failed_sources = sorted(set(unreached.values()))
             for pending, share in zip(pendings, shares):
+                mine_unreached = pending.tids & unreached.keys()
                 if pending.trace is not None:
-                    pending.trace.step(
-                        "dispatch",
-                        sources=dispatched_sources,
-                        refreshed_tuples=len(refreshed),
-                    )
+                    dispatch_fields = {
+                        "sources": dispatched_sources,
+                        "refreshed_tuples": len(refreshed),
+                    }
+                    if failed_sources:
+                        dispatch_fields["failed_sources"] = failed_sources
+                    pending.trace.step("dispatch", **dispatch_fields)
                     pending.trace.step(
                         "refresh",
                         tuples=len(pending.tids),
@@ -549,9 +609,27 @@ class RefreshScheduler:
                 # the batch executed; settling it would raise and poison
                 # the rest of the group.
                 if not pending.future.done():
-                    pending.future.set_result(
-                        RefreshPlan(frozenset(pending.tids), share)
-                    )
+                    if mine_unreached:
+                        self._c_fault["degraded_plan"].inc()
+                        pending.future.set_result(
+                            RefreshPlan(
+                                frozenset(pending.tids - mine_unreached),
+                                share,
+                                unreached=frozenset(mine_unreached),
+                                failed_sources=tuple(
+                                    sorted(
+                                        {
+                                            unreached[tid]
+                                            for tid in mine_unreached
+                                        }
+                                    )
+                                ),
+                            )
+                        )
+                    else:
+                        pending.future.set_result(
+                            RefreshPlan(frozenset(pending.tids), share)
+                        )
 
             if self.on_refresh is not None and refreshed:
                 # Invalidation scope follows *fan-out*, not the scheduling
@@ -574,6 +652,185 @@ class RefreshScheduler:
             for pending in pendings:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # Failure handling: breaker gating, retries with backoff, failover
+    # ------------------------------------------------------------------
+    async def _dispatch_batch(
+        self,
+        group,
+        table_name: str,
+        pendings: list[_Pending],
+        leader: DataCache,
+        model: BatchedCostModel | None,
+        tids: set[int],
+    ) -> "tuple[list[tuple[DataCache, object, BatchedCostModel | None]], dict[int, str]]":
+        """Dispatch one leader's merged tuples, surviving faults.
+
+        The happy path is one ``refresh_batched`` call — bit-identical to
+        the pre-fault scheduler.  Under faults it layers three recoveries:
+
+        1. **Breaker gating** — tuples whose source's circuit is open are
+           dropped up front (marked unreached) instead of waiting on a
+           source that has been failing; an elapsed cooldown admits one
+           probe batch (half-open).
+        2. **Retry with backoff** — sources that return failure receipts
+           are re-contacted up to ``retry_policy.max_attempts`` total
+           attempts, sleeping the policy's deterministic capped
+           exponential backoff between rounds.
+        3. **Failover** — a crashed leader (:class:`CacheUnavailableError`)
+           hands the whole remaining batch to the next-cheapest subscribed
+           replica via ``leader_for_source(exclude=...)``; fan-out keeps
+           every sibling tightened no matter who dispatched.
+
+        Returns the ``(dispatcher, receipt, model)`` triples of every
+        successful contact round plus a ``tid → source_id`` map of the
+        tuples that stayed unreached — the queries they belong to finish
+        in degraded mode.
+        """
+        policy = self.retry_policy
+        anchor = pendings[0]
+        unreached: dict[int, str] = {}
+        receipts: list[tuple[DataCache, object, BatchedCostModel | None]] = []
+        excluded: set[str] = set()
+        source_memo: dict[int, str] = {}
+
+        def source_of(tid: int) -> str:
+            source_id = source_memo.get(tid)
+            if source_id is None:
+                source_id = anchor.cache.source_of_tuple(
+                    anchor.request.table, tid
+                )
+                source_memo[tid] = source_id
+            return source_id
+
+        def gate(remaining: set[int]) -> set[int]:
+            """Drop tuples whose source's breaker refuses contact."""
+            if not self._breakers:
+                return remaining
+            by_source: dict[str, set[int]] = {}
+            for tid in remaining:
+                by_source.setdefault(source_of(tid), set()).add(tid)
+            allowed: set[int] = set()
+            for source_id in sorted(by_source):
+                breaker = self._breakers.get(source_id)
+                if breaker is None or breaker.allow():
+                    allowed |= by_source[source_id]
+                else:
+                    self._c_fault["breaker_skip"].inc()
+                    for tid in by_source[source_id]:
+                        unreached[tid] = source_id
+            return allowed
+
+        remaining = gate(set(tids))
+        attempt = 0
+        while remaining:
+            leader_table = (
+                anchor.request.table
+                if leader is anchor.cache
+                else leader.table(table_name)
+            )
+            try:
+                receipt = leader.refresh_batched(
+                    leader_table,
+                    remaining,
+                    batch_cost=model.batch_cost if model is not None else None,
+                )
+            except CacheUnavailableError:
+                # The dispatching replica itself is down — fail the whole
+                # remaining batch over to the next-cheapest sibling.
+                excluded.add(getattr(leader, "cache_id", "unknown"))
+                next_leader, next_model = (None, None)
+                if group is not None:
+                    next_leader, next_model = group.leader_for_source(
+                        table_name,
+                        source_of(min(remaining)),
+                        len(remaining),
+                        self.cost_model,
+                        exclude=excluded,
+                    )
+                if next_leader is None:
+                    self._c_fault["failover_exhausted"].inc()
+                    for tid in remaining:
+                        unreached[tid] = source_of(tid)
+                    break
+                self._c_fault["failover_dispatch"].inc()
+                leader, model = next_leader, next_model
+                continue
+            attempt += 1
+            for source_receipt in receipt.per_source:
+                self._record_breaker_success(source_receipt.source_id)
+                remaining -= source_receipt.tids
+            if receipt.per_source:
+                receipts.append((leader, receipt, model))
+            if not receipt.failures:
+                break
+            for failure in receipt.failures:
+                self._c_fault["source_failure"].inc()
+                self._record_breaker_failure(failure.source_id)
+            if policy.exhausted(attempt):
+                for failure in receipt.failures:
+                    for tid in failure.tids & remaining:
+                        unreached[tid] = failure.source_id
+                break
+            remaining = gate(remaining)
+            if not remaining:
+                break
+            self._c_fault["retry"].inc()
+            delay = policy.delay_for(attempt, key=table_name)
+            if delay > 0:
+                await asyncio.sleep(delay)
+        return receipts, unreached
+
+    def _breaker_for(self, source_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(source_id)
+        if breaker is None:
+            clock = (
+                self.fault_injector.now
+                if self.fault_injector is not None
+                else None
+            )
+            gauge = self._g_breaker.labels(source=source_id)
+            gauge.set(0)
+
+            def on_transition(
+                old: str, new: str, _gauge=gauge
+            ) -> None:
+                self._c_fault[f"breaker_{new}"].inc()
+                _gauge.set(CircuitBreaker.STATE_CODES[new])
+
+            breaker = CircuitBreaker(
+                clock=clock,
+                failure_threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+                on_transition=on_transition,
+            )
+            self._breakers[source_id] = breaker
+        return breaker
+
+    def _record_breaker_success(self, source_id: str) -> None:
+        # Never *allocates* a breaker: a clean deployment keeps
+        # ``_breakers`` empty so the dispatch gate stays one falsy check.
+        breaker = self._breakers.get(source_id)
+        if breaker is not None:
+            breaker.record_success()
+
+    def _record_breaker_failure(self, source_id: str) -> None:
+        self._breaker_for(source_id).record_failure()
+
+    def breaker_states(self) -> dict[str, str]:
+        """Current circuit state per source that has ever failed."""
+        return {
+            source_id: breaker.state
+            for source_id, breaker in sorted(self._breakers.items())
+        }
+
+    def fault_counts(self) -> dict[str, int]:
+        """The failure-handling event counters, as plain integers."""
+        return {
+            event: int(child.value)
+            for event, child in self._c_fault.items()
+        }
 
     def _rebatch_cluster(
         self,

@@ -67,6 +67,7 @@ from repro.errors import (
     StaleRefreshError,
 )
 from repro.extensions.batching import BatchedCostModel
+from repro.faults import FaultInjector, RetryPolicy
 from repro.replication.cache import DataCache
 from repro.replication.costs import CostModel
 from repro.replication.system import TrappSystem
@@ -153,6 +154,10 @@ class QueryService:
         max_sync_deferrals: int | None = None,
         telemetry: Telemetry | None = None,
         telemetry_enabled: bool = True,
+        retry_policy: "RetryPolicy | None" = None,
+        fault_injector: "FaultInjector | None" = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
     ) -> None:
         self.system = system
         self.max_inflight_per_client = max_inflight_per_client
@@ -176,6 +181,13 @@ class QueryService:
             )
         self.telemetry = telemetry
         telemetry.observe_system(system)
+        #: Fault plane (PR 8): an attached injector drives the chaos
+        #: schedule; the retry policy and per-source breakers live in the
+        #: scheduler and are active regardless (with no faults they are
+        #: pure pass-through).
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.attach(system)
         self.scheduler = RefreshScheduler(
             cost_model=cost_model,
             tick_interval=tick_interval,
@@ -187,6 +199,10 @@ class QueryService:
             cross_cache=cross_cache,
             on_refresh=self._on_refresh_dispatched,
             registry=telemetry.registry,
+            retry_policy=retry_policy,
+            fault_injector=fault_injector,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
         )
         self.results = ResultCache(
             ttl=result_ttl,
@@ -237,6 +253,15 @@ class QueryService:
             "trapp_admission_wait_seconds",
             "Wall-clock wait for the global in-flight semaphore",
         )
+        self._c_degraded = registry.counter(
+            "trapp_degraded_answers_total",
+            "Queries finished in degraded mode: bounds wider than requested "
+            "because sources stayed unreachable",
+        )
+        #: Plain-int mirror of the degraded counter: gates the degraded
+        #: result-tier probe so a fault-free deployment never pays (or
+        #: telemeters) the extra lookup.
+        self._degraded_count = 0
 
     # Thin views over the registry counters (the historical stats API).
     @property
@@ -266,6 +291,10 @@ class QueryService:
     @property
     def stale_aborts(self) -> int:
         return int(self._c_stale_abort.value)
+
+    @property
+    def degraded_answers(self) -> int:
+        return self._degraded_count
 
     # ------------------------------------------------------------------
     def session(
@@ -420,6 +449,34 @@ class QueryService:
                     cache_id=cache.cache_id,
                 )
 
+            # Degraded tier (satellite 2): answers served under failure
+            # live in a *cache-scoped* tier flagged in the key extra —
+            # never the shared tier, where a sibling with working sources
+            # would wrongly serve them.  Probed only once a degraded
+            # answer exists, so fault-free runs never pay the lookup.
+            if self._degraded_count:
+                stale = self.results.get(
+                    self._degraded_key(cache, plan, epsilon),
+                    plan.constraint.width,
+                    allow_degraded=True,
+                )
+                if stale is not None:
+                    self._c_served.inc()
+                    trace.step(
+                        "degraded",
+                        sources=list(stale.unreachable_sources),
+                        width=stale.width,
+                    )
+                    trace.finish(
+                        cached=True, source="degraded_cache", width=stale.width
+                    )
+                    return ServiceResult(
+                        answer=stale,
+                        cached=True,
+                        client_id=client_id,
+                        cache_id=cache.cache_id,
+                    )
+
             # Single-flight: an identical query is already executing —
             # await its answer instead of planning the same refresh again.
             # (The shield keeps one cancelled follower from cancelling the
@@ -469,7 +526,10 @@ class QueryService:
             self._inflight_results.pop(primary_key, None)
         if not future.done():
             future.set_result(answer)
-        self.results.put(primary_key, answer)
+        if answer.degraded:
+            self.results.put(self._degraded_key(cache, plan, epsilon), answer)
+        else:
+            self.results.put(primary_key, answer)
         self._c_served.inc()
         trace.finish(cached=False, width=answer.width)
         return ServiceResult(
@@ -477,6 +537,25 @@ class QueryService:
             cached=False,
             client_id=client_id,
             cache_id=cache.cache_id,
+        )
+
+    @staticmethod
+    def _degraded_key(cache: DataCache, plan: AnyQueryPlan, epsilon):
+        """The cache-scoped result key for a degraded answer.
+
+        The ``"degraded"`` marker in the key extra keeps these entries
+        disjoint from healthy ones even under the same cache scope, and
+        the scope is always the serving *cache*, never the group.
+        """
+        return ResultCache.make_key(
+            cache.cache_id,
+            plan.table_names,
+            plan.aggregate,
+            plan.column_key,
+            plan.predicate,
+            plan.constraint.width,
+            epsilon,
+            extra=(plan.cache_extra, "degraded"),
         )
 
     # ------------------------------------------------------------------
@@ -543,16 +622,31 @@ class QueryService:
         past its constraint; the query re-plans from current bounds once
         (its refresh spend was not wasted — the refreshed tuples stay
         collapsed), then the error surfaces to the client as retryable.
+
+        A *degraded* answer — from either attempt — is terminal: its
+        sources are unreachable, so retrying cannot tighten it.  In
+        particular a stale retry that runs into an open circuit degrades
+        here instead of looping through the staleness protocol again.
         """
         try:
-            return await self._execute(
+            answer = await self._execute(
                 cache, plan, client_id, cost, epsilon, trace
             )
         except StaleRefreshError:
             self._c_stale_retry.inc()
-            return await self._execute(
+            answer = await self._execute(
                 cache, plan, client_id, cost, epsilon, trace
             )
+        if answer.degraded:
+            self._degraded_count += 1
+            self._c_degraded.inc()
+            if trace is not None:
+                trace.step(
+                    "degraded",
+                    sources=list(answer.unreachable_sources),
+                    width=answer.width,
+                )
+        return answer
 
     async def _execute(
         self,
@@ -674,6 +768,11 @@ class QueryService:
         suspended plan; its step-3 answer already reflects the widened
         bounds, so meeting the constraint proves the plan survived.
         """
+        if answer.degraded:
+            # Degraded answers are already past their constraint for
+            # fault reasons; aborting them as stale would loop a retry
+            # into the same dead sources.  They pass through as-is.
+            return answer
         max_width = plan.constraint.width
         if answer.meets(max_width):
             self._c_revalidation.inc()
@@ -697,6 +796,11 @@ class QueryService:
             "revalidations": self.revalidations,
             "stale_retries": self.stale_retries,
             "stale_aborts": self.stale_aborts,
+            "degraded_answers": self.degraded_answers,
             "result_cache": self.results.stats(),
             "scheduler": self.scheduler.stats.as_dict(),
+            "faults": {
+                **self.scheduler.fault_counts(),
+                "breakers": self.scheduler.breaker_states(),
+            },
         }

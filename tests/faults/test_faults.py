@@ -1,0 +1,234 @@
+"""Unit tests for the fault-injection primitives (repro.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheUnavailableError, SourceUnavailableError
+from repro.faults import (
+    CacheCrash,
+    CircuitBreaker,
+    FanoutDrop,
+    FaultInjector,
+    LatencySpike,
+    OutageWindow,
+    RetryPolicy,
+)
+from repro.simulation.clock import Clock
+from repro.workloads.chaos import ChaosScenario, chaos_schedule
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_retry_delays_are_deterministic_and_capped():
+    policy = RetryPolicy(base_delay=0.01, max_delay=0.25, multiplier=2.0)
+    delays = [policy.delay_for(r, key="links") for r in range(1, 12)]
+    assert delays == [policy.delay_for(r, key="links") for r in range(1, 12)]
+    # Capped: jitter is at most ±25% around max_delay.
+    assert all(d <= 0.25 * 1.25 + 1e-12 for d in delays)
+    assert all(d >= 0.0 for d in delays)
+    # The uncapped prefix grows roughly exponentially despite jitter: each
+    # doubling dwarfs the ±25% band.
+    no_jitter = RetryPolicy(jitter=0.0)
+    raw = [no_jitter.delay_for(r) for r in range(1, 6)]
+    assert raw == [0.01, 0.02, 0.04, 0.08, 0.16]
+    assert no_jitter.delay_for(6) == 0.25  # capped
+    assert no_jitter.delay_for(0) == 0.0
+
+
+def test_retry_jitter_depends_on_key_and_attempt():
+    policy = RetryPolicy(jitter=0.25)
+    assert policy.delay_for(1, key="a") != policy.delay_for(1, key="b")
+    assert policy.delay_for(1, key="a") != policy.delay_for(2, key="a") / 2.0
+
+
+def test_retry_exhaustion():
+    policy = RetryPolicy(max_attempts=3)
+    assert not policy.exhausted(1)
+    assert not policy.exhausted(2)
+    assert policy.exhausted(3)
+    assert RetryPolicy(max_attempts=1).exhausted(1)
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+def test_breaker_opens_after_threshold_and_recovers():
+    clock = Clock()
+    transitions: list[tuple[str, str]] = []
+    breaker = CircuitBreaker(
+        clock=clock.now,
+        failure_threshold=2,
+        cooldown=5.0,
+        on_transition=lambda old, new: transitions.append((old, new)),
+    )
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED  # one below threshold
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()  # still cooling down
+    clock.advance(4.9)
+    assert not breaker.allow()
+    clock.advance(0.2)
+    # Past the cooldown: the first caller is admitted as the probe ...
+    assert breaker.allow()
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    # ... and concurrent callers are refused while it is outstanding.
+    assert not breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+    assert transitions == [
+        ("closed", "open"),
+        ("open", "half_open"),
+        ("half_open", "closed"),
+    ]
+
+
+def test_breaker_failed_probe_reopens_for_full_cooldown():
+    clock = Clock()
+    breaker = CircuitBreaker(clock=clock.now, failure_threshold=1, cooldown=2.0)
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    clock.advance(2.0)
+    assert breaker.allow()  # half-open probe
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    # The re-open restarts the cooldown from *now*.
+    assert not breaker.allow()
+    clock.advance(1.9)
+    assert not breaker.allow()
+    clock.advance(0.1)
+    assert breaker.allow()
+
+
+def test_breaker_success_resets_consecutive_count():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED  # never 2 consecutive
+
+
+def test_breaker_state_codes_and_validation():
+    breaker = CircuitBreaker()
+    assert breaker.state_code == 0
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+
+
+# ----------------------------------------------------------------------
+# FaultInjector
+# ----------------------------------------------------------------------
+def test_outage_windows_are_half_open_intervals():
+    clock = Clock()
+    injector = FaultInjector(clock).add_outage(OutageWindow("net", 10.0, 20.0))
+    assert injector.source_available("net")
+    clock.advance(10.0)  # t=10: start is inclusive
+    assert not injector.source_available("net")
+    with pytest.raises(SourceUnavailableError) as exc_info:
+        injector.check_source("net")
+    assert exc_info.value.sources == ("net",)
+    clock.advance(9.999)
+    assert not injector.source_available("net")
+    clock.advance(0.001)  # t=20: end is exclusive
+    assert injector.source_available("net")
+    injector.check_source("net")  # no raise
+    assert injector.events["source_outage"] == 1
+
+
+def test_fail_next_is_consumed_per_contact():
+    injector = FaultInjector(Clock()).fail_next("net", count=2)
+    assert not injector.source_available("net")
+    with pytest.raises(SourceUnavailableError):
+        injector.check_source("net")
+    with pytest.raises(SourceUnavailableError):
+        injector.check_source("net")
+    injector.check_source("net")  # budget spent: back to healthy
+    assert injector.events["forced_failure"] == 2
+
+
+def test_latency_spikes_sum_over_covering_windows():
+    clock = Clock()
+    injector = (
+        FaultInjector(clock)
+        .add_latency_spike(LatencySpike("net", 0.0, 10.0, 0.2))
+        .add_latency_spike(LatencySpike("net", 5.0, 15.0, 0.3))
+    )
+    assert injector.latency_of("net") == pytest.approx(0.2)
+    clock.advance(6.0)
+    assert injector.latency_of("net") == pytest.approx(0.5)
+    clock.advance(20.0)
+    assert injector.latency_of("net") == 0.0
+    assert injector.latency_of("other") == 0.0
+
+
+def test_fanout_drop_is_pair_scoped():
+    clock = Clock()
+    injector = FaultInjector(clock).add_fanout_drop(
+        FanoutDrop("net", "edge/1", 0.0, 10.0)
+    )
+    assert injector.drops_fanout("net", "edge/1")
+    assert not injector.drops_fanout("net", "edge/0")
+    clock.advance(10.0)
+    assert not injector.drops_fanout("net", "edge/1")
+
+
+def test_cache_crash_check():
+    clock = Clock()
+    injector = FaultInjector(clock).add_crash(CacheCrash("monitor", 5.0, 10.0))
+    injector.check_cache("monitor")
+    clock.advance(5.0)
+    assert not injector.cache_available("monitor")
+    with pytest.raises(CacheUnavailableError) as exc_info:
+        injector.check_cache("monitor")
+    assert exc_info.value.cache_id == "monitor"
+
+
+def test_extend_rejects_non_fault_objects():
+    with pytest.raises(TypeError):
+        FaultInjector(Clock()).extend(["not a fault"])
+
+
+def test_attach_points_components_at_the_injector():
+    from tests.service.conftest import build_netmon_system
+
+    system = build_netmon_system(n_links=12)
+    injector = FaultInjector(system.clock).attach(system)
+    assert system.cache("monitor").fault_injector is injector
+    assert system.source("net").fault_injector is injector
+
+
+# ----------------------------------------------------------------------
+# Chaos scenario generation
+# ----------------------------------------------------------------------
+def test_chaos_schedule_is_deterministic_and_rate_shaped():
+    scenario = ChaosScenario(
+        seed=7, duration=400.0, window=20.0, outage_rate=0.25, latency_rate=0.0
+    )
+    sources = [f"net/{i}" for i in range(4)]
+    first = chaos_schedule(sources, ["monitor"], scenario)
+    second = chaos_schedule(list(reversed(sources)), ["monitor"], scenario)
+    assert first == second  # order-insensitive, seed-driven
+    outages = [f for f in first if isinstance(f, OutageWindow)]
+    assert outages, "a 25% rate over 80 draws must produce outages"
+    # 4 sources x 20 windows = 80 draws at p=0.25: expect ~20, allow slack.
+    assert 8 <= len(outages) <= 36
+    for window in outages:
+        assert window.end - window.start == pytest.approx(20.0)
+
+
+def test_chaos_injector_targets_shards_not_wrappers():
+    from repro.workloads.chaos import chaos_injector
+    from repro.workloads.service import sharded_service_system
+
+    system, _ = sharded_service_system(n_shards=3, n_links=30)
+    scenario = ChaosScenario(seed=3, duration=100.0, outage_rate=1.0)
+    injector = chaos_injector(system, scenario)
+    assert system.cache("monitor").fault_injector is injector
+    # Every schedule entry names a concrete shard, never the wrapper id.
+    assert injector._outages
+    assert all(sid.startswith("net/") for sid in injector._outages)

@@ -271,6 +271,10 @@ def test_stats_shape():
         "revalidations",
         "stale_retries",
         "stale_aborts",
+        "degraded_answers",
+        "faults",
         "result_cache",
         "scheduler",
     }
+    assert stats["degraded_answers"] == 0
+    assert stats["faults"]["breakers"] == {}

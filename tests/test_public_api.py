@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.replication",
     "repro.sql",
     "repro.simulation",
+    "repro.faults",
     "repro.workloads",
     "repro.joins",
     "repro.extensions",
