@@ -1,0 +1,323 @@
+"""Elastic cache group under a traffic ramp: autoscaled membership (ISSUE 9).
+
+The membership protocol (drain/detach, snapshot admit) plus
+:class:`~repro.workloads.elastic.GroupAutoscaler` make a cache group's
+size a function of load.  This benchmark drives one regional group
+through a **client-count ramp** (quiet → spike → quiet) of closed-loop
+sharded SUM traffic, stepping the autoscaler between rounds, and
+measures what elasticity costs and whether clients ever notice:
+
+* **cost per answer** — scheduler refresh receipts *plus* snapshot
+  transfer receipts from every admission, divided by answered queries.
+  Elasticity is only worth having if the all-in bill stays near the
+  static-group bill, so transfers are charged to the same meter;
+* **re-stick cleanliness** — after every membership change a probe round
+  replays one query per client.  Sticky routing re-hashes clients of a
+  departed replica over the survivors, so the probes must succeed on the
+  first attempt: ``re_stick_failures`` is asserted zero, which makes
+  re-stick latency exactly one routing decision, not a retry loop;
+* **trajectory** — the autoscaler's admit/detach events, asserted to
+  actually track the ramp (grow on the spike, shrink back after).
+
+Results merge into ``BENCH_elastic_group.json``: full-size runs write
+the ``full`` section, ``--smoke`` runs (CI) write the ``smoke`` section
+and additionally fail if smoke cost per answer regressed more than 1.5×
+over the committed baseline (cost is cost-model arithmetic, not wall
+time; closed-loop interleaving adds mild scheduling dependence, which
+the margin absorbs).  ``--record-baseline`` refreshes the committed
+baseline; ``scripts/check_bench_tripwires.py`` pins the committed
+numbers against golden values.
+
+Environment knobs: ``BENCH_ELASTIC_LINKS`` (360), ``BENCH_ELASTIC_SHARDS``
+(2), ``BENCH_ELASTIC_QUERIES`` (2), ``BENCH_ELASTIC_RAMP``
+("4,12,16,12,4,2,2,2"), ``BENCH_ELASTIC_SMOKE`` (0).  ``python
+benchmarks/bench_elastic_group.py --smoke`` sets the CI smoke profile.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.tables import banner, print_table
+from repro.service import QueryService
+from repro.workloads import GroupAutoscaler
+from repro.workloads.service import (
+    regional_cache_system,
+    run_closed_loop,
+    sharded_sum_scripts,
+)
+
+SMOKE = os.environ.get("BENCH_ELASTIC_SMOKE", "0") == "1"
+N_LINKS = int(os.environ.get("BENCH_ELASTIC_LINKS", "160" if SMOKE else "360"))
+N_SHARDS = int(os.environ.get("BENCH_ELASTIC_SHARDS", "2"))
+QUERIES = int(os.environ.get("BENCH_ELASTIC_QUERIES", "2"))
+#: Clients per ramp phase — quiet, spike, quiet.  One autoscaler step per
+#: phase round, so the spike must outlast one step to trigger growth.
+RAMP = tuple(
+    int(c)
+    for c in os.environ.get(
+        "BENCH_ELASTIC_RAMP",
+        # The quiet tail must outlast the spike's admissions: detach sheds
+        # one replica per control step.
+        "3,8,12,4,2" if SMOKE else "4,12,16,12,4,2,2,2",
+    ).split(",")
+)
+#: Per-replica served-queries watermarks (per control window = one round).
+HIGH_WATERMARK = 8.0
+LOW_WATERMARK = 3.0
+MIN_REPLICAS = 1
+MAX_REPLICAS = 5
+START_REPLICAS = 2
+#: CI guard: smoke all-in cost-per-answer vs the committed baseline.
+SMOKE_REGRESSION_LIMIT = 1.5
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_elastic_group.json"
+SEED = 20000521
+GROUP_ID = "edge"
+
+
+async def _run_ramp() -> dict:
+    """One closed-loop ramp with the autoscaler in the control loop."""
+    system, model = regional_cache_system(
+        START_REPLICAS,
+        n_shards=N_SHARDS,
+        n_links=N_LINKS,
+        seed=SEED,
+        group_id=GROUP_ID,
+        fanout=True,
+    )
+    service = QueryService(
+        system,
+        max_inflight=64,
+        cost_model=model,
+        adaptive_tick=True,
+        cross_cache=True,
+    )
+    group = system.group(GROUP_ID)
+    table = group.cache(f"{GROUP_ID}/0").table("links")
+    scaler = GroupAutoscaler(
+        service,
+        GROUP_ID,
+        min_replicas=MIN_REPLICAS,
+        max_replicas=MAX_REPLICAS,
+        high_watermark=HIGH_WATERMARK,
+        low_watermark=LOW_WATERMARK,
+    )
+
+    async def issue(client_id: str, sql: str):
+        return await service.query(GROUP_ID, sql, client_id=client_id)
+
+    answers = 0
+    re_stick_probes = 0
+    re_stick_failures = 0
+    members_by_phase: list[int] = []
+    event_by_phase: list[str] = []
+    for phase, n_clients in enumerate(RAMP):
+        system.clock.advance(5.0)
+        for cache in group:
+            cache.sync_bounds()
+        scripts = sharded_sum_scripts(table, n_clients, QUERIES, seed=SEED + phase)
+        result = await run_closed_loop(issue, scripts)
+        assert result.errors == 0, (
+            f"phase {phase} ({n_clients} clients): {result.errors} query errors"
+        )
+        answers += result.completed
+        event = await scaler.step()
+        event_by_phase.append(
+            f"{event.action} {event.cache_id} (p={event.pressure:.1f})"
+            if event is not None
+            else ""
+        )
+        if event is not None:
+            # Membership changed: replay one query per client.  Sticky
+            # routing must land every client — including clients of a
+            # just-departed replica — on a live survivor first try.
+            probes = sharded_sum_scripts(table, n_clients, 1, seed=SEED + phase)
+            probe_result = await run_closed_loop(issue, probes)
+            re_stick_probes += probe_result.completed + probe_result.errors
+            re_stick_failures += probe_result.errors
+            answers += probe_result.completed
+        members_by_phase.append(len(group.cache_ids()))
+
+    scheduler = service.stats()["scheduler"]
+    transfer_cost = sum(e.transfer_cost for e in scaler.events)
+    all_in_cost = scheduler["total_cost_paid"] + transfer_cost
+    return {
+        "links": N_LINKS,
+        "shards": N_SHARDS,
+        "queries_per_client": QUERIES,
+        "ramp": list(RAMP),
+        "answers": answers,
+        "refresh_cost_paid": scheduler["total_cost_paid"],
+        "snapshot_transfer_cost": transfer_cost,
+        "cost_per_answer": all_in_cost / answers,
+        "admits": sum(1 for e in scaler.events if e.action == "admit"),
+        "detaches": sum(1 for e in scaler.events if e.action == "detach"),
+        "members_by_phase": members_by_phase,
+        "event_by_phase": event_by_phase,
+        "peak_members": max(members_by_phase),
+        "final_members": members_by_phase[-1],
+        "re_stick_probes": re_stick_probes,
+        "re_stick_failures": re_stick_failures,
+        "events": [
+            {
+                "at": e.at,
+                "action": e.action,
+                "cache": e.cache_id,
+                "pressure": e.pressure,
+                "members": e.members,
+                "transfer_cost": e.transfer_cost,
+            }
+            for e in scaler.events
+        ],
+    }
+
+
+@pytest.fixture(scope="module")
+def ramp_run():
+    return asyncio.run(_run_ramp())
+
+
+def test_autoscaler_tracks_the_ramp(ramp_run):
+    """Growth on the spike, shrink after it, zero client-visible errors."""
+    banner(
+        f"Elastic group — {N_LINKS} links x {N_SHARDS} shards, "
+        f"ramp {','.join(str(c) for c in RAMP)} clients × {QUERIES} queries"
+    )
+    print_table(
+        ["phase", "clients", "members", "event"],
+        [
+            (i, clients, members, event)
+            for i, (clients, members, event) in enumerate(
+                zip(
+                    RAMP,
+                    ramp_run["members_by_phase"],
+                    ramp_run["event_by_phase"],
+                )
+            )
+        ],
+    )
+    print(
+        f"cost/answer (all-in): {ramp_run['cost_per_answer']:.3f}  "
+        f"(refresh {ramp_run['refresh_cost_paid']:.1f} + "
+        f"transfer {ramp_run['snapshot_transfer_cost']:.1f} over "
+        f"{ramp_run['answers']} answers)"
+    )
+
+    _merge_results(ramp_run)
+    _check_smoke_regression(ramp_run["cost_per_answer"])
+
+    assert ramp_run["admits"] >= 1, "spike never triggered an admission"
+    assert ramp_run["detaches"] >= 1, "ramp-down never triggered a detach"
+    assert ramp_run["peak_members"] > START_REPLICAS, (
+        "group never grew beyond its starting size"
+    )
+    assert ramp_run["final_members"] <= START_REPLICAS, (
+        f"group ended at {ramp_run['final_members']} members — "
+        "elasticity did not shed the spike capacity"
+    )
+
+
+def test_re_stick_is_first_try(ramp_run):
+    """Every post-change probe lands on a live replica on attempt one."""
+    assert ramp_run["re_stick_probes"] > 0, (
+        "no membership change was ever probed"
+    )
+    assert ramp_run["re_stick_failures"] == 0, (
+        f"{ramp_run['re_stick_failures']} of {ramp_run['re_stick_probes']} "
+        "post-change probe queries failed — re-stick is not transparent"
+    )
+
+
+def test_admissions_paid_snapshot_transfer(ramp_run):
+    """Every admit carries a positive receipt-verified transfer cost."""
+    admits = [e for e in ramp_run["events"] if e["action"] == "admit"]
+    assert admits, "no admissions to audit"
+    for event in admits:
+        assert event["transfer_cost"] > 0, (
+            f"admission of {event['cache']} reported no transfer cost — "
+            "the joiner cannot have been snapshot-initialized"
+        )
+
+
+# ----------------------------------------------------------------------
+def _load_results() -> dict:
+    if RESULTS_PATH.exists():
+        try:
+            return json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            pass
+    return {"benchmark": "elastic_group"}
+
+
+def _merge_results(section: dict) -> None:
+    """Update this run's profile section, preserving the other's numbers."""
+    results = _load_results()
+    results["smoke" if SMOKE else "full"] = section
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def _check_smoke_regression(cost_per_answer: float) -> None:
+    """CI tripwire: smoke all-in cost-per-answer vs the committed baseline."""
+    if not SMOKE:
+        return
+    baseline = _load_results().get("smoke_baseline")
+    if not baseline or baseline.get("links") != N_LINKS:
+        return
+    limit = baseline["cost_per_answer"] * SMOKE_REGRESSION_LIMIT
+    assert cost_per_answer <= limit, (
+        f"smoke cost per answer {cost_per_answer:.3f} regressed more than "
+        f"{SMOKE_REGRESSION_LIMIT:g}x over the committed baseline "
+        f"{baseline['cost_per_answer']:.3f}"
+    )
+
+
+def _record_smoke_baseline() -> None:
+    """Refresh the committed smoke baseline from the current smoke numbers."""
+    results = _load_results()
+    smoke = results.get("smoke")
+    if smoke:
+        results["smoke_baseline"] = {
+            "links": smoke["links"],
+            "cost_per_answer": smoke["cost_per_answer"],
+            "admits": smoke["admits"],
+            "detaches": smoke["detaches"],
+            "re_stick_failures": smoke["re_stick_failures"],
+        }
+        RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI profile: reduced sizes, baseline tripwire",
+    )
+    parser.add_argument(
+        "--record-baseline", action="store_true",
+        help="with --smoke: update the committed smoke baseline afterwards",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        os.environ["BENCH_ELASTIC_SMOKE"] = "1"
+        # Re-exec so the module-level knobs pick the smoke profile up.
+        if not SMOKE:
+            import subprocess
+
+            code = subprocess.call(
+                [sys.executable, __file__]
+                + (["--record-baseline"] if args.record_baseline else []),
+                env={**os.environ},
+            )
+            raise SystemExit(code)
+    code = pytest.main([__file__, "-q", "-s"])
+    if code == 0 and SMOKE and args.record_baseline:
+        _record_smoke_baseline()
+    raise SystemExit(code)

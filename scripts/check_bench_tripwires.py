@@ -17,6 +17,8 @@ the benches:
 5. columnar_executor — end-to-end columnar speedup (timing: loose)
 6. fault_tolerance  — smoke availability under the seeded chaos sweep
    (may not fall below the committed baseline)
+7. elastic_group    — smoke all-in cost/answer under the autoscaled
+   traffic ramp, plus zero re-stick failures after membership changes
 
 A further, *measured* tripwire guards the observability layer itself
 (PR 7): a short mixed workload runs twice, telemetry enabled and
@@ -152,6 +154,19 @@ def check_bench_goldens(golden: GoldenValues) -> None:
         "fault_tolerance.availability",
         _bench("fault_tolerance")["smoke_baseline"]["availability"],
         tolerance=0.01,
+    )
+    # All-in elasticity bill (refresh receipts + snapshot transfers per
+    # answer) on the seeded ramp; re-stick failures are an exact zero —
+    # any nonzero count means a membership change was client-visible.
+    golden.check(
+        "elastic_group.cost_per_answer",
+        _bench("elastic_group")["smoke_baseline"]["cost_per_answer"],
+        tolerance=0.5,
+    )
+    golden.check(
+        "elastic_group.re_stick_failures",
+        _bench("elastic_group")["smoke_baseline"]["re_stick_failures"],
+        tolerance=0.0,
     )
 
 

@@ -250,4 +250,8 @@ class FaultInjector:
             cache.fault_injector = self
         for source in system._sources.values():
             source.fault_injector = self
+        # Remember the attachment on the system so components created
+        # later — an elastically admitted replica, a new shard — join
+        # the same fault plane instead of bypassing the chaos schedule.
+        system.fault_injector = self
         return self

@@ -14,6 +14,7 @@ from repro.replication.costs import (
 )
 from repro.replication.messages import (
     CardinalityChange,
+    MasterMigration,
     ObjectKey,
     Refresh,
     RefreshPayload,
@@ -59,4 +60,5 @@ __all__ = [
     "RefreshReason",
     "RefreshRequest",
     "CardinalityChange",
+    "MasterMigration",
 ]

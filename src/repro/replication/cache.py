@@ -20,6 +20,8 @@ replication protocol.
 
 from __future__ import annotations
 
+import copy
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -31,6 +33,7 @@ from repro.errors import (
 )
 from repro.replication.messages import (
     CardinalityChange,
+    MasterMigration,
     ObjectKey,
     Refresh,
     RefreshReason,
@@ -267,6 +270,96 @@ class DataCache:
                 )
         return cached
 
+    def unsubscribe_all(self) -> None:
+        """Tear down every subscription and cached table (detach path).
+
+        Disconnects from every source — which also evicts this cache's
+        refresh-monitor trackers, so the per-object cache index holds no
+        phantom subscribers — and resets the local catalog, leaving the
+        cache object fresh enough to be re-admitted to a group later.
+        """
+        for source_id in sorted(self._sources):
+            self._sources[source_id].disconnect_cache(self.cache_id)
+        self._sources.clear()
+        self._subscriptions.clear()
+        self._keys_by_table.clear()
+        self._sharded_tables.clear()
+        self.catalog = Catalog()
+
+    def adopt_snapshot(
+        self, donor: "DataCache", batch_cost: BatchCostFunc | None = None
+    ) -> BatchedRefreshReceipt:
+        """Clone a sibling's cached state instead of cold-resubscribing.
+
+        The late-joiner admission path: every cached table (rows, tids,
+        shard routing) is copied from ``donor``, and for each of the
+        donor's subscriptions this cache adopts the donor's *exact*
+        bound function plus a deep copy of the donor's live width-policy
+        state via :meth:`DataSource.adopt_subscription`.  No
+        ``register()`` call is made, no refresh request is sent, and the
+        source's ``query_initiated_refreshes`` counter does not move —
+        the joiner enters the group's policy lockstep mid-sequence,
+        which is what keeps K-cache ≡ 1-cache equivalence intact across
+        admission.
+
+        Returns a :class:`BatchedRefreshReceipt` pricing the transfer
+        per source under ``batch_cost`` (default: 1 per tuple), mirroring
+        :meth:`refresh_batched` accounting so schedulers can book the
+        snapshot like any other bulk movement of bound state.
+        """
+        if list(self.catalog.names()) or self._subscriptions:
+            raise ReplicationProtocolError(
+                f"cache {self.cache_id!r} already holds state; snapshot "
+                "admission requires a fresh cache"
+            )
+        for donor_table in donor.catalog:
+            cached = self.catalog.create_table(
+                donor_table.name, donor_table.schema
+            )
+            for row in donor_table.rows():
+                cached.insert(row.as_dict(), tid=row.tid)
+                shard_id = donor_table.shard_map.get(row.tid)
+                if shard_id is not None:
+                    cached.shard_map.assign(row.tid, shard_id)
+        self._sharded_tables |= donor._sharded_tables
+        # Connect to every donor source before adopting any subscription,
+        # so value-initiated refreshes reach this cache from the first
+        # tracked object onward.
+        for source_id in sorted(donor._sources):
+            source = donor._sources[source_id]
+            self._sources[source_id] = source
+            source.connect_cache(self.cache_id, self._on_message)
+        keys_by_source: dict[str, list[ObjectKey]] = {}
+        tids_by_source: dict[str, set[int]] = {}
+        for key in sorted(
+            donor._subscriptions, key=lambda k: (k.table, k.tid, k.column)
+        ):
+            subscription = donor._subscriptions[key]
+            source = subscription.source
+            policy = copy.deepcopy(source.monitor.policy(donor.cache_id, key))
+            source.adopt_subscription(
+                self.cache_id, key, subscription.bound_function, policy
+            )
+            self._add_subscription(
+                key, _Subscription(source, subscription.bound_function)
+            )
+            keys_by_source.setdefault(source.source_id, []).append(key)
+            tids_by_source.setdefault(source.source_id, set()).add(key.tid)
+        receipts = tuple(
+            SourceRefreshReceipt(
+                source_id=source_id,
+                tids=frozenset(tids_by_source[source_id]),
+                keys=tuple(keys),
+                cost=(
+                    batch_cost(source_id, len(tids_by_source[source_id]))
+                    if batch_cost is not None
+                    else float(len(tids_by_source[source_id]))
+                ),
+            )
+            for source_id, keys in sorted(keys_by_source.items())
+        )
+        return BatchedRefreshReceipt(per_source=receipts)
+
     def _add_subscription(self, key: ObjectKey, subscription: _Subscription) -> None:
         self._subscriptions[key] = subscription
         self._keys_by_table.setdefault(key.table, set()).add(key)
@@ -289,9 +382,14 @@ class DataCache:
         which only reflect the last ``sync_bounds`` — an idle replica's
         cells look deceptively tight while its true bounds have widened.
         Read-only: no cell is rewritten, no planner epoch is bumped.
+
+        ``fsum`` keeps the total independent of the key set's iteration
+        order: a snapshot-admitted joiner inserts the same subscriptions
+        in a different order than its veterans, and siblings in policy
+        lockstep must report bit-identical widths.
         """
         now = self.clock() if now is None else now
-        return sum(
+        return math.fsum(
             2.0 * self._subscriptions[key].bound_function.half_width_at(now)
             for key in self._keys_by_table.get(table_name, ())
         )
@@ -519,6 +617,8 @@ class DataCache:
             self._apply_refresh(message)
         elif isinstance(message, CardinalityChange):
             self._apply_cardinality_change(message)
+        elif isinstance(message, MasterMigration):
+            self._apply_master_migration(message)
         else:  # pragma: no cover - defensive
             raise ReplicationProtocolError(f"unexpected message {message!r}")
 
@@ -564,6 +664,29 @@ class DataCache:
                 table.delete(change.tid)
             for column in table.schema.column_names:
                 self._drop_subscription(ObjectKey(change.table, change.tid, column))
+
+    def _apply_master_migration(self, migration: MasterMigration) -> None:
+        """Repoint one tuple's subscriptions at its new master shard.
+
+        Bound functions and cached cells are untouched — migration moves
+        ownership, not values — so only the shard routing and each
+        subscription's source pointer change.
+        """
+        new_source = self._sources.get(migration.to_source_id)
+        if new_source is None:
+            raise ReplicationProtocolError(
+                f"cache {self.cache_id!r} is not connected to migration "
+                f"target {migration.to_source_id!r}"
+            )
+        table = self.catalog.table(migration.table)
+        if migration.table in self._sharded_tables:
+            table.shard_map.assign(migration.tid, migration.to_source_id)
+        for column in table.schema.column_names:
+            subscription = self._subscriptions.get(
+                ObjectKey(migration.table, migration.tid, column)
+            )
+            if subscription is not None:
+                subscription.source = new_source
 
     # ------------------------------------------------------------------
     def table(self, name: str) -> Table:

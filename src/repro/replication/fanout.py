@@ -178,6 +178,151 @@ class CacheGroup:
         if cache.group is self:
             cache.group = None
 
+    def detach_replica(self, cache: "DataCache | str") -> DataCache:
+        """Remove one member and tear down everything it subscribed to.
+
+        The live-membership counterpart of :meth:`add_replica`: the
+        departing cache leaves the registry (tables no remaining member
+        holds drop their replica-set invariants too), its subscriptions
+        are unwound at every source — which evicts its refresh-monitor
+        trackers, so the per-object cache index holds no phantom
+        subscribers — and sources no remaining member subscribes to stop
+        fanning out.  The cache object comes back empty and group-less,
+        ready for :meth:`admit_replica` elsewhere.
+
+        Group-level detach permits shrinking to zero members; serving
+        tiers that must stay available enforce their own floor (the
+        query service refuses to detach the last replica).
+        """
+        cache = cache if isinstance(cache, DataCache) else self.cache(cache)
+        if self._caches.get(cache.cache_id) is not cache:
+            raise ReplicationProtocolError(
+                f"group {self.group_id!r} does not contain cache "
+                f"{cache.cache_id!r}"
+            )
+        departing_sources = cache.subscribed_sources()
+        del self._caches[cache.cache_id]
+        self._regions.pop(cache.cache_id, None)
+        self._cost_models.pop(cache.cache_id, None)
+        for table_name in list(self._tables):
+            cache_ids = self._tables[table_name]
+            cache_ids.discard(cache.cache_id)
+            if not cache_ids:
+                # No member holds the table any more: its replica-set
+                # invariants describe nothing and must not constrain a
+                # future (possibly differently sharded) subscription.
+                del self._tables[table_name]
+                self._table_sources.pop(table_name, None)
+                self._declared_sources.pop(table_name, None)
+                self._one_to_one_tables.discard(table_name)
+        cache.group = None
+        cache.unsubscribe_all()
+        if self.fanout:
+            remaining = {
+                source.source_id
+                for member in self._caches.values()
+                for source in member.subscribed_sources()
+            }
+            for source in departing_sources:
+                if (
+                    source.refresh_fanout is self
+                    and source.source_id not in remaining
+                ):
+                    source.refresh_fanout = False
+        return cache
+
+    def admit_replica(
+        self,
+        cache: DataCache,
+        region: str | None = None,
+        cost_model: "BatchedCostModel | None" = None,
+        from_cache: "DataCache | str | None" = None,
+        default_model: "BatchedCostModel | None" = None,
+    ):
+        """Bring a late joiner up from a sibling's snapshot, then enroll it.
+
+        Unlike cold enrollment (``add_replica`` + ``subscribe_table``,
+        which ``register()``\\ s every object and mints fresh bound
+        functions), admission transfers the donor's cached tables, exact
+        bound functions, and deep-copied width-policy state via
+        :meth:`DataCache.adopt_snapshot` — the joiner enters the group's
+        policy lockstep mid-sequence and serves its first query without
+        any resubscription refresh.  The donor is ``from_cache`` when
+        given, otherwise the member whose cost model prices the transfer
+        cheapest (:meth:`_select_donor`).
+
+        Returns the transfer's
+        :class:`~repro.replication.cache.BatchedRefreshReceipt`, priced
+        under the donor's cost model (falling back to ``default_model``)
+        so the admission cost is booked like any other bulk movement of
+        bound state.
+        """
+        if not self._caches:
+            raise ReplicationProtocolError(
+                f"group {self.group_id!r} is empty; admission needs a donor "
+                "— seed the group with add_replica + subscribe_table"
+            )
+        if cache.cache_id in self._caches or cache.group is not None:
+            raise ReplicationProtocolError(
+                f"cache {cache.cache_id!r} already belongs to a group; "
+                "admission is for fresh caches"
+            )
+        if from_cache is None:
+            donor = self._select_donor(default_model)
+        elif isinstance(from_cache, DataCache):
+            donor = self.cache(from_cache.cache_id)
+        else:
+            donor = self.cache(from_cache)
+        donor_model = self._model_or_default(donor, default_model)
+        receipt = cache.adopt_snapshot(
+            donor,
+            batch_cost=(
+                donor_model.batch_cost if donor_model is not None else None
+            ),
+        )
+        try:
+            self.add_replica(cache, region=region, cost_model=cost_model)
+        except Exception:
+            # Enrollment rejections must not strand adopted trackers.
+            cache.unsubscribe_all()
+            raise
+        cache.sync_bounds()
+        return receipt
+
+    def _select_donor(
+        self, default_model: "BatchedCostModel | None" = None
+    ) -> DataCache:
+        """The member whose snapshot transfer prices cheapest.
+
+        Sums ``batch_cost(source, n_tuples)`` over each member's
+        subscribed sources under that member's own cost model (falling
+        back to ``default_model``, then to 1-per-tuple); deterministic
+        cache-id tie-break — the same ranking discipline as
+        :meth:`leader_for_source`, applied to the whole snapshot.
+        """
+        best: tuple[float, str] | None = None
+        donor: DataCache | None = None
+        for cache_id in sorted(self._caches):
+            member = self._caches[cache_id]
+            model = self._model_or_default(member, default_model)
+            tuples_by_source: dict[str, set[tuple[str, int]]] = {}
+            for key, subscription in member._subscriptions.items():
+                tuples_by_source.setdefault(
+                    subscription.source.source_id, set()
+                ).add((key.table, key.tid))
+            price = sum(
+                model.batch_cost(source_id, len(tuples))
+                if model is not None
+                else float(len(tuples))
+                for source_id, tuples in tuples_by_source.items()
+            )
+            rank = (price, cache_id)
+            if best is None or rank < best:
+                best = rank
+                donor = member
+        assert donor is not None  # guarded by admit_replica
+        return donor
+
     def check_subscription(
         self,
         cache: DataCache,

@@ -8,7 +8,10 @@ The TRAPP refresh protocol has three message kinds:
   requested object together with a new bound function, flagged with the
   reason (value- vs query-initiated);
 * :class:`CardinalityChange` — source → cache: an insertion or deletion,
-  which the §3 architecture propagates immediately.
+  which the §3 architecture propagates immediately;
+* :class:`MasterMigration` — source → cache: a tuple's master moved to a
+  different shard (elastic rebalancing), so future refresh requests for
+  it must be routed there.
 
 Messages are plain frozen dataclasses; the simulation layer handles
 delivery timing.
@@ -28,6 +31,7 @@ __all__ = [
     "RefreshPayload",
     "Refresh",
     "CardinalityChange",
+    "MasterMigration",
 ]
 
 
@@ -100,3 +104,19 @@ class CardinalityChange:
     @property
     def is_insert(self) -> bool:
         return self.values is not None
+
+
+@dataclass(frozen=True, slots=True)
+class MasterMigration:
+    """Source → cache: a tuple's master now lives on a different shard.
+
+    Sent by the shard that *gave up* the tuple (``source_id``); the
+    receiving cache repoints its subscriptions and shard routing at
+    ``to_source_id``.  Bound functions are untouched — migration moves
+    ownership, not values, so cached bounds stay valid throughout.
+    """
+
+    source_id: str
+    table: str
+    tid: int
+    to_source_id: str

@@ -39,7 +39,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.errors import ReplicationProtocolError
-from repro.replication.messages import CardinalityChange, ObjectKey, Refresh
+from repro.replication.messages import (
+    CardinalityChange,
+    MasterMigration,
+    ObjectKey,
+    Refresh,
+)
 from repro.replication.source import DataSource
 from repro.storage.table import Table
 
@@ -296,6 +301,87 @@ class ShardedSource:
         change = shard.delete_row(table_name, tid)
         del self._shard_of[(table_name, tid)]
         return change
+
+    # ------------------------------------------------------------------
+    # Master rebalancing: move a tuple's master between shards
+    # ------------------------------------------------------------------
+    def migrate_master(
+        self, table_name: str, tid: int, to_shard: "int | str"
+    ) -> DataSource:
+        """Move one tuple's master — and its subscriptions — to a shard.
+
+        Physical placement is a tuning knob, not a schema invariant:
+        rebalancing moves the master row, every cache's monitor tracker
+        (bound function *and* live width-policy state, via
+        :meth:`RefreshMonitor.extract_object` /
+        :meth:`~repro.replication.source.RefreshMonitor.adopt_object`),
+        and the wrapper's routing entry, then notifies each tracking
+        cache with a :class:`~repro.replication.messages.MasterMigration`
+        so its subscription map and cached
+        :class:`~repro.storage.table.ShardMap` repoint at the new owner.
+
+        The whole move runs synchronously — no awaits — so it is atomic
+        with respect to the refresh scheduler's tick: a tick either sees
+        the tuple entirely on the old shard or entirely on the new one,
+        never a half-moved state.  Bound functions are not re-minted and
+        no policy feedback fires, so cached bounds (and the K-cache ≡
+        1-cache lockstep) carry across the move unchanged.
+
+        Returns the destination shard.  ``to_shard`` is a shard index or
+        a shard id; migrating a tuple onto the shard it already occupies
+        is a no-op.
+        """
+        current = self.shard_for(table_name, tid)
+        target = self._resolve_shard(to_shard)
+        if target is current:
+            return current
+        table = current.table(table_name)
+        values = table.row(tid).as_dict()
+        moved: dict[ObjectKey, dict] = {}
+        for column in table.schema.column_names:
+            key = ObjectKey(table_name, tid, column)
+            entries = current.monitor.extract_object(key)
+            if entries:
+                moved[key] = entries
+        table.delete(tid)
+        target.table(table_name).insert(values, tid=tid)
+        for key, entries in moved.items():
+            target.monitor.adopt_object(key, entries)
+        self._shard_of[(table_name, tid)] = self.shards.index(target)
+        migration = MasterMigration(
+            source_id=current.source_id,
+            table=table_name,
+            tid=tid,
+            to_source_id=target.source_id,
+        )
+        cache_ids = sorted(
+            {cid for entries in moved.values() for cid in entries}
+        )
+        for cache_id in cache_ids:
+            # Subscribing connects a cache to every shard, but keep the
+            # destination's channel present even for exotic wirings.
+            if (
+                cache_id not in target._deliver
+                and cache_id in current._deliver
+            ):
+                target._deliver[cache_id] = current._deliver[cache_id]
+            current._send(cache_id, migration)
+        return target
+
+    def _resolve_shard(self, shard: "int | str") -> DataSource:
+        if isinstance(shard, int):
+            if not 0 <= shard < len(self.shards):
+                raise ReplicationProtocolError(
+                    f"sharded source {self.source_id!r} has no shard "
+                    f"index {shard} (0..{len(self.shards) - 1})"
+                )
+            return self.shards[shard]
+        for candidate in self.shards:
+            if candidate.source_id == shard:
+                return candidate
+        raise ReplicationProtocolError(
+            f"sharded source {self.source_id!r} has no shard {shard!r}"
+        )
 
     def __repr__(self) -> str:
         return (

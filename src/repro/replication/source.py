@@ -88,6 +88,27 @@ class RefreshMonitor:
         for cache_id in self._by_key.pop(key, set()):
             del self._tracked[(cache_id, key)]
 
+    def extract_object(self, key: ObjectKey) -> dict[str, _TrackedBound]:
+        """Pop every cache's tracker for one object and return them.
+
+        The master-migration path moves these entries — bound functions
+        *and* live width-policy state — to the destination shard's
+        monitor via :meth:`adopt_object`, so the containment contract and
+        policy lockstep survive the move unchanged.
+        """
+        entries: dict[str, _TrackedBound] = {}
+        for cache_id in self._by_key.pop(key, set()):
+            entries[cache_id] = self._tracked.pop((cache_id, key))
+        return entries
+
+    def adopt_object(
+        self, key: ObjectKey, entries: dict[str, _TrackedBound]
+    ) -> None:
+        """Install trackers extracted from another monitor (migration)."""
+        for cache_id, entry in entries.items():
+            self._tracked[(cache_id, key)] = entry
+            self._by_key.setdefault(key, set()).add(cache_id)
+
     def policy(self, cache_id: str, key: ObjectKey) -> WidthPolicy:
         return self._entry(cache_id, key).policy
 
@@ -199,6 +220,39 @@ class DataSource:
     def connect_cache(self, cache_id: str, deliver: DeliverFunc) -> None:
         """Register the delivery channel for one cache."""
         self._deliver[cache_id] = deliver
+
+    def disconnect_cache(self, cache_id: str) -> None:
+        """Tear down one cache's presence at this source entirely.
+
+        Drops the delivery channel (no further value-initiated refreshes,
+        cardinality broadcasts, or fan-out pushes reach it) and evicts
+        every monitor tracker held on the cache's behalf — the eviction a
+        detached replica must trigger so the per-object cache index does
+        not keep phantom subscribers alive (they would otherwise receive
+        policy feedback and count as violations forever).
+        """
+        self._deliver.pop(cache_id, None)
+        self.monitor.forget_cache(cache_id)
+
+    def adopt_subscription(
+        self,
+        cache_id: str,
+        key: ObjectKey,
+        bound_function: BoundFunction,
+        policy: WidthPolicy,
+    ) -> None:
+        """Track a snapshot-transferred subscription (late-joiner admit).
+
+        Unlike :meth:`register`, no fresh bound function is minted and no
+        policy feedback fires: the joiner arrives carrying a sibling's
+        exact bound function and a clone of that sibling's policy state,
+        so it enters the fan-out lockstep mid-sequence — which is what
+        keeps K-cache ≡ 1-cache equivalence intact across admission.
+        ``query_initiated_refreshes`` is deliberately not incremented:
+        admission is a cache-to-cache transfer, not a master contact.
+        """
+        self._master_value(key)  # validate the object is served here
+        self.monitor.track(cache_id, key, bound_function, policy)
 
     # ------------------------------------------------------------------
     # Registration: a cache subscribes to an object

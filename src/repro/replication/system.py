@@ -57,6 +57,10 @@ class TrappSystem:
         #: Set by :meth:`repro.telemetry.Telemetry.observe_system`; caches
         #: added afterwards pick up their instruments here.
         self.telemetry = None
+        #: Set by :meth:`repro.faults.FaultInjector.attach`; caches and
+        #: sources created afterwards (elastic admission!) join the same
+        #: fault plane instead of silently bypassing the chaos schedule.
+        self.fault_injector = None
         #: Replication fan-out tiers; group ids share the cache-id
         #: namespace so the query service can route ``query(group_id, …)``.
         self._groups: dict[str, CacheGroup] = {}
@@ -118,6 +122,10 @@ class TrappSystem:
             for shard in source.shards:
                 self._sources[shard.source_id] = shard
         self._sources[source_id] = source
+        if self.fault_injector is not None:
+            shards_of = getattr(source, "shards", None)
+            for physical in shards_of if shards_of is not None else (source,):
+                physical.fault_injector = self.fault_injector
         return source
 
     def add_cache(
@@ -204,6 +212,8 @@ class TrappSystem:
         cache = DataCache(cache_id, clock=self.clock.now)
         if self.telemetry is not None:
             cache.attach_telemetry(self.telemetry.registry)
+        if self.fault_injector is not None:
+            cache.fault_injector = self.fault_injector
         self._caches[cache_id] = cache
         try:
             if group_obj is not None:
@@ -229,6 +239,67 @@ class TrappSystem:
                     del self._groups[group_obj.group_id]
             raise
         return cache
+
+    def detach_cache(self, cache_id: str) -> DataCache:
+        """Remove a cache from the deployment (elastic scale-down).
+
+        Group members are detached through their group
+        (:meth:`CacheGroup.detach_replica` — registry, fan-out, and
+        monitor teardown included); standalone caches just unwind their
+        subscriptions.  Memoized executors for the cache are evicted so
+        a later cache under the same id cannot inherit a stale refresher.
+        The emptied cache object is returned for re-admission elsewhere.
+        """
+        cache = self.cache(cache_id)
+        if cache.group is not None:
+            cache.group.detach_replica(cache)
+        else:
+            cache.unsubscribe_all()
+        del self._caches[cache_id]
+        for key in [k for k in self._executors if k[0] == cache_id]:
+            del self._executors[key]
+        return cache
+
+    def admit_cache(
+        self,
+        cache_id: str,
+        group: "CacheGroup | str",
+        from_cache: "str | None" = None,
+        region: str | None = None,
+        cost_model: "object | None" = None,
+        default_model: "object | None" = None,
+    ) -> "tuple[DataCache, object]":
+        """Add a late-joining replica to a group via snapshot transfer.
+
+        Creates a fresh cache under ``cache_id`` and hands it to
+        :meth:`CacheGroup.admit_replica`: cached tables, bound functions,
+        and width-policy state are cloned from the cheapest sibling (or
+        ``from_cache``) instead of cold-resubscribing every object.
+        Returns ``(cache, receipt)`` where ``receipt`` prices the
+        snapshot transfer under the donor's cost model.  The creation is
+        undone entirely when admission fails.
+        """
+        group_obj = group if isinstance(group, CacheGroup) else self.group(group)
+        if cache_id in self._caches or cache_id in self._groups:
+            raise TrappError(f"cache {cache_id!r} already exists")
+        cache = DataCache(cache_id, clock=self.clock.now)
+        if self.telemetry is not None:
+            cache.attach_telemetry(self.telemetry.registry)
+        if self.fault_injector is not None:
+            cache.fault_injector = self.fault_injector
+        self._caches[cache_id] = cache
+        try:
+            receipt = group_obj.admit_replica(
+                cache,
+                region=region,
+                cost_model=cost_model,
+                from_cache=from_cache,
+                default_model=default_model,
+            )
+        except BaseException:
+            del self._caches[cache_id]
+            raise
+        return cache, receipt
 
     def add_group(self, group_id: str, fanout: bool = True) -> CacheGroup:
         """Create a replication fan-out tier (see :class:`CacheGroup`).

@@ -12,6 +12,15 @@ calls it only for *group* queries (``service.query(group_id, …)``);
 naming a concrete cache id still pins that cache, so deployments can mix
 routed and pinned traffic.
 
+Membership is *elastic* (detach / snapshot admit), and the routers'
+contract with it is the candidate list itself: the service passes only
+the replicas currently serving the table — draining replicas excluded —
+so a detached replica's clients land on survivors on their next query
+with no router-side state to reconcile, and an admitted joiner becomes
+routable the moment it enters the group registry.  Routers must
+therefore derive placement from the candidate list presented *per call*
+(hash over it, rank it), never from remembered membership.
+
 Three policies ship:
 
 * :class:`StickyRouter` — hash the client id over the replicas: one
@@ -68,6 +77,13 @@ class StickyRouter(CacheRouter):
 
     CRC-32 rather than :func:`hash` — Python string hashing is salted per
     process and routing must be reproducible across runs and servers.
+
+    Stickiness is modulo the *current* candidate list, so a membership
+    change (detach, admit) re-sticks every client deterministically over
+    the survivors — clients of a departed replica redistribute instead of
+    erroring, at the price of some clients landing on a replica whose
+    bounds their own refreshes never tightened (fan-out lockstep makes
+    that costless within a group).
     """
 
     def route(

@@ -333,6 +333,28 @@ class RefreshScheduler:
         self.stats = SchedulerStats(self.registry)
         self._pending: list[_Pending] = []
         self._flush_task: asyncio.Task | None = None
+        #: Replicas leader selection must skip — the service adds a
+        #: draining replica here for the detach window so no new source
+        #: batch dispatches through a cache about to leave its group.
+        self._excluded_leaders: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def exclude_leader(self, cache_id: str) -> None:
+        """Keep one replica out of leader selection (detach drain window).
+
+        An excluded replica still serves queries already routed to it and
+        still receives fan-out pushes; it just stops being chosen to
+        *dispatch* source batches, so no tick holds a reference to it
+        when the detach completes.  When exclusion empties a table's
+        candidate pool entirely, selection falls back to ignoring the
+        exclusions — dispatching through a draining replica beats
+        degrading the queries.
+        """
+        self._excluded_leaders.add(cache_id)
+
+    def readmit_leader(self, cache_id: str) -> None:
+        """Undo :meth:`exclude_leader` (detach finished or was aborted)."""
+        self._excluded_leaders.discard(cache_id)
 
     # ------------------------------------------------------------------
     async def submit(
@@ -521,8 +543,18 @@ class RefreshScheduler:
                         demand.setdefault(source_id, set()).add(tid)
                 for source_id, tids in sorted(demand.items()):
                     leader, model = group.leader_for_source(
-                        table_name, source_id, len(tids), self.cost_model
+                        table_name,
+                        source_id,
+                        len(tids),
+                        self.cost_model,
+                        exclude=self._excluded_leaders,
                     )
+                    if leader is None:
+                        # Every subscribed replica is draining; dispatch
+                        # through one anyway rather than drop the batch.
+                        leader, model = group.leader_for_source(
+                            table_name, source_id, len(tids), self.cost_model
+                        )
                     entry = by_leader.setdefault(
                         id(leader), (leader, model, set())
                     )

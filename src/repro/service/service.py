@@ -223,6 +223,9 @@ class QueryService:
         self._sync_generation: dict[str, int] = {}
         #: Single-flight: identical queries already executing, by cache key.
         self._inflight_results: dict = {}
+        #: Replicas mid-detach: kept out of routing while their in-flight
+        #: queries drain, so the ledger count falls monotonically to zero.
+        self._draining: set[str] = set()
         registry = telemetry.registry
         queries = registry.counter(
             "trapp_queries_total",
@@ -327,6 +330,16 @@ class QueryService:
                 candidates = [
                     c for c in candidates if c.cache_id in subscribed
                 ]
+            if self._draining:
+                # A draining replica finishes what it has but takes no new
+                # queries — its clients re-stick to survivors *now*, not
+                # at detach completion (membership-change re-sticking is
+                # what the routers' candidate-list contract provides).
+                undrained = [
+                    c for c in candidates if c.cache_id not in self._draining
+                ]
+                if undrained:
+                    candidates = undrained
             if not candidates:
                 raise ServiceError(
                     f"no cache in group {cache_id!r} is subscribed to "
@@ -557,6 +570,77 @@ class QueryService:
             epsilon,
             extra=(plan.cache_extra, "degraded"),
         )
+
+    # ------------------------------------------------------------------
+    # Elastic membership: live detach / snapshot admit
+    # ------------------------------------------------------------------
+    async def detach_replica(self, group_id: str, cache_id: str) -> DataCache:
+        """Drain and remove one replica from a serving group, live.
+
+        The detach protocol, in order: (1) the replica stops receiving
+        new work — routing skips it (its sticky clients re-stick to
+        survivors immediately) and the scheduler stops picking it as a
+        dispatch leader; (2) its in-flight queries *drain* — the service
+        awaits the per-cache ledger reaching zero, so every admitted
+        query finishes against the subscriptions it planned under;
+        (3) the group tears the membership down
+        (:meth:`~repro.replication.fanout.CacheGroup.detach_replica`:
+        registry, fan-out, refresh-monitor trackers); (4) the replica's
+        cache-scoped result entries are invalidated, so its degraded or
+        private answers cannot outlive it.  Refuses to detach the last
+        replica serving the group — a tier must not drain itself to
+        nothing while clients hold its id.
+        """
+        group = self.system.group(group_id)
+        cache = group.cache(cache_id)
+        if len(group) <= 1:
+            raise ServiceError(
+                f"cache {cache_id!r} is the last replica of group "
+                f"{group_id!r}; detaching it would leave nothing serving"
+            )
+        self._draining.add(cache_id)
+        self.scheduler.exclude_leader(cache_id)
+        try:
+            while self._inflight_by_cache.get(cache_id, 0) > 0:
+                await asyncio.sleep(self.scheduler.tick_interval or 0)
+            table_names = list(cache.catalog.names())
+            detached = self.system.detach_cache(cache_id)
+        finally:
+            self._draining.discard(cache_id)
+            self.scheduler.readmit_leader(cache_id)
+        for table_name in table_names:
+            self.results.invalidate_table(table_name, {cache_id})
+        return detached
+
+    def admit_replica(
+        self,
+        group_id: str,
+        cache_id: str,
+        region: str | None = None,
+        cost_model: BatchedCostModel | None = None,
+        from_cache: str | None = None,
+    ):
+        """Add a late-joining replica to a serving group via snapshot.
+
+        Synchronous on purpose: the snapshot transfer
+        (:meth:`~repro.replication.fanout.CacheGroup.admit_replica`) runs
+        between awaits, so no scheduler tick and no query observes a
+        half-admitted member.  The joiner arrives carrying a sibling's
+        bound functions and width-policy state — in fan-out lockstep from
+        its first query — and becomes routable immediately.  Returns the
+        transfer's :class:`~repro.replication.cache.BatchedRefreshReceipt`
+        priced under the donor's cost model (falling back to the
+        scheduler's).
+        """
+        _, receipt = self.system.admit_cache(
+            cache_id,
+            self.system.group(group_id),
+            from_cache=from_cache,
+            region=region,
+            cost_model=cost_model,
+            default_model=self.scheduler.cost_model,
+        )
+        return receipt
 
     # ------------------------------------------------------------------
     def _admit(

@@ -1,6 +1,7 @@
 """Workload generators: the paper's example data and synthetic equivalents."""
 
 from repro.workloads.chaos import ChaosScenario, chaos_injector, chaos_schedule
+from repro.workloads.elastic import GroupAutoscaler, ScaleEvent
 from repro.workloads.netmon import (
     LINKS_SCHEMA,
     PAPER_LINKS,
@@ -49,6 +50,8 @@ __all__ = [
     "ChaosScenario",
     "chaos_injector",
     "chaos_schedule",
+    "GroupAutoscaler",
+    "ScaleEvent",
     "ClientScript",
     "ClosedLoopResult",
     "closed_loop_scripts",
