@@ -154,7 +154,7 @@ def test_uniform_planner_speedup(stocks_cache):
     cold_seconds, _ = _best_of(
         lambda: (
             store.set(rows[0].tid, "price", rows[0].bound("price")),
-            store._width_orders.clear(),
+            store._sorted_orders.clear(),
             chooser.without_predicate_columnar(store, "price", budget, uniform_cost),
         )[-1]
     )
@@ -163,11 +163,19 @@ def test_uniform_planner_speedup(stocks_cache):
             store, "price", budget, uniform_cost
         )
     )
-    vector_plan, _ = vectorized
+    vector_plan, vector_cv = vectorized
 
     # The vector uniform path reuses the row greedy's arithmetic over the
     # same ordering: plans must agree exactly.
     assert vector_plan.total_cost == legacy_plan.total_cost
+    # ISSUE 10 satellite: the warm no-mask harvest must reuse the width
+    # vector already cached on the sorted-width ordering instead of
+    # recomputing ``hi - lo`` per query.
+    import numpy as np
+
+    assert np.shares_memory(
+        vector_cv.widths, store.width_order("price").keys_by_tid
+    ), "no-mask harvest recomputed widths instead of reusing the cache"
 
     speedup_warm = legacy_seconds / warm_seconds
     speedup_cold = legacy_seconds / cold_seconds

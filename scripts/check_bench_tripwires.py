@@ -19,6 +19,13 @@ the benches:
    (may not fall below the committed baseline)
 7. elastic_group    — smoke all-in cost/answer under the autoscaled
    traffic ramp, plus zero re-stick failures after membership changes
+8. interval_index   — smoke classify+harvest speedup of the endpoint
+   indexes over the dense sweep (timing: loose) and the deterministic
+   materialized-window fraction
+
+Every benchmark registered in ``BENCH_CHECKS`` must have its
+``BENCH_*.json`` committed; a missing or stale results file is reported
+as a failure in its own right rather than silently skipped.
 
 A further, *measured* tripwire guards the observability layer itself
 (PR 7): a short mixed workload runs twice, telemetry enabled and
@@ -109,65 +116,79 @@ class GoldenValues:
             )
 
 
-def _bench(name: str) -> dict:
-    path = REPO / f"BENCH_{name}.json"
-    return json.loads(path.read_text()) if path.exists() else {}
-
-
-def check_bench_goldens(golden: GoldenValues) -> None:
-    """The per-benchmark smoke tripwires.
-
-    Cost-model numbers are deterministic on any machine (tight
-    tolerance: a drift means planner/executor behavior changed);
-    wall-clock numbers get loose tolerances (they re-record per
-    machine class).
-    """
-    golden.check(
-        "cache_hierarchy.cost_per_answer_max_fanout",
-        _bench("cache_hierarchy")["smoke_baseline"]["cost_per_answer_max_fanout"],
-        tolerance=0.5,
-    )
-    golden.check(
-        "concurrent_service.serial_cost_per_answer",
-        _bench("concurrent_service")["smoke_baseline"]["serial_cost_per_answer"],
-        tolerance=0.5,
-    )
-    golden.check(
-        "refresh_planner.vector_warm_seconds",
-        _bench("refresh_planner")["smoke_baseline"]["vector_warm_seconds"],
-        tolerance=2.0,
-    )
-    golden.check(
-        "sharded_sources.cost_per_answer_max_fanin",
-        _bench("sharded_sources")["smoke_baseline"]["cost_per_answer_max_fanin"],
-        tolerance=0.5,
-    )
-    golden.check(
-        "columnar_executor.end_to_end_speedup",
-        _bench("columnar_executor")["end_to_end_speedup"],
-        tolerance=0.75,
-    )
+# ----------------------------------------------------------------------
+# The per-benchmark golden checks, declaratively: one row per tripwire,
+# ``(bench, dotted path into BENCH_<bench>.json, relative tolerance)``.
+# Cost-model numbers are deterministic on any machine (tight tolerance:
+# a drift means planner/executor behavior changed); wall-clock numbers
+# get loose tolerances (they re-record per machine class).  Every bench
+# named here MUST have a committed results file — a missing file is a
+# loud failure, not a silent skip, so a bench can't quietly drop out of
+# CI coverage when its JSON is deleted or renamed.
+# ----------------------------------------------------------------------
+BENCH_CHECKS: list[tuple[str, str, float]] = [
+    ("cache_hierarchy", "smoke_baseline.cost_per_answer_max_fanout", 0.5),
+    ("concurrent_service", "smoke_baseline.serial_cost_per_answer", 0.5),
+    ("refresh_planner", "smoke_baseline.vector_warm_seconds", 2.0),
+    ("sharded_sources", "smoke_baseline.cost_per_answer_max_fanin", 0.5),
+    ("columnar_executor", "end_to_end_speedup", 0.75),
     # Availability is a fraction in [0, 1]; the seeded chaos schedule is
     # deterministic, so any drift below golden means the failure-handling
     # stack started erroring queries it used to answer.
-    golden.check(
-        "fault_tolerance.availability",
-        _bench("fault_tolerance")["smoke_baseline"]["availability"],
-        tolerance=0.01,
-    )
+    ("fault_tolerance", "smoke_baseline.availability", 0.01),
     # All-in elasticity bill (refresh receipts + snapshot transfers per
     # answer) on the seeded ramp; re-stick failures are an exact zero —
     # any nonzero count means a membership change was client-visible.
-    golden.check(
-        "elastic_group.cost_per_answer",
-        _bench("elastic_group")["smoke_baseline"]["cost_per_answer"],
-        tolerance=0.5,
-    )
-    golden.check(
-        "elastic_group.re_stick_failures",
-        _bench("elastic_group")["smoke_baseline"]["re_stick_failures"],
-        tolerance=0.0,
-    )
+    ("elastic_group", "smoke_baseline.cost_per_answer", 0.5),
+    ("elastic_group", "smoke_baseline.re_stick_failures", 0.0),
+    # ISSUE 10 interval indexes: the smoke speedup is wall-clock (loose —
+    # it re-records per machine class) but the window fraction is pure
+    # counting on a seeded table, so any drift means the classifier
+    # started materializing different windows.
+    ("interval_index", "smoke_baseline.classify_harvest_speedup", 0.75),
+    ("interval_index", "smoke_baseline.window_fraction", 0.01),
+]
+
+
+class MissingBenchError(RuntimeError):
+    """A bench registered in BENCH_CHECKS has no committed results file."""
+
+
+def _bench(name: str) -> dict:
+    path = REPO / f"BENCH_{name}.json"
+    if not path.exists():
+        raise MissingBenchError(
+            f"BENCH_{name}.json is registered in BENCH_CHECKS but missing "
+            f"from the repo root — run benchmarks/bench_{name}.py (and "
+            f"commit the results), or drop its rows from BENCH_CHECKS"
+        )
+    return json.loads(path.read_text())
+
+
+def _dig(payload: dict, dotted: str, bench: str):
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise MissingBenchError(
+                f"BENCH_{bench}.json has no '{dotted}' entry — the results "
+                f"file predates the tripwire; regenerate it"
+            )
+        node = node[part]
+    return node
+
+
+def check_bench_goldens(golden: GoldenValues) -> list[str]:
+    """Run every BENCH_CHECKS row; returns loud missing-file failures."""
+    missing: list[str] = []
+    for bench, dotted, tolerance in BENCH_CHECKS:
+        try:
+            value = _dig(_bench(bench), dotted, bench)
+        except MissingBenchError as exc:
+            if str(exc) not in missing:  # one report per file, not per row
+                missing.append(str(exc))
+            continue
+        golden.check(f"{bench}.{dotted.split('.')[-1]}", value, tolerance)
+    return missing
 
 
 # ----------------------------------------------------------------------
@@ -252,7 +273,7 @@ def main(argv: list[str] | None = None) -> int:
 
     failures: list[str] = []
     with GoldenValues(GOLDEN_PATH, update_mode=args.update) as golden:
-        check_bench_goldens(golden)
+        failures.extend(check_bench_goldens(golden))
         # Collect instead of raising so the overhead check still runs.
         failures.extend(golden.failures)
         golden.failures = []

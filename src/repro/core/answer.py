@@ -39,6 +39,11 @@ class BoundedAnswer:
     #: Sources that could not be contacted while answering (empty unless
     #: some planned tuples went unrefreshed).
     unreachable_sources: tuple[str, ...] = ()
+    #: Fraction of (tuple, predicate-leaf) decisions step 1 had to
+    #: materialize from endpoint-index windows, ``None`` when the dense
+    #: classifier ran (index-ineligible predicate, or the row path).
+    #: ``0.0`` means every tuple was decided wholesale by binary search.
+    index_window_fraction: float | None = None
 
     @property
     def width(self) -> float:

@@ -49,7 +49,7 @@ Two performance properties hold on the hot path:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Generator, Iterable, Mapping, Protocol, Sequence
 
 from repro.core.aggregates import get_aggregate
@@ -78,9 +78,11 @@ try:  # Vectorized fast paths; the executor runs row-at-a-time without.
         ColumnarClassification,
         classification_from_masks,
         classify_masks,
+        classify_report,
     )
 except ImportError:  # pragma: no cover - numpy-less hosts
     classify_masks = None  # type: ignore[assignment]
+    classify_report = None  # type: ignore[assignment]
 
 __all__ = [
     "WIDTH_TOLERANCE",
@@ -421,22 +423,43 @@ class QueryExecutor:
     ) -> BoundedAnswer:
         store = table.columns
         refine = self.refine_bounds and column is not None
-        certain, possible = classify_masks(store, prepared.predicate)
+        # The index-backed route (endpoint windows) and the dense sweep
+        # are bit-identical; the report additionally carries the sorted
+        # T+/T? positions so harvest and answer assembly stay O(k), plus
+        # the window fraction the service telemeters.
+        report = classify_report(store, prepared.predicate)
+        window_fraction = report.window_fraction
+        positions = report.positions
+        # With index positions in hand, assembly gathers O(k) arrays and
+        # the dense masks are never widened; ``report.certain`` below is
+        # a lazy property, touched only on mask-needing fallbacks.
         cc = ColumnarClassification.from_masks(
-            store, certain, possible, column, prepared.predicate, refine
+            store,
+            None if positions is not None else report.certain,
+            None if positions is not None else report.possible,
+            column, prepared.predicate, refine, positions=positions,
         )
         initial = spec.bound_with_classification_columnar(cc, column)
 
         max_width = constraint.resolve(initial)
         if width_within(initial.width, max_width):
-            return BoundedAnswer(bound=initial, initial_bound=initial)
+            return BoundedAnswer(
+                bound=initial,
+                initial_bound=initial,
+                index_window_fraction=window_fraction,
+            )
 
         chooser = self._chooser(spec)
         plan = None
         if self.vector_planner and hasattr(chooser, "with_classification_columnar"):
+            lazy = positions is not None and getattr(chooser, "uses_positions", False)
             vectorized = chooser.with_classification_columnar(
-                store, certain, possible, column, max_width, cost,
+                store,
+                None if lazy else report.certain,
+                None if lazy else report.possible,
+                column, max_width, cost,
                 predicate=prepared.predicate if refine else None,
+                positions=positions,
             )
             if vectorized is not None:
                 plan, candidates = vectorized
@@ -446,7 +469,7 @@ class QueryExecutor:
                 )
         if plan is None:
             classification = classification_from_masks(
-                table.rows(), certain, possible
+                table.rows(), report.certain, report.possible
             )
             refined = self._refined_classification(classification, prepared, column)
             plan = chooser.with_classification(refined, column, max_width, cost)
@@ -456,12 +479,19 @@ class QueryExecutor:
             )
         plan = yield planned
 
-        certain, possible = classify_masks(store, prepared.predicate)
+        report = classify_report(store, prepared.predicate)
+        positions = report.positions
         cc = ColumnarClassification.from_masks(
-            store, certain, possible, column, prepared.predicate, refine
+            store,
+            None if positions is not None else report.certain,
+            None if positions is not None else report.possible,
+            column, prepared.predicate, refine, positions=positions,
         )
         final = spec.bound_with_classification_columnar(cc, column)
-        return self._finish(final, max_width, plan, initial)
+        answer = self._finish(final, max_width, plan, initial)
+        if window_fraction is not None:
+            answer = replace(answer, index_window_fraction=window_fraction)
+        return answer
 
     # ------------------------------------------------------------------
     # §6 regime, row-at-a-time reference path: classify exactly once

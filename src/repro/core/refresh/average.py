@@ -53,6 +53,8 @@ class AvgChooseRefresh:
     """Knapsack-based refresh selection for bounded AVG queries."""
 
     name = "AVG"
+    #: Positions-only capable (see SumChooseRefresh.uses_positions).
+    uses_positions = True
 
     def __init__(self, epsilon: float = DEFAULT_EPSILON, force_exact: bool = False):
         self.epsilon = epsilon
@@ -101,6 +103,7 @@ class AvgChooseRefresh:
         max_width: float,
         cost: CostFunc = uniform_cost,
         predicate=None,
+        positions=None,
     ):
         """Vector counterpart of the Appendix F knapsack.
 
@@ -121,26 +124,37 @@ class AvgChooseRefresh:
         try:
             import numpy as np
 
-            from repro.storage.columnar import CandidateVectors
+            from repro.storage.columnar import CandidateVectors, candidate_order
         except ImportError:  # pragma: no cover - numpy-less hosts
             return None
         cv = self._sum._harvest(
             store, column, cost, certain=certain, possible=possible,
-            predicate=predicate,
+            predicate=predicate, positions=positions,
         )
         if cv is None:
             return None
         if len(cv) == 0:
             return RefreshPlan.empty(), None
-        n_plus = int(np.count_nonzero(certain))
+        if positions is not None:
+            certain_at, maybe_at = positions
+            n_plus = int(len(certain_at))
+        else:
+            certain_at = maybe_at = None
+            n_plus = int(np.count_nonzero(certain))
         l_count = float(n_plus)
         if l_count <= 0:
             # Degenerate Appendix F case (no guaranteed-nonempty answer
             # set): the row path's refresh-all-T? fallback handles it.
             return None
         lo, hi = store.endpoints(column)
-        maybe_mask = np.logical_and(possible, np.logical_not(certain))
-        maybe_lo, maybe_hi = lo[maybe_mask], hi[maybe_mask]
+        if certain_at is not None:
+            # Index route: gather the O(k) candidate positions instead of
+            # sweeping dense masks over the whole table.
+            certain = certain_at
+            maybe_lo, maybe_hi = lo[maybe_at], hi[maybe_at]
+        else:
+            maybe_mask = np.logical_and(possible, np.logical_not(certain))
+            maybe_lo, maybe_hi = lo[maybe_mask], hi[maybe_mask]
         if predicate is not None and len(maybe_lo):
             from repro.predicates.batch import restrict_endpoints
 
@@ -163,7 +177,7 @@ class AvgChooseRefresh:
                 tids=cv.tids,
                 widths=widths,
                 costs=cv.costs,
-                order=np.lexsort((cv.tids, widths)),
+                order=candidate_order(widths, cv.tids),
                 cost_min=cv.cost_min,
                 cost_max=cv.cost_max,
                 cost_total=cv.cost_total,

@@ -31,6 +31,8 @@ class CountChooseRefresh:
     """Optimal refresh selection for bounded COUNT queries."""
 
     name = "COUNT"
+    #: Positions-only capable (see SumChooseRefresh.uses_positions).
+    uses_positions = True
 
     def without_predicate(
         self,
@@ -79,6 +81,7 @@ class CountChooseRefresh:
         max_width: float,
         cost: CostFunc = uniform_cost,
         predicate=None,
+        positions=None,
     ):
         """Pick the cheapest T? tuples straight off the column arrays."""
         costs = resolve_columnar_costs(store, cost)
@@ -86,8 +89,14 @@ class CountChooseRefresh:
             return None
         import numpy as np
 
-        maybe = np.logical_and(possible, np.logical_not(certain))
-        uncertain = int(np.count_nonzero(maybe))
+        if positions is not None:
+            # Index route: the classifier already hands over sorted T?
+            # positions — O(k) gathers, no dense mask sweep.
+            maybe = positions[1]
+            uncertain = int(len(maybe))
+        else:
+            maybe = np.logical_and(possible, np.logical_not(certain))
+            uncertain = int(np.count_nonzero(maybe))
         if math.isinf(max_width):
             needed = 0
         else:

@@ -133,6 +133,7 @@ class MinChooseRefresh:
         max_width: float,
         cost: CostFunc = uniform_cost,
         predicate=None,
+        positions=None,
     ):
         """§6.1 threshold over T+ ∪ T?, Appendix-D-refined T? bounds."""
         column = _require_column(self.name, column)
@@ -251,6 +252,7 @@ class MaxChooseRefresh:
         max_width: float,
         cost: CostFunc = uniform_cost,
         predicate=None,
+        positions=None,
     ):
         column = _require_column(self.name, column)
         inputs = _columnar_inputs(store, cost, column)

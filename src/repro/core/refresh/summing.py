@@ -69,6 +69,10 @@ class SumChooseRefresh:
     """Knapsack-based refresh selection for bounded SUM queries."""
 
     name = "SUM"
+    #: The columnar entry point can work from the index route's sorted
+    #: T+/T? positions alone — the executor then never widens them to
+    #: dense masks (ISSUE 10's O(log n + k) contract).
+    uses_positions = True
 
     def __init__(
         self,
@@ -155,25 +159,30 @@ class SumChooseRefresh:
         max_width: float,
         cost: CostFunc = uniform_cost,
         predicate=None,
+        positions=None,
     ) -> "tuple[RefreshPlan, CandidateVectors] | None":
         """§6.2 planning from classification masks, no row objects.
 
         ``predicate`` (when given) applies the Appendix D refinement to
         T? bounds before extending them to zero, mirroring the
-        executor's row-path `_refined_classification`.
+        executor's row-path `_refined_classification`.  ``positions``
+        (when given) carries the sorted T+/T? tuple positions straight
+        from the endpoint-index classifier, so harvesting gathers O(k)
+        candidates without re-scanning the dense masks.
         """
         if column is None:
             raise TrappError("SUM CHOOSE_REFRESH requires an aggregation column")
         cv = self._harvest(
             store, column, cost, certain=certain, possible=possible,
-            predicate=predicate,
+            predicate=predicate, positions=positions,
         )
         if cv is None:
             return None
         return self._solve_columnar(cv, max_width), cv
 
     def _harvest(
-        self, store, column, cost, certain=None, possible=None, predicate=None
+        self, store, column, cost, certain=None, possible=None, predicate=None,
+        positions=None,
     ):
         kind = vector_cost_of(cost)
         if kind is None or store is None:
@@ -185,7 +194,7 @@ class SumChooseRefresh:
         if kind[0] == "column":
             return harvest_candidates(
                 store, column, certain=certain, possible=possible,
-                predicate=predicate, cost_column=kind[1],
+                predicate=predicate, cost_column=kind[1], positions=positions,
             )
         if kind[0] == "source":
             # Per-source amortized models: resolve the source column →
@@ -195,11 +204,11 @@ class SumChooseRefresh:
                 return None
             return harvest_candidates(
                 store, column, certain=certain, possible=possible,
-                predicate=predicate, cost_array=costs,
+                predicate=predicate, cost_array=costs, positions=positions,
             )
         return harvest_candidates(
             store, column, certain=certain, possible=possible,
-            predicate=predicate, cost_value=kind[1],
+            predicate=predicate, cost_value=kind[1], positions=positions,
         )
 
     def _solve_columnar(self, cv: "CandidateVectors", capacity: float) -> RefreshPlan:

@@ -256,6 +256,17 @@ class QueryService:
             "trapp_admission_wait_seconds",
             "Wall-clock wait for the global in-flight semaphore",
         )
+        #: Fraction of (tuple, leaf) decisions step 1 materialized from
+        #: endpoint-index windows; observed only when the index route
+        #: classified the query.  Low values mean binary search decided
+        #: almost every tuple wholesale (the O(log n + k) regime).
+        self._h_window_fraction = registry.histogram(
+            "trapp_index_window_fraction",
+            "Fraction of classification decisions taken from index windows",
+            buckets=(
+                0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0,
+            ),
+        )
         self._c_degraded = registry.counter(
             "trapp_degraded_answers_total",
             "Queries finished in degraded mode: bounds wider than requested "
@@ -721,6 +732,11 @@ class QueryService:
             answer = await self._execute(
                 cache, plan, client_id, cost, epsilon, trace
             )
+        fraction = getattr(answer, "index_window_fraction", None)
+        if fraction is not None:
+            self._h_window_fraction.observe(fraction)
+            if trace is not None:
+                trace.step("classify", window_fraction=fraction)
         if answer.degraded:
             self._degraded_count += 1
             self._c_degraded.inc()

@@ -23,7 +23,7 @@ Deletions swap the last slot into the hole to keep the arrays dense;
 query-side accessors therefore re-sort by tuple id (memoized per store
 version) so columnar results align with ``Table.rows()`` order.
 
-Two planner-facing entry points live here as well (ISSUE 3):
+Three planner-facing entry points live here as well (ISSUE 3, ISSUE 10):
 
 * :meth:`ColumnStore.width_order` — an **incremental planner cache** of
   ascending-(width, tid) orderings per bounded column, epoch-versioned
@@ -33,13 +33,22 @@ Two planner-facing entry points live here as well (ISSUE 3):
   churn triggers a full argsort.  Repeated service queries and the
   refresh scheduler's per-tick rebatching stop re-sorting ``n`` tuples
   per query.
+* :meth:`ColumnStore.endpoint_order` — the same incremental cache over a
+  numeric column's **raw endpoints**: one ascending-(lo, tid) view and
+  one ascending-(hi, tid) view per column, sharing the width cache's
+  splice-repair machinery.  These are the paper's §5.1/§8.3 endpoint
+  B-trees in columnar form; ``repro.predicates.batch`` turns predicate
+  comparisons into ``O(log n + k)`` window lookups over them instead of
+  sweeping whole columns.
 * :func:`harvest_candidates` — emits the CHOOSE_REFRESH candidate set
   (tuple ids, knapsack weights, refresh costs, and the sorted-width
   order) as parallel vectors straight from the column arrays, with
   **no per-row Python objects**; its
   :meth:`~CandidateVectors.solver_vectors` handoff is flat stdlib
   ``array('q')``/``array('d')`` storage consumed by
-  :func:`repro.core.knapsack.solve_vector`.
+  :func:`repro.core.knapsack.solve_vector`.  With the classifier's
+  sorted T+/T? *positions* (index-backed path) candidates gather in
+  ``O(k)``; without them, boolean masks sweep the column as before.
 """
 
 from __future__ import annotations
@@ -54,31 +63,58 @@ from repro.core.bound import Bound
 from repro.errors import TrappError, UnknownColumnError
 from repro.storage.schema import ColumnKind, Schema
 
-__all__ = ["ColumnStore", "CandidateVectors", "harvest_candidates", "cost_vector"]
+__all__ = [
+    "ColumnStore",
+    "CandidateVectors",
+    "candidate_order",
+    "harvest_candidates",
+    "cost_vector",
+]
 
 _INITIAL_CAPACITY = 16
 
 #: Dirty-tuple count (relative floor) beyond which repairing a cached
-#: width ordering in place stops beating a fresh stable argsort.
+#: sorted ordering in place stops beating a fresh stable argsort.
 _REPAIR_FLOOR = 32
+
+#: Key kinds a :class:`_SortedOrder` can be built over: the bound width
+#: (planner cache) or a raw endpoint (classifier windows).
+_ORDER_KINDS = ("width", "lo", "hi")
 
 
 @dataclass(slots=True)
-class _WidthOrder:
-    """One column's cached ascending-(width, tid) ordering.
+class _SortedOrder:
+    """One column's cached ascending-(key, tid) ordering.
 
-    ``epoch`` is the store version the arrays were valid at; ``dirty``
-    collects tuple ids rewritten since then (write-through from
+    The *key* is the bound width (``width_order``) or a raw endpoint
+    (``endpoint_order``); all three kinds share one lifecycle: ``epoch``
+    is the store version the arrays were valid at, ``dirty`` collects
+    tuple ids rewritten since then (write-through from
     :meth:`ColumnStore.set`), and ``stale`` flags structural changes
     (append/remove) that force a full rebuild.
+
+    ``keys_by_tid`` is the same key vector in tuple-id order (a read-only
+    view) — what a full-table harvest wants, kept here so callers stop
+    recomputing ``hi - lo`` the cache already paid for.
     """
 
     epoch: int
-    tids: np.ndarray  # tuple ids, ascending by (width, tid)
-    widths: np.ndarray  # the matching widths, ascending
+    tids: np.ndarray  # tuple ids, ascending by (key, tid)
+    keys: np.ndarray  # the matching keys, ascending
     positions: np.ndarray  # index of each ordered tid in tuple-id order
+    keys_by_tid: np.ndarray  # the keys in tuple-id order (read-only view)
     dirty: set[int] = field(default_factory=set)
     stale: bool = False
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Alias for ``keys`` on width orderings (the historical name)."""
+        return self.keys
+
+
+#: Backwards-compatible alias: the planner cache predates the shared
+#: sorted-order machinery.
+_WidthOrder = _SortedOrder
 
 
 class ColumnStore:
@@ -106,8 +142,9 @@ class ColumnStore:
         "version",
         "_memo_version",
         "_memo_order",
+        "_memo_tids",
         "_memo_arrays",
-        "_width_orders",
+        "_sorted_orders",
     )
 
     def __init__(self, schema: Schema) -> None:
@@ -126,8 +163,11 @@ class ColumnStore:
         self.version = 0
         self._memo_version = -1
         self._memo_order: np.ndarray | None = None
+        self._memo_tids: np.ndarray | None = None
         self._memo_arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
-        self._width_orders: dict[str, _WidthOrder] = {}
+        #: Cached (key, tid) orderings, keyed by (column, kind) where kind
+        #: is "width" (planner cache) or "lo"/"hi" (endpoint indexes).
+        self._sorted_orders: dict[tuple[str, str], _SortedOrder] = {}
 
     # ------------------------------------------------------------------
     # Size / membership
@@ -160,7 +200,7 @@ class ColumnStore:
         self._slot_of[tid] = slot
         self._n += 1
         self.version += 1
-        for order in self._width_orders.values():
+        for order in self._sorted_orders.values():
             order.stale = True
 
     def set(self, tid: int, column: str, value: Any) -> None:
@@ -179,9 +219,10 @@ class ColumnStore:
                 self._non_exact[column] += int(now_wide) - int(was_wide)
             self._lo[column][slot] = lo
             self._hi[column][slot] = hi
-            order = self._width_orders.get(column)
-            if order is not None:
-                order.dirty.add(tid)
+            for kind in _ORDER_KINDS:
+                order = self._sorted_orders.get((column, kind))
+                if order is not None:
+                    order.dirty.add(tid)
         else:
             raise UnknownColumnError(column)
         self.version += 1
@@ -209,7 +250,7 @@ class ColumnStore:
             self._text[name][last] = None  # release the reference
         self._n -= 1
         self.version += 1
-        for order in self._width_orders.values():
+        for order in self._sorted_orders.values():
             order.stale = True
 
     def _grow(self) -> None:
@@ -248,13 +289,19 @@ class ColumnStore:
         if self._memo_version != self.version:
             self._memo_version = self.version
             self._memo_arrays = {}
+            self._memo_tids = None
             self._memo_order = np.argsort(self._tids[: self._n], kind="stable")
         assert self._memo_order is not None
         return self._memo_order
 
     def sorted_tids(self) -> np.ndarray:
         """All tuple ids, ascending (the order of ``Table.rows()``)."""
-        return self._tids[: self._n][self._order()]
+        order = self._order()
+        if self._memo_tids is None:
+            # Shared across calls until the next version bump: hand out a
+            # read-only view so no consumer can scribble on the memo.
+            self._memo_tids = _readonly(self._tids[: self._n][order])
+        return self._memo_tids
 
     def endpoints(self, column: str) -> tuple[np.ndarray, np.ndarray]:
         """``(lo, hi)`` arrays for a numeric column, in tuple-id order.
@@ -286,9 +333,9 @@ class ColumnStore:
         return column in self._text
 
     # ------------------------------------------------------------------
-    # Incremental planner cache: sorted-width orderings per column
+    # Incremental sorted-order caches: width (planner) + endpoints (index)
     # ------------------------------------------------------------------
-    def width_order(self, column: str) -> _WidthOrder:
+    def width_order(self, column: str) -> _SortedOrder:
         """The ascending-(width, tid) ordering of a numeric column.
 
         Epoch-versioned against the store: while no mutation happened the
@@ -300,10 +347,30 @@ class ColumnStore:
         uniform-cost path run sort-free per query instead of paying
         ``O(n log n)``: the sort is amortized across the write stream.
         """
+        return self._sorted_order(column, "width")
+
+    def endpoint_order(self, column: str, side: str) -> _SortedOrder:
+        """The ascending-(endpoint, tid) ordering of a numeric column.
+
+        ``side`` is ``"lo"`` or ``"hi"``.  These are the columnar
+        analogue of the paper's §5.1 endpoint B-trees, with the same
+        incremental lifecycle as :meth:`width_order` (re-stamp when
+        untouched, splice-repair small dirty sets, full argsort only on
+        structural churn).  The index-backed classifier in
+        :mod:`repro.predicates.batch` binary-searches ``keys`` to turn a
+        comparison against a constant into a contiguous window of
+        ``positions`` — tuples outside the window are decided wholesale.
+        """
+        if side not in ("lo", "hi"):
+            raise TrappError(f"endpoint side must be 'lo' or 'hi', not {side!r}")
+        return self._sorted_order(column, side)
+
+    def _sorted_order(self, column: str, kind: str) -> _SortedOrder:
         if column not in self._lo:
             self.schema[column]  # raise UnknownColumnError on bad names
-            raise TrappError(f"column {column!r} is not numeric; no width order")
-        order = self._width_orders.get(column)
+            raise TrappError(f"column {column!r} is not numeric; no sorted order")
+        cache_key = (column, kind)
+        order = self._sorted_orders.get(cache_key)
         if order is not None and order.epoch == self.version:
             return order
         if order is not None and not order.stale and not order.dirty:
@@ -316,51 +383,78 @@ class ColumnStore:
             and not order.stale
             and len(order.dirty) <= max(_REPAIR_FLOOR, self._n // 8)
         ):
-            rebuilt = self._repair_width_order(column, order)
+            rebuilt = self._repair_sorted_order(column, kind, order)
         else:
-            rebuilt = self._build_width_order(column)
-        self._width_orders[column] = rebuilt
+            rebuilt = self._build_sorted_order(column, kind)
+        self._sorted_orders[cache_key] = rebuilt
         return rebuilt
 
-    def _build_width_order(self, column: str) -> _WidthOrder:
+    def _keys_by_tid(self, column: str, kind: str) -> np.ndarray:
         lo, hi = self.endpoints(column)
-        widths = hi - lo
-        positions = np.argsort(widths, kind="stable")  # ties keep tid order
-        return _WidthOrder(
+        if kind == "width":
+            return hi - lo
+        return lo if kind == "lo" else hi
+
+    def _slot_keys(self, column: str, kind: str, slots: np.ndarray) -> np.ndarray:
+        if kind == "width":
+            return self._hi[column][slots] - self._lo[column][slots]
+        source = self._lo[column] if kind == "lo" else self._hi[column]
+        return source[slots]
+
+    def _build_sorted_order(self, column: str, kind: str) -> _SortedOrder:
+        by_tid = self._keys_by_tid(column, kind)
+        positions = np.argsort(by_tid, kind="stable")  # ties keep tid order
+        return _SortedOrder(
             epoch=self.version,
             tids=self.sorted_tids()[positions],
-            widths=widths[positions],
+            keys=by_tid[positions],
             positions=positions,
+            keys_by_tid=_readonly(by_tid),
         )
 
-    def _repair_width_order(self, column: str, order: _WidthOrder) -> _WidthOrder:
-        """Splice a few rewritten tuples back into a cached ordering."""
+    def _build_width_order(self, column: str) -> _SortedOrder:
+        """Historical spelling of a fresh width-order build (tests use it)."""
+        return self._build_sorted_order(column, "width")
+
+    def _repair_sorted_order(
+        self, column: str, kind: str, order: _SortedOrder
+    ) -> _SortedOrder:
+        """Splice a few rewritten tuples back into a cached ordering.
+
+        Shared by the width cache and both endpoint indexes: the dirty
+        tuples are masked out of the surviving run, re-keyed from the
+        live arrays, and merge-inserted at their new ranks.
+        """
         dirty = np.fromiter(order.dirty, dtype=np.int64, count=len(order.dirty))
         keep = ~np.isin(order.tids, dirty)
         base_tids = order.tids[keep]
-        base_widths = order.widths[keep]
+        base_keys = order.keys[keep]
         slots = np.fromiter(
             (self._slot_of[int(t)] for t in dirty), dtype=np.int64, count=len(dirty)
         )
-        new_widths = self._hi[column][slots] - self._lo[column][slots]
-        resort = np.lexsort((dirty, new_widths))
-        dirty, new_widths = dirty[resort], new_widths[resort]
-        at = np.searchsorted(base_widths, new_widths, side="left")
-        # Equal-width runs must stay tid-ascending (the invariant a fresh
+        new_keys = self._slot_keys(column, kind, slots)
+        resort = np.lexsort((dirty, new_keys))
+        dirty, new_keys = dirty[resort], new_keys[resort]
+        at = np.searchsorted(base_keys, new_keys, side="left")
+        # Equal-key runs must stay tid-ascending (the invariant a fresh
         # stable argsort produces, and what makes repaired and rebuilt
         # orderings choose identical uniform-cost plans): within a tie,
         # place each dirty tuple after the surviving smaller tids.
-        right = np.searchsorted(base_widths, new_widths, side="right")
+        right = np.searchsorted(base_keys, new_keys, side="right")
         for k in np.flatnonzero(right > at):
             run = base_tids[at[k]:right[k]]  # ascending by the invariant
             at[k] += int(np.searchsorted(run, dirty[k]))
         tids = np.insert(base_tids, at, dirty)
-        widths = np.insert(base_widths, at, new_widths)
-        return _WidthOrder(
+        keys = np.insert(base_keys, at, new_keys)
+        sorted_tids = self.sorted_tids()
+        keys_by_tid = order.keys_by_tid.copy()
+        keys_by_tid[np.searchsorted(sorted_tids, dirty)] = new_keys
+        return _SortedOrder(
             epoch=self.version,
             tids=tids,
-            widths=widths,
-            positions=np.searchsorted(self.sorted_tids(), tids),
+            keys=keys,
+            positions=np.searchsorted(sorted_tids, tids),
+            keys_by_tid=_readonly(keys_by_tid),
         )
 
     def __repr__(self) -> str:
@@ -410,12 +504,45 @@ class CandidateVectors:
         )
 
 
+def candidate_order(widths: np.ndarray, tids: np.ndarray) -> np.ndarray:
+    """Positions ascending by ``(width, tid)``.
+
+    Bit-identical to ``np.lexsort((tids, widths))`` but built from one
+    unstable argsort: candidate widths rarely tie (bound widths are
+    continuous), so the quicksort permutation usually *is* the answer
+    and only equal-width runs — detected with one equality scan — need
+    their tids reordered.  Falls back to ``lexsort`` when ties are
+    pervasive (e.g. many exact tuples at width zero) or a NaN slipped
+    into the widths, where run-by-run repair loses its edge.
+    """
+    order = np.argsort(widths)
+    sorted_w = widths[order]
+    if len(sorted_w) and np.isnan(sorted_w[-1]):
+        return np.lexsort((tids, widths))
+    tied = sorted_w[1:] == sorted_w[:-1]
+    if not tied.any():
+        return order
+    # Starts of maximal equal-width runs, each run re-sorted tid-ascending.
+    breaks = np.flatnonzero(np.logical_not(tied)) + 1
+    starts = np.concatenate(([0], breaks))
+    ends = np.concatenate((breaks, [len(sorted_w)]))
+    runs = np.flatnonzero(ends - starts > 1)
+    if len(runs) > 64:
+        return np.lexsort((tids, widths))
+    sorted_t = tids[order]
+    for k in runs:
+        s, e = starts[k], ends[k]
+        order[s:e] = order[s:e][np.argsort(sorted_t[s:e], kind="stable")]
+    return order
+
+
 def harvest_candidates(
     store: ColumnStore,
     column: str,
     *,
     certain: np.ndarray | None = None,
     possible: np.ndarray | None = None,
+    positions: "tuple[np.ndarray, np.ndarray] | None" = None,
     predicate=None,
     cost_column: str | None = None,
     cost_value: float = 1.0,
@@ -423,12 +550,18 @@ def harvest_candidates(
 ) -> CandidateVectors | None:
     """Emit one query's refresh candidates as parallel vectors.
 
-    Without masks the candidate set is the whole table (§5 regime) and
-    the sorted-width ordering comes straight from the store's incremental
-    planner cache.  With ``certain``/``possible`` masks (tuple-id order,
-    from :func:`repro.predicates.batch.classify_masks`) candidates are
-    T+ ∪ T? and each T? weight is its bound — optionally Appendix-D
-    restricted by ``predicate`` — extended to zero (§6.2).
+    Without masks the candidate set is the whole table (§5 regime); the
+    sorted-width ordering *and* the tuple-id-ordered width vector both
+    come straight from the store's incremental planner cache — nothing
+    is recomputed per query.  With ``certain``/``possible`` masks
+    (tuple-id order, from :func:`repro.predicates.batch.classify_masks`)
+    candidates are T+ ∪ T? and each T? weight is its bound — optionally
+    Appendix-D restricted by ``predicate`` — extended to zero (§6.2).
+    When the index-backed classifier also produced sorted candidate
+    ``positions`` (``(certain_positions, maybe_positions)`` from
+    :func:`repro.predicates.batch.classify_report`), the gathers run
+    over those O(k) arrays instead of sweeping n-row masks; both routes
+    emit identical vectors.
 
     Costs are ``cost_value`` everywhere, read from ``cost_column``
     (which must be a numeric, currently-exact column — the row-path
@@ -447,11 +580,10 @@ def harvest_candidates(
             return None
         costs_from = store.endpoints(cost_column)[0]
 
-    if certain is None and possible is None:
+    if certain is None and possible is None and positions is None:
         order_cache = store.width_order(column)
-        lo, hi = store.endpoints(column)
         tids = store.sorted_tids()
-        widths = hi - lo
+        widths = order_cache.keys_by_tid
         order = order_cache.positions
         costs = (
             costs_from
@@ -459,39 +591,56 @@ def harvest_candidates(
             else np.full(len(tids), float(cost_value))
         )
     else:
-        assert certain is not None and possible is not None
-        maybe_mask = np.logical_and(possible, np.logical_not(certain))
-        all_tids = store.sorted_tids()
+        if positions is not None:
+            certain_at, maybe_at = positions
+        else:
+            assert certain is not None and possible is not None
+            maybe_mask = np.logical_and(possible, np.logical_not(certain))
+            certain_at = np.flatnonzero(certain)
+            maybe_at = np.flatnonzero(maybe_mask)
+        # One fused gather per source array over the [T+ …, T? …]
+        # position vector (gather-then-concatenate and
+        # concatenate-then-gather are elementwise identical); the T?
+        # tail's §6.2 extend-to-zero then overwrites its width slice.
+        at = np.concatenate([certain_at, maybe_at])
+        k_plus = len(certain_at)
         lo, hi = store.endpoints(column)
-        maybe_lo, maybe_hi = lo[maybe_mask], hi[maybe_mask]
+        lo_at, hi_at = lo[at], hi[at]
+        maybe_lo, maybe_hi = lo_at[k_plus:], hi_at[k_plus:]
         if predicate is not None and len(maybe_lo):
             from repro.predicates.batch import restrict_endpoints
 
             maybe_lo, maybe_hi = restrict_endpoints(
                 maybe_lo, maybe_hi, predicate, column
             )
-        tids = np.concatenate([all_tids[certain], all_tids[maybe_mask]])
-        widths = np.concatenate(
-            [
-                hi[certain] - lo[certain],
-                np.maximum(maybe_hi, 0.0) - np.minimum(maybe_lo, 0.0),
-            ]
-        )
+        tids = store.sorted_tids()[at]
+        widths = hi_at - lo_at
+        widths[k_plus:] = np.maximum(maybe_hi, 0.0) - np.minimum(maybe_lo, 0.0)
         if costs_from is not None:
-            costs = np.concatenate([costs_from[certain], costs_from[maybe_mask]])
+            costs = costs_from[at]
         else:
             costs = np.full(len(tids), float(cost_value))
-        order = np.lexsort((tids, widths))
+        order = candidate_order(widths, tids)
 
-    if len(costs):
+    if not len(costs):
+        cost_min = cost_max = cost_total = 0.0
+        costs_integral = True
+    elif costs_from is None:
+        # Uniform costs: the stats are arithmetic on the constant — no
+        # reason to sweep the vector we just broadcast.
+        cost_min = cost_max = float(cost_value)
+        rounded = round(cost_min)
+        costs_integral = abs(cost_min - rounded) <= 1e-9
+        cost_total = (
+            float(rounded * len(costs)) if costs_integral
+            else float(costs.sum())
+        )
+    else:
         cost_min = float(costs.min())
         cost_max = float(costs.max())
         rounded = np.rint(costs)
         costs_integral = bool(np.all(np.abs(costs - rounded) <= 1e-9))
         cost_total = float(rounded.sum()) if costs_integral else float(costs.sum())
-    else:
-        cost_min = cost_max = cost_total = 0.0
-        costs_integral = True
     return CandidateVectors(
         tids=tids,
         widths=widths,
@@ -571,6 +720,17 @@ def _endpoints(value: Any) -> tuple[float, float]:
         return value.lo, value.hi
     v = float(value)
     return v, v
+
+
+def _readonly(values: np.ndarray) -> np.ndarray:
+    """A read-only view of ``values`` (the base array stays writable).
+
+    Cached key vectors are handed out to harvesters verbatim; freezing
+    the view keeps a stray in-place consumer from corrupting the cache.
+    """
+    view = values.view()
+    view.flags.writeable = False
+    return view
 
 
 def _resized(array: np.ndarray, capacity: int) -> np.ndarray:

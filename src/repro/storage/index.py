@@ -12,6 +12,17 @@ The index stores ``(key, tid)`` pairs sorted by key; lookups return tuple
 ids, which the table resolves back to rows.  A full B-tree would add
 nothing observable at in-memory scale, but the *asymptotics* match: range
 scans cost ``O(log n + k)``.
+
+.. note::
+   Since PR 10 this module is a **reference implementation** of the
+   paper's index claim, kept for the row-path API and its readable
+   bisect-based mechanics.  The serving pipeline's hot paths use the
+   columnar equivalents instead: the epoch-versioned sorted endpoint
+   orders on :class:`repro.storage.columnar.ColumnStore`
+   (``endpoint_order``/``width_order``) and the index-backed classifier
+   :func:`repro.predicates.batch.classify_report`, which answer the
+   same ``O(log n + k)`` range questions over NumPy arrays with
+   splice-repair maintenance instead of per-row bisect updates.
 """
 
 from __future__ import annotations

@@ -35,8 +35,8 @@ __all__ = ["Tracer", "QueryTrace", "STEP_ORDER"]
 #: The canonical step vocabulary, in pipeline order (documented in
 #: docs/OBSERVABILITY.md; the ``trace`` op emits steps in event order).
 STEP_ORDER = (
-    "admit", "route", "plan", "coalesce", "dispatch", "refresh", "degraded",
-    "answer",
+    "admit", "route", "classify", "plan", "coalesce", "dispatch", "refresh",
+    "degraded", "answer",
 )
 
 

@@ -9,9 +9,10 @@ from repro.predicates.batch import (
     classification_from_masks,
     classify_columnar,
     classify_masks,
+    classify_report,
     restrict_endpoints,
 )
-from repro.predicates.classify import classify, restrict_bound
+from repro.predicates.classify import classify, classify_trilean, restrict_bound
 from repro.predicates.parser import parse_predicate
 from repro.storage.schema import Schema
 from repro.storage.table import Table
@@ -155,3 +156,151 @@ class TestRestrictEndpoints:
         hi = np.array([10.0, 2.0])
         restrict_endpoints(lo, hi, parse_predicate("x > 5"), "x")
         assert lo.tolist() == [0.0, 1.0] and hi.tolist() == [10.0, 2.0]
+
+
+SCALED_PREDICATES = [
+    "-2 * x + 3 < 5",
+    "-2 * x + 3 <= 5",
+    "-2 * x + 3 > 5",
+    "-2 * x + 3 >= 5",
+    "-2 * x + 3 = 5",
+    "-2 * x + 3 != 5",
+    "2 * x - 1 > 7",
+    "0.5 * x < 2",
+    "-1 * x < -4",
+    "3 * x + 2 >= 14 AND -1 * y > -6",
+    "NOT (-2 * x < -8)",
+]
+
+
+class TestScaledTermClassification:
+    """ISSUE 10 satellite: scaled/negated terms against the row path.
+
+    Scaled terms exercise the endpoint swap (negative scale reads the
+    *hi* order for the term's low end) and the scalar-probe arithmetic;
+    every form must agree with the row-at-a-time trilean evaluator and
+    be identical across the index and dense routes.
+    """
+
+    @pytest.mark.parametrize("text", SCALED_PREDICATES)
+    def test_matches_classify_trilean(self, text):
+        table = make_table()
+        predicate = parse_predicate(text)
+        reference = classify_trilean(table.rows(), predicate)
+        certain, possible = classify_masks(table.columns, predicate)
+        built = classification_from_masks(table.rows(), certain, possible)
+        assert tids(built.plus) == tids(reference.plus), text
+        assert tids(built.maybe) == tids(reference.maybe), text
+        assert tids(built.minus) == tids(reference.minus), text
+
+    @pytest.mark.parametrize("text", SCALED_PREDICATES)
+    def test_index_and_dense_routes_identical(self, text):
+        table = make_table()
+        predicate = parse_predicate(text)
+        report = classify_report(table.columns, predicate)
+        dense_c, dense_p = classify_masks(
+            table.columns, predicate, use_index=False
+        )
+        assert np.array_equal(report.certain, dense_c), text
+        assert np.array_equal(report.possible, dense_p), text
+        assert report.used_index, text
+
+    def test_scale_zero_falls_back_to_dense(self):
+        """``0 * x`` folds infinite endpoints through ``0 · ∞ = nan`` in
+        the dense evaluator; the windows cannot reproduce that, so the
+        leaf is index-ineligible — but the masks still match the row
+        path exactly."""
+        table = make_table()
+        predicate = parse_predicate("0 * x + 3 < 5")
+        report = classify_report(table.columns, predicate)
+        assert not report.used_index
+        reference = classify_trilean(table.rows(), predicate)
+        built = classification_from_masks(
+            table.rows(), report.certain, report.possible
+        )
+        assert tids(built.plus) == tids(reference.plus)
+        assert tids(built.maybe) == tids(reference.maybe)
+
+    def test_scale_zero_on_unbounded_tuple(self):
+        """The nan semantics that make scale == 0 ineligible, observed:
+        ``0 · ∞ = nan`` turns every dense comparison on an unrefreshed
+        (infinite-bound) tuple False, something no contiguous window can
+        express — so the index must refuse the leaf rather than silently
+        diverge from the dense evaluator it is pinned to."""
+        table = Table("t", Schema.of(x="bounded"))
+        table.insert({"x": Bound(float("-inf"), float("inf"))})
+        table.insert({"x": Bound(1.0, 2.0)})
+        predicate = parse_predicate("0 * x < 1")
+        report = classify_report(table.columns, predicate)
+        assert not report.used_index
+        dense_c, dense_p = classify_masks(
+            table.columns, predicate, use_index=False
+        )
+        assert np.array_equal(report.certain, dense_c)
+        assert np.array_equal(report.possible, dense_p)
+        # The infinite tuple is nan-excluded, the finite one is T+.
+        assert report.certain.tolist() == [False, True]
+        assert report.possible.tolist() == [False, True]
+
+
+class TestClassifyReport:
+    """The index route's by-products: positions, laziness, fractions."""
+
+    @pytest.mark.parametrize("text", PREDICATES)
+    def test_index_route_masks_bit_identical(self, text):
+        table = make_table()
+        predicate = parse_predicate(text)
+        report = classify_report(table.columns, predicate)
+        dense_c, dense_p = classify_masks(
+            table.columns, predicate, use_index=False
+        )
+        assert np.array_equal(report.certain, dense_c), text
+        assert np.array_equal(report.possible, dense_p), text
+
+    @pytest.mark.parametrize("text", PREDICATES)
+    def test_positions_match_masks(self, text):
+        table = make_table()
+        predicate = parse_predicate(text)
+        report = classify_report(table.columns, predicate)
+        if not report.used_index:
+            assert report.positions is None
+            return
+        certain_at = report.certain_positions
+        maybe_at = report.maybe_positions
+        assert np.array_equal(certain_at, np.flatnonzero(report.certain)), text
+        assert np.array_equal(
+            maybe_at,
+            np.flatnonzero(report.possible & ~report.certain),
+        ), text
+
+    def test_column_vs_column_is_dense(self):
+        table = make_table()
+        report = classify_report(table.columns, parse_predicate("x > y"))
+        assert not report.used_index
+        assert report.window_fraction is None
+
+    def test_window_fraction_counts_straddle_only(self):
+        table = Table("t", Schema.of(x="bounded"))
+        for i in range(10):
+            table.insert({"x": Bound(float(i), float(i))})
+        table.insert({"x": Bound(4.5, 5.5)})  # the one straddler of c=5
+        report = classify_report(table.columns, parse_predicate("x > 5"))
+        assert report.used_index
+        # One leaf over 11 tuples; the certain window (lo > 5) holds 4
+        # entries and the possible window (hi > 5) 5, so 9 decisions of
+        # the leaf's 11 were materialized instead of skipped wholesale.
+        assert report.window_fraction == pytest.approx(9 / 11)
+
+    def test_report_is_a_snapshot(self):
+        """Mutating the store after classification must not change what
+        the report's lazy properties return."""
+        table = make_table()
+        predicate = parse_predicate("x > 4")
+        report = classify_report(table.columns, predicate)
+        before = (
+            report.certain_positions.copy(),
+            report.maybe_positions.copy(),
+        )
+        table.update_value(1, "x", 0.0)
+        assert np.array_equal(report.certain_positions, before[0])
+        assert np.array_equal(report.maybe_positions, before[1])

@@ -5,7 +5,13 @@ import pytest
 
 from repro.core.bound import Bound
 from repro.errors import TrappError, UnknownColumnError
-from repro.storage.columnar import ColumnStore
+from repro.predicates.batch import classify_report
+from repro.predicates.parser import parse_predicate
+from repro.storage.columnar import (
+    ColumnStore,
+    candidate_order,
+    harvest_candidates,
+)
 from repro.storage.schema import Schema
 from repro.storage.table import Table
 
@@ -336,3 +342,227 @@ class TestHarvestCandidates:
         assert isinstance(costs, array) and costs.typecode == "d"
         assert isinstance(order, array) and order.typecode == "q"
         assert list(weights) == list(cv.widths)
+
+
+class TestEndpointOrder:
+    """The §5.1 endpoint indexes share the width cache's lifecycle."""
+
+    def _reference(self, store, column, side):
+        lo, hi = store.endpoints(column)
+        keys = lo if side == "lo" else hi
+        positions = np.argsort(keys, kind="stable")
+        return store.sorted_tids()[positions], keys[positions]
+
+    @pytest.mark.parametrize("side", ["lo", "hi"])
+    def test_sorted_by_endpoint_then_tid(self, side):
+        store = make_table().columns
+        order = store.endpoint_order("x", side)
+        ref_tids, ref_keys = self._reference(store, "x", side)
+        assert np.array_equal(order.tids, ref_tids)
+        assert np.array_equal(order.keys, ref_keys)
+
+    def test_epoch_reuse_is_identity(self):
+        store = make_table().columns
+        first = store.endpoint_order("x", "lo")
+        assert store.endpoint_order("x", "lo") is first
+
+    def test_lo_and_hi_are_independent_orderings(self):
+        store = make_table().columns
+        lo_order = store.endpoint_order("x", "lo")
+        hi_order = store.endpoint_order("x", "hi")
+        assert lo_order is not hi_order
+        # x bounds: (0,10), (5,5), (2,2) → lo order 1,3,2 / hi order 3,2,1.
+        assert list(lo_order.tids) == [1, 3, 2]
+        assert list(hi_order.tids) == [3, 2, 1]
+
+    @pytest.mark.parametrize("side", ["lo", "hi"])
+    def test_write_through_repair_matches_rebuild(self, side):
+        table = make_table()
+        store = table.columns
+        store.endpoint_order("x", side)
+        table.row(1).set("x", Bound(6.0, 8.0))  # direct Row.set write-through
+        order = store.endpoint_order("x", side)
+        ref_tids, ref_keys = self._reference(store, "x", side)
+        assert np.array_equal(order.tids, ref_tids)
+        assert np.array_equal(order.keys, ref_keys)
+
+    def test_structural_churn_rebuilds(self):
+        table = make_table()
+        store = table.columns
+        store.endpoint_order("x", "lo")
+        table.insert({"x": Bound(-5, -1), "y": 1.0, "cost": 1.0, "tag": "c"})
+        table.delete(2)
+        order = store.endpoint_order("x", "lo")
+        ref_tids, ref_keys = self._reference(store, "x", "lo")
+        assert np.array_equal(order.tids, ref_tids)
+        assert np.array_equal(order.keys, ref_keys)
+
+    def test_keys_by_tid_matches_endpoints(self):
+        store = make_table().columns
+        lo, hi = store.endpoints("x")
+        assert np.array_equal(store.endpoint_order("x", "lo").keys_by_tid, lo)
+        assert np.array_equal(store.endpoint_order("x", "hi").keys_by_tid, hi)
+        assert not store.endpoint_order("x", "lo").keys_by_tid.flags.writeable
+
+    def test_invalid_side_rejected(self):
+        store = make_table().columns
+        with pytest.raises(TrappError):
+            store.endpoint_order("x", "mid")
+
+    def test_text_column_rejected(self):
+        store = make_table().columns
+        with pytest.raises(TrappError):
+            store.endpoint_order("tag", "lo")
+        with pytest.raises(UnknownColumnError):
+            store.endpoint_order("missing", "lo")
+
+    def test_other_column_writes_restamp(self):
+        table = make_table()
+        first = table.columns.endpoint_order("x", "hi")
+        table.update_value(1, "y", Bound(0, 9))
+        assert table.columns.endpoint_order("x", "hi") is first
+
+
+class TestRepeatedTieRepairs:
+    """ISSUE 10 satellite: repairs into a growing key tie stay
+    tid-ascending — for the width cache *and* both endpoint indexes,
+    which share the same splice-repair helper."""
+
+    def _growing_tie(self, order_of, rebuild, set_value, run_key):
+        # tids 5, 2, 7 are rewritten one at a time into the key shared
+        # with tid 4; after every repair the ordering must equal a fresh
+        # stable argsort, and the final tie run must be tid-ascending.
+        repaired = None
+        for tid in (5, 2, 7):
+            set_value(tid)
+            repaired = order_of()
+            fresh = rebuild()
+            assert np.array_equal(repaired.tids, fresh.tids)
+            assert np.array_equal(repaired.keys, fresh.keys)
+        run = repaired.tids[np.flatnonzero(repaired.keys == run_key)]
+        assert list(run) == [2, 4, 5, 7]
+
+    def test_width_order(self):
+        table = Table("t", Schema.of(x="bounded"))
+        for i in range(8):
+            table.insert({"x": Bound(0.0, float(i))})  # widths 0..7
+        store = table.columns
+        store.width_order("x")
+        self._growing_tie(
+            lambda: store.width_order("x"),
+            lambda: store._build_width_order("x"),
+            lambda tid: table.row(tid).set("x", Bound(0.0, 3.0)),
+            3.0,
+        )
+
+    @pytest.mark.parametrize("side", ["lo", "hi"])
+    def test_endpoint_orders(self, side):
+        table = Table("t", Schema.of(x="bounded"))
+        for i in range(8):
+            table.insert({"x": Bound(float(i), float(i) + 0.5)})
+        store = table.columns
+        store.endpoint_order("x", side)
+        target = Bound(3.0, 3.5)  # ties tid 4 on both endpoints
+        self._growing_tie(
+            lambda: store.endpoint_order("x", side),
+            lambda: store._build_sorted_order("x", side),
+            lambda tid: table.row(tid).set("x", target),
+            3.0 if side == "lo" else 3.5,
+        )
+
+
+class TestCandidateOrder:
+    """candidate_order must be bit-identical to np.lexsort((tids, widths))."""
+
+    def _assert_matches_lexsort(self, widths, tids):
+        got = candidate_order(widths, tids)
+        assert np.array_equal(got, np.lexsort((tids, widths)))
+
+    def test_random_widths(self):
+        rng = np.random.default_rng(7)
+        widths = rng.uniform(0, 100, 500)
+        tids = rng.permutation(500).astype(np.int64) + 1
+        self._assert_matches_lexsort(widths, tids)
+
+    def test_tie_runs_reordered_tid_ascending(self):
+        widths = np.array([3.0, 1.0, 3.0, 2.0, 3.0, 1.0])
+        tids = np.array([9, 8, 2, 5, 4, 1], dtype=np.int64)
+        self._assert_matches_lexsort(widths, tids)
+
+    def test_nan_widths_fall_back(self):
+        widths = np.array([3.0, np.nan, 1.0, np.nan])
+        tids = np.array([4, 3, 2, 1], dtype=np.int64)
+        self._assert_matches_lexsort(widths, tids)
+
+    def test_pervasive_ties_fall_back(self):
+        # > 64 multi-element tie runs (e.g. a mostly-exact table at
+        # width zero) takes the lexsort path; output is identical.
+        rng = np.random.default_rng(11)
+        widths = np.repeat(np.arange(100.0), 3)
+        tids = rng.permutation(300).astype(np.int64) + 1
+        self._assert_matches_lexsort(widths, tids)
+
+    def test_empty(self):
+        widths = np.empty(0)
+        tids = np.empty(0, dtype=np.int64)
+        assert len(candidate_order(widths, tids)) == 0
+
+
+class TestHarvestPositionsRoute:
+    """Index-route harvest (sorted positions) vs the mask route."""
+
+    def _big_table(self):
+        table = Table("t", Schema.of(x="bounded", cost="exact"))
+        rng = np.random.default_rng(3)
+        for i in range(200):
+            center = float(rng.uniform(0, 100))
+            w = float(rng.uniform(0, 10))
+            table.insert(
+                {"x": Bound(center - w, center + w), "cost": float(i % 7 + 1)}
+            )
+        return table
+
+    def _routes(self, table, text, **kwargs):
+        predicate = parse_predicate(text)
+        report = classify_report(table.columns, predicate)
+        assert report.used_index and report.positions is not None
+        via_positions = harvest_candidates(
+            table.columns, "x", positions=report.positions, **kwargs
+        )
+        via_masks = harvest_candidates(
+            table.columns,
+            "x",
+            certain=np.asarray(report.certain),
+            possible=np.asarray(report.possible),
+            **kwargs,
+        )
+        return via_positions, via_masks
+
+    @pytest.mark.parametrize("text", ["x > 50", "x <= 20", "x > 30 AND x < 70"])
+    def test_identical_to_mask_route(self, text):
+        table = self._big_table()
+        a, b = self._routes(table, text)
+        for field in ("tids", "widths", "costs", "order"):
+            assert np.array_equal(getattr(a, field), getattr(b, field)), field
+        assert (a.cost_min, a.cost_max, a.cost_total, a.costs_integral) == (
+            b.cost_min, b.cost_max, b.cost_total, b.costs_integral
+        )
+
+    def test_identical_with_cost_column_and_refinement(self):
+        table = self._big_table()
+        predicate = parse_predicate("x > 50")
+        a, b = self._routes(
+            table, "x > 50", cost_column="cost", predicate=predicate
+        )
+        for field in ("tids", "widths", "costs", "order"):
+            assert np.array_equal(getattr(a, field), getattr(b, field)), field
+
+    def test_uniform_cost_stats_match_a_sweep(self):
+        table = self._big_table()
+        for value, integral in ((2.0, True), (0.75, False)):
+            cv, _ = self._routes(table, "x > 50", cost_value=value)
+            assert cv.cost_min == cv.cost_max == value
+            assert cv.costs_integral is integral
+            assert cv.cost_total == float(cv.costs.sum())
+            rounded = np.rint(cv.costs)
+            assert bool(np.all(np.abs(cv.costs - rounded) <= 1e-9)) is integral
